@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build vet test race bench figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./... -timeout 600s
+
+race:
+	$(GO) test -race ./internal/ftp/ ./internal/gridftp/ ./internal/gsi/ ./internal/coalloc/ -timeout 600s
+
+bench:
+	$(GO) test -bench=. -benchmem -timeout 1200s
+
+# Regenerate every paper artifact (Fig. 3, Fig. 4, Table 1, ablations,
+# extensions) in the text form EXPERIMENTS.md quotes.
+figures:
+	$(GO) run ./cmd/gridbench -all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/parallel-transfer
+	$(GO) run ./examples/bioinformatics
+	$(GO) run ./examples/thirdparty-striped
+	$(GO) run ./examples/coallocation
+	$(GO) run ./examples/failover
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,440 @@
+// Package datagrid holds the repository-level benchmark harness: one
+// benchmark per paper artifact (Fig. 3, Fig. 4, Table 1), one per ablation
+// and extension experiment from DESIGN.md, and micro-benchmarks for the
+// performance-critical substrates. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Experiment benchmarks re-run the full simulated experiment per
+// iteration and report the headline quantity (transfer seconds, regret,
+// MSE) as custom metrics, so `go test -bench` regenerates the paper's
+// numbers.
+package datagrid
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/core"
+	"github.com/hpclab/datagrid/internal/experiments"
+	"github.com/hpclab/datagrid/internal/ftp"
+	"github.com/hpclab/datagrid/internal/gridftp"
+	"github.com/hpclab/datagrid/internal/netsim"
+	"github.com/hpclab/datagrid/internal/nws"
+	"github.com/hpclab/datagrid/internal/replica"
+	"github.com/hpclab/datagrid/internal/simulation"
+	"github.com/hpclab/datagrid/internal/simxfer"
+	"github.com/hpclab/datagrid/internal/workload"
+)
+
+const benchSeed = 42
+
+// BenchmarkFigure3FTPvsGridFTP regenerates Fig. 3: FTP vs GridFTP transfer
+// time over the THU -> HIT path for each paper file size.
+func BenchmarkFigure3FTPvsGridFTP(b *testing.B) {
+	for _, proto := range []simxfer.Protocol{simxfer.ProtoFTP, simxfer.ProtoGridFTPStream} {
+		for _, sizeMB := range workload.PaperFileSizesMB {
+			b.Run(fmt.Sprintf("%v/%dMB", proto, sizeMB), func(b *testing.B) {
+				var last float64
+				for i := 0; i < b.N; i++ {
+					env, err := experiments.NewEnv(benchSeed, false)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := env.MeasureAt(experiments.Warmup, "alpha1", "gridhit3",
+						sizeMB*workload.MB, simxfer.Options{Protocol: proto})
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res.Duration().Seconds()
+				}
+				b.ReportMetric(last, "xfer-sec")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure4ParallelStreams regenerates Fig. 4: GridFTP transfer
+// time over the THU -> Li-Zen bottleneck by stream count.
+func BenchmarkFigure4ParallelStreams(b *testing.B) {
+	for _, streams := range workload.PaperStreamCounts {
+		for _, sizeMB := range workload.PaperFileSizesMB {
+			b.Run(fmt.Sprintf("streams=%d/%dMB", streams, sizeMB), func(b *testing.B) {
+				var last float64
+				for i := 0; i < b.N; i++ {
+					env, err := experiments.NewEnv(benchSeed, false)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := env.MeasureAt(experiments.Warmup, "alpha2", "lz04",
+						sizeMB*workload.MB, simxfer.GridFTPOptions(streams))
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res.Duration().Seconds()
+				}
+				b.ReportMetric(last, "xfer-sec")
+			})
+		}
+	}
+}
+
+// BenchmarkTable1CostModel regenerates Table 1 and reports the rank
+// agreement between scores and measured times.
+func BenchmarkTable1CostModel(b *testing.B) {
+	var res experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, _, err = experiments.Table1(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	agree := 0.0
+	if res.OrderingsAgree {
+		agree = 1
+	}
+	b.ReportMetric(agree, "rank-agreement")
+	b.ReportMetric(res.Spearman, "spearman")
+}
+
+// BenchmarkAblationSelectors reports each policy's mean fetch time.
+func BenchmarkAblationSelectors(b *testing.B) {
+	var rows []experiments.SelectorResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = experiments.AblationSelectors(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.MeanSeconds, r.Name+"-sec")
+	}
+}
+
+// BenchmarkAblationWeights reports oracle regret per weight vector.
+func BenchmarkAblationWeights(b *testing.B) {
+	var rows []experiments.WeightResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = experiments.AblationWeights(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		name := fmt.Sprintf("w%.0f-%.0f-%.0f-regret", r.Weights.Bandwidth*100, r.Weights.CPU*100, r.Weights.IO*100)
+		b.ReportMetric(r.MeanRegretSeconds, name)
+	}
+}
+
+// BenchmarkAblationForecasters reports the adaptive bank's MSE against the
+// best and worst individual experts.
+func BenchmarkAblationForecasters(b *testing.B) {
+	var rows []experiments.ForecasterResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = experiments.AblationForecasters(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.Name {
+		case "nws-bank(adaptive)":
+			b.ReportMetric(r.MSE, "bank-mse")
+		case "last":
+			b.ReportMetric(r.MSE, "last-mse")
+		case "run_mean":
+			b.ReportMetric(r.MSE, "runmean-mse")
+		}
+	}
+}
+
+// BenchmarkExtensionStriped reports transfer time by stripe count with a
+// disk-saturated source.
+func BenchmarkExtensionStriped(b *testing.B) {
+	var rows []experiments.StripedResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = experiments.ExtensionStriped(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Seconds, fmt.Sprintf("stripes%d-sec", r.Stripes))
+	}
+}
+
+// BenchmarkExtensionScale reports the cost model's improvement over random
+// selection as the grid grows.
+func BenchmarkExtensionScale(b *testing.B) {
+	var rows []experiments.ScaleResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = experiments.ExtensionScale(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.ImprovementPercent, fmt.Sprintf("sites%d-improve-pct", r.Sites))
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkModeEFraming measures MODE E block encode+decode throughput.
+func BenchmarkModeEFraming(b *testing.B) {
+	payload := make([]byte, 64*1024)
+	rand.New(rand.NewSource(1)).Read(payload)
+	var buf bytes.Buffer
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := gridftp.WriteBlock(&buf, gridftp.Block{Offset: uint64(i), Payload: payload}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := gridftp.ReadBlock(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGridFTPLoopback measures a real 8 MiB MODE E download over
+// loopback sockets, per parallelism level.
+func BenchmarkGridFTPLoopback(b *testing.B) {
+	store := ftp.NewMemStore()
+	payload := make([]byte, 8<<20)
+	rand.New(rand.NewSource(2)).Read(payload)
+	if err := store.Put("/bench.bin", payload); err != nil {
+		b.Fatal(err)
+	}
+	srv, err := gridftp.NewServer(gridftp.ServerConfig{Store: store})
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			c, err := gridftp.Dial(addr, gridftp.ClientConfig{Parallelism: p, Timeout: 30 * time.Second})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			if err := c.Login("u", "p"); err != nil {
+				b.Fatal(err)
+			}
+			if err := c.Setup(); err != nil {
+				b.Fatal(err)
+			}
+			if p == 1 {
+				if err := c.UseModeE(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := c.Get("/bench.bin")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(got) != len(payload) {
+					b.Fatal("short read")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNetsimFlowEvents measures the flow-level simulator's event
+// throughput with many concurrent flows on one bottleneck.
+func BenchmarkNetsimFlowEvents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := simulation.NewEngine()
+		net := netsim.New(eng, 1)
+		if err := net.AddNode("a"); err != nil {
+			b.Fatal(err)
+		}
+		if err := net.AddNode("z"); err != nil {
+			b.Fatal(err)
+		}
+		if err := net.AddLink("a", "z", netsim.LinkConfig{CapacityBps: 1e9, Delay: 5 * time.Millisecond, LossRate: 0.001}); err != nil {
+			b.Fatal(err)
+		}
+		for f := 0; f < 64; f++ {
+			if _, err := net.StartFlow("a", "z", 10_000_000, netsim.FlowOptions{WindowBytes: 1 << 20}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForecasterBank measures the NWS expert bank's update+forecast
+// cost per measurement.
+func BenchmarkForecasterBank(b *testing.B) {
+	bank, err := nws.NewBank(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bank.Update(50 + rng.NormFloat64()*5)
+		if _, err := bank.Forecast(); err != nil && i > 0 {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectionRank measures one full catalog -> information-server ->
+// score -> rank decision on the monitored testbed.
+func BenchmarkSelectionRank(b *testing.B) {
+	env, err := experiments.NewEnv(benchSeed, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat := replica.NewCatalog()
+	if err := cat.CreateLogical(replica.LogicalFile{Name: "f", SizeBytes: 1 << 30}); err != nil {
+		b.Fatal(err)
+	}
+	for _, h := range []string{"alpha4", "hit0", "lz02"} {
+		if err := cat.Register("f", replica.Location{Host: h, Path: "/f"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sel, err := core.NewSelectionServer(cat, env.Deploy.Server, core.PaperWeights, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := env.Engine.RunUntil(experiments.Warmup); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sel.Rank("f", env.Engine.Now()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemStoreWriteAt measures the virtual filesystem's random write
+// path (what MODE E receivers hammer).
+func BenchmarkMemStoreWriteAt(b *testing.B) {
+	st := ftp.NewMemStore()
+	f, err := st.Create("/bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	block := make([]byte, 64*1024)
+	const fileSize = 64 << 20
+	b.SetBytes(int64(len(block)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64(i*len(block)) % fileSize
+		if _, err := f.WriteAt(block, off); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = io.Discard
+}
+
+// BenchmarkExtensionReplication reports fetch times before/after dynamic
+// replica placement kicks in.
+func BenchmarkExtensionReplication(b *testing.B) {
+	var rows []experiments.ReplicationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = experiments.ExtensionReplication(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Strategy == "threshold(3)+LRU" {
+			b.ReportMetric(r.EarlySeconds, "before-sec")
+			b.ReportMetric(r.LateSeconds, "after-sec")
+		}
+	}
+}
+
+// BenchmarkExtensionCoallocation reports single-source vs static vs
+// dynamic co-allocated download times.
+func BenchmarkExtensionCoallocation(b *testing.B) {
+	var rows []experiments.CoallocationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = experiments.ExtensionCoallocation(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.Config {
+		case "single hit0":
+			b.ReportMetric(r.Seconds, "best-single-sec")
+		case "static split hit0+lz02":
+			b.ReportMetric(r.Seconds, "static-sec")
+		case "dynamic chunks hit0+lz02":
+			b.ReportMetric(r.Seconds, "dynamic-sec")
+		}
+	}
+}
+
+// BenchmarkAblationLatency reports plain vs latency-aware selection on the
+// small-file workload.
+func BenchmarkAblationLatency(b *testing.B) {
+	var rows []experiments.LatencyResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = experiments.AblationLatency(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.Selector {
+		case "cost-model":
+			b.ReportMetric(r.MeanSeconds, "plain-sec")
+		case "cost-model+latency":
+			b.ReportMetric(r.MeanSeconds, "latency-aware-sec")
+		}
+	}
+}
+
+// BenchmarkAblationAutoStreams reports adaptive vs fixed parallelism times.
+func BenchmarkAblationAutoStreams(b *testing.B) {
+	var rows []experiments.AutoStreamsResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = experiments.AblationAutoStreams(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if len(r.Config) > 4 && r.Config[:4] == "auto" {
+			key := "auto-hit-sec"
+			if strings.Contains(r.Path, "LiZen") {
+				key = "auto-lizen-sec"
+			}
+			b.ReportMetric(r.Seconds, key)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Command gridbench regenerates the paper's evaluation artifacts — Fig. 3,
+// Fig. 4, Table 1 — and the repository's ablation and extension
+// experiments, printing each in the same rows/series form the paper
+// reports.
+//
+//	gridbench -fig 3
+//	gridbench -fig 4
+//	gridbench -table 1
+//	gridbench -ablations
+//	gridbench -extensions
+//	gridbench -all
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"github.com/hpclab/datagrid/internal/experiments"
+	"github.com/hpclab/datagrid/internal/workload"
+)
+
+func main() {
+	var (
+		fig        = flag.Int("fig", 0, "figure number to regenerate (3 or 4)")
+		table      = flag.Int("table", 0, "table number to regenerate (1)")
+		ablations  = flag.Bool("ablations", false, "run the ablation studies")
+		extensions = flag.Bool("extensions", false, "run the extension experiments")
+		all        = flag.Bool("all", false, "run everything")
+		asCSV      = flag.Bool("csv", false, "emit the selected figure/table as CSV (for plotting)")
+		seed       = flag.Int64("seed", 42, "simulation seed")
+	)
+	flag.Parse()
+
+	if *asCSV {
+		if err := emitCSV(*fig, *table, *seed); err != nil {
+			log.Fatalf("gridbench: %v", err)
+		}
+		return
+	}
+
+	ran := false
+	show := func(name string, f func(int64) (string, error)) {
+		ran = true
+		out, err := f(*seed)
+		if err != nil {
+			log.Fatalf("gridbench: %s: %v", name, err)
+		}
+		fmt.Println(out)
+	}
+
+	if *all || *fig == 3 {
+		show("figure 3", func(s int64) (string, error) {
+			_, out, err := experiments.Figure3(s)
+			return out, err
+		})
+	}
+	if *all || *fig == 4 {
+		show("figure 4", func(s int64) (string, error) {
+			_, out, err := experiments.Figure4(s)
+			return out, err
+		})
+	}
+	if *all || *table == 1 {
+		show("table 1", func(s int64) (string, error) {
+			_, out, err := experiments.Table1(s)
+			return out, err
+		})
+	}
+	if *all || *ablations {
+		show("selector ablation", func(s int64) (string, error) {
+			_, out, err := experiments.AblationSelectors(s)
+			return out, err
+		})
+		show("weight ablation", func(s int64) (string, error) {
+			_, out, err := experiments.AblationWeights(s)
+			return out, err
+		})
+		show("forecaster ablation", func(s int64) (string, error) {
+			_, out, err := experiments.AblationForecasters(s)
+			return out, err
+		})
+		show("latency ablation", func(s int64) (string, error) {
+			_, out, err := experiments.AblationLatency(s)
+			return out, err
+		})
+		show("adaptive parallelism ablation", func(s int64) (string, error) {
+			_, out, err := experiments.AblationAutoStreams(s)
+			return out, err
+		})
+	}
+	if *all || *extensions {
+		show("striped extension", func(s int64) (string, error) {
+			_, out, err := experiments.ExtensionStriped(s)
+			return out, err
+		})
+		show("scale extension", func(s int64) (string, error) {
+			_, out, err := experiments.ExtensionScale(s)
+			return out, err
+		})
+		show("replication extension", func(s int64) (string, error) {
+			_, out, err := experiments.ExtensionReplication(s)
+			return out, err
+		})
+		show("coallocation extension", func(s int64) (string, error) {
+			_, out, err := experiments.ExtensionCoallocation(s)
+			return out, err
+		})
+	}
+	if !ran {
+		flag.Usage()
+	}
+}
+
+// emitCSV writes the selected artifact's structured rows as CSV.
+func emitCSV(fig, table int, seed int64) error {
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	switch {
+	case fig == 3:
+		rows, _, err := experiments.Figure3(seed)
+		if err != nil {
+			return err
+		}
+		if err := w.Write([]string{"size_mb", "ftp_sec", "gridftp_sec"}); err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if err := w.Write([]string{
+				strconv.FormatInt(r.SizeMB, 10),
+				strconv.FormatFloat(r.FTPSeconds, 'f', 3, 64),
+				strconv.FormatFloat(r.GridFTPSeconds, 'f', 3, 64),
+			}); err != nil {
+				return err
+			}
+		}
+	case fig == 4:
+		series, _, err := experiments.Figure4(seed)
+		if err != nil {
+			return err
+		}
+		if err := w.Write([]string{"streams", "size_mb", "sec"}); err != nil {
+			return err
+		}
+		for _, s := range series {
+			for _, size := range workload.PaperFileSizesMB {
+				if err := w.Write([]string{
+					strconv.Itoa(s.Streams),
+					strconv.FormatInt(size, 10),
+					strconv.FormatFloat(s.SecondsBySizeMB[size], 'f', 3, 64),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	case table == 1:
+		res, _, err := experiments.Table1(seed)
+		if err != nil {
+			return err
+		}
+		if err := w.Write([]string{"host", "bw_pct", "cpu_idle_pct", "io_idle_pct", "score", "transfer_sec"}); err != nil {
+			return err
+		}
+		for _, c := range res.Candidates {
+			if err := w.Write([]string{
+				c.Host,
+				strconv.FormatFloat(c.BWPercent, 'f', 2, 64),
+				strconv.FormatFloat(c.CPUIdle, 'f', 2, 64),
+				strconv.FormatFloat(c.IOIdle, 'f', 2, 64),
+				strconv.FormatFloat(c.Score, 'f', 2, 64),
+				strconv.FormatFloat(c.TransferSeconds, 'f', 2, 64),
+			}); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("-csv needs -fig 3, -fig 4 or -table 1")
+	}
+	return nil
+}

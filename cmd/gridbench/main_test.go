@@ -1,0 +1,14 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestEmitCSVRequiresTarget(t *testing.T) {
+	if err := emitCSV(0, 0, 1); err == nil {
+		t.Fatal("emitCSV without a figure/table should error")
+	}
+	if err := emitCSV(7, 0, 1); err == nil {
+		t.Fatal("unknown figure should error")
+	}
+}

@@ -1,0 +1,244 @@
+// Command gridftp-copy is the globus-url-copy analogue: it moves files
+// between local disk and GridFTP servers, including server-to-server
+// third-party transfers, with parallel streams, striping and partial
+// transfers.
+//
+// URL forms: gsiftp://HOST:PORT/PATH (remote) or plain paths (local).
+//
+// Examples:
+//
+//	gridftp-copy -p 4 gsiftp://127.0.0.1:2811/data/file-a ./file-a
+//	gridftp-copy -striped gsiftp://a:2811/big ./big
+//	gridftp-copy -p 8 gsiftp://a:2811/src gsiftp://b:2811/dst   (third party)
+//	gridftp-copy -partial 1048576,4096 gsiftp://a:2811/big ./chunk
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/coalloc"
+	"github.com/hpclab/datagrid/internal/gridftp"
+	"github.com/hpclab/datagrid/internal/gsi"
+)
+
+type endpoint struct {
+	remote bool
+	addr   string // host:port for remote
+	path   string
+}
+
+func parseEndpoint(s string) (endpoint, error) {
+	for _, scheme := range []string{"gsiftp://", "gridftp://", "ftp://"} {
+		if strings.HasPrefix(s, scheme) {
+			rest := strings.TrimPrefix(s, scheme)
+			slash := strings.IndexByte(rest, '/')
+			if slash < 0 {
+				return endpoint{}, fmt.Errorf("URL %q lacks a path", s)
+			}
+			return endpoint{remote: true, addr: rest[:slash], path: rest[slash:]}, nil
+		}
+	}
+	return endpoint{path: s}, nil
+}
+
+func main() {
+	var (
+		parallel  = flag.Int("p", 1, "parallel TCP data channels (enables MODE E when > 1)")
+		tcpBS     = flag.Int("tcp-bs", 0, "TCP buffer size (SBUF)")
+		blockSize = flag.Int("bs", 0, "MODE E block size")
+		striped   = flag.Bool("striped", false, "use striped retrieval (SPAS)")
+		partial   = flag.String("partial", "", "offset,length partial retrieve (ERET)")
+		sources   = flag.String("sources", "", "comma-separated extra replica URLs for co-allocated download")
+		chunk     = flag.Int64("chunk", 0, "co-allocation chunk size in bytes")
+		user      = flag.String("user", "anonymous", "login user")
+		pass      = flag.String("pass", "anon@grid", "login password")
+		caKey     = flag.String("gsi-ca", "", "CA key enabling GSI authentication")
+		subject   = flag.String("subject", "/CN=gridftp-copy", "client GSI subject")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-operation timeout")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		log.Fatal("usage: gridftp-copy [flags] SRC DST")
+	}
+	src, err := parseEndpoint(flag.Arg(0))
+	if err != nil {
+		log.Fatalf("gridftp-copy: %v", err)
+	}
+	dst, err := parseEndpoint(flag.Arg(1))
+	if err != nil {
+		log.Fatalf("gridftp-copy: %v", err)
+	}
+
+	var auth *gsi.Authenticator
+	if *caKey != "" {
+		ca, err := gsi.NewCA([]byte(*caKey))
+		if err != nil {
+			log.Fatalf("gridftp-copy: %v", err)
+		}
+		cred, err := ca.Issue(*subject)
+		if err != nil {
+			log.Fatalf("gridftp-copy: %v", err)
+		}
+		auth, err = gsi.NewAuthenticator(ca, cred, time.Now().UnixNano())
+		if err != nil {
+			log.Fatalf("gridftp-copy: %v", err)
+		}
+	}
+
+	connect := func(addr string) *gridftp.Client {
+		c, err := gridftp.Dial(addr, gridftp.ClientConfig{
+			Timeout:     *timeout,
+			Parallelism: *parallel,
+			BlockSize:   *blockSize,
+			TCPBuffer:   *tcpBS,
+		})
+		if err != nil {
+			log.Fatalf("gridftp-copy: dial %s: %v", addr, err)
+		}
+		if auth != nil {
+			peer, err := c.AuthGSI(auth)
+			if err != nil {
+				log.Fatalf("gridftp-copy: GSI auth to %s: %v", addr, err)
+			}
+			log.Printf("authenticated to %s as %s", peer, *subject)
+		} else if err := c.Login(*user, *pass); err != nil {
+			log.Fatalf("gridftp-copy: login to %s: %v", addr, err)
+		}
+		if err := c.Setup(); err != nil {
+			log.Fatalf("gridftp-copy: setup %s: %v", addr, err)
+		}
+		return c
+	}
+
+	start := time.Now()
+	var bytes int64
+	switch {
+	case src.remote && dst.remote:
+		sc, dc := connect(src.addr), connect(dst.addr)
+		defer sc.Quit()
+		defer dc.Quit()
+		sz, err := sc.Size(src.path)
+		if err != nil {
+			log.Fatalf("gridftp-copy: %v", err)
+		}
+		if err := gridftp.ThirdParty(sc, src.path, dc, dst.path); err != nil {
+			log.Fatalf("gridftp-copy: third-party transfer: %v", err)
+		}
+		bytes = sz
+	case src.remote && *sources != "":
+		// Co-allocated download: the named source plus every -sources
+		// replica serve chunks of the same file concurrently.
+		replicas := append([]endpoint{src}, parseSourceList(*sources)...)
+		var srcs []coalloc.Source
+		for i, ep := range replicas {
+			if !ep.remote {
+				log.Fatalf("gridftp-copy: co-allocation source %q must be a URL", ep.path)
+			}
+			c := connect(ep.addr)
+			defer c.Quit()
+			s, err := coalloc.NewGridFTPSource(fmt.Sprintf("%s#%d", ep.addr, i), c)
+			if err != nil {
+				log.Fatalf("gridftp-copy: %v", err)
+			}
+			srcs = append(srcs, s)
+		}
+		size, err := srcs[0].(*coalloc.GridFTPSource).Client.Size(src.path)
+		if err != nil {
+			log.Fatalf("gridftp-copy: %v", err)
+		}
+		data, stats, err := coalloc.Fetch(srcs, src.path, size, coalloc.Options{ChunkBytes: *chunk})
+		if err != nil {
+			log.Fatalf("gridftp-copy: co-allocated fetch: %v", err)
+		}
+		if err := os.WriteFile(dst.path, data, 0o644); err != nil {
+			log.Fatalf("gridftp-copy: writing %s: %v", dst.path, err)
+		}
+		for name, n := range stats.BytesBySource {
+			log.Printf("source %s delivered %d bytes (%d chunks)", name, n, stats.ChunksBySource[name])
+		}
+		bytes = int64(len(data))
+	case src.remote:
+		c := connect(src.addr)
+		defer c.Quit()
+		var data []byte
+		switch {
+		case *striped:
+			if !c.ModeE() {
+				if err := c.UseModeE(); err != nil {
+					log.Fatalf("gridftp-copy: %v", err)
+				}
+			}
+			data, err = c.GetStriped(src.path)
+		case *partial != "":
+			off, length, perr := parsePartial(*partial)
+			if perr != nil {
+				log.Fatalf("gridftp-copy: %v", perr)
+			}
+			data, err = c.GetPartial(src.path, off, length)
+		default:
+			data, err = c.Get(src.path)
+		}
+		if err != nil {
+			log.Fatalf("gridftp-copy: %v", err)
+		}
+		if err := os.WriteFile(dst.path, data, 0o644); err != nil {
+			log.Fatalf("gridftp-copy: writing %s: %v", dst.path, err)
+		}
+		bytes = int64(len(data))
+	case dst.remote:
+		c := connect(dst.addr)
+		defer c.Quit()
+		data, err := os.ReadFile(src.path)
+		if err != nil {
+			log.Fatalf("gridftp-copy: reading %s: %v", src.path, err)
+		}
+		if err := c.Put(dst.path, data); err != nil {
+			log.Fatalf("gridftp-copy: %v", err)
+		}
+		bytes = int64(len(data))
+	default:
+		log.Fatal("gridftp-copy: at least one endpoint must be a gsiftp:// URL")
+	}
+	elapsed := time.Since(start)
+	log.Printf("transferred %d bytes in %v (%.2f Mb/s, p=%d, striped=%v)",
+		bytes, elapsed.Round(time.Millisecond),
+		float64(bytes)*8/elapsed.Seconds()/1e6, *parallel, *striped)
+}
+
+func parsePartial(s string) (int64, int64, error) {
+	offStr, lenStr, ok := strings.Cut(s, ",")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -partial %q, want offset,length", s)
+	}
+	off, err := strconv.ParseInt(offStr, 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	length, err := strconv.ParseInt(lenStr, 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, length, nil
+}
+
+func parseSourceList(s string) []endpoint {
+	var out []endpoint
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		ep, err := parseEndpoint(part)
+		if err != nil {
+			log.Fatalf("gridftp-copy: %v", err)
+		}
+		out = append(out, ep)
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParseEndpoint(t *testing.T) {
+	ep, err := parseEndpoint("gsiftp://host:2811/data/f")
+	if err != nil || !ep.remote || ep.addr != "host:2811" || ep.path != "/data/f" {
+		t.Fatalf("parseEndpoint = %+v, %v", ep, err)
+	}
+	ep, err = parseEndpoint("ftp://h:21/x")
+	if err != nil || !ep.remote {
+		t.Fatalf("ftp scheme = %+v, %v", ep, err)
+	}
+	ep, err = parseEndpoint("./local/file")
+	if err != nil || ep.remote || ep.path != "./local/file" {
+		t.Fatalf("local = %+v, %v", ep, err)
+	}
+	if _, err := parseEndpoint("gsiftp://hostonly"); err == nil {
+		t.Fatal("URL without path should fail")
+	}
+}
+
+func TestParsePartial(t *testing.T) {
+	off, length, err := parsePartial("100,200")
+	if err != nil || off != 100 || length != 200 {
+		t.Fatalf("parsePartial = %d, %d, %v", off, length, err)
+	}
+	for _, bad := range []string{"", "100", "a,b", "1,b"} {
+		if _, _, err := parsePartial(bad); err == nil {
+			t.Fatalf("parsePartial(%q) should fail", bad)
+		}
+	}
+}

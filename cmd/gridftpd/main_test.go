@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int64{
+		"1024":   1024,
+		"256MB":  256_000_000,
+		"64MiB":  64 << 20,
+		"2GiB":   2 << 30,
+		"128KiB": 128 << 10,
+		" 8 ":    8,
+	}
+	for in, want := range cases {
+		got, err := parseSize(in)
+		if err != nil || got != want {
+			t.Fatalf("parseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "MB", "12QB"} {
+		if _, err := parseSize(bad); err == nil {
+			t.Fatalf("parseSize(%q) should fail", bad)
+		}
+	}
+}
+
+func TestSynthListFlag(t *testing.T) {
+	var s synthList
+	if err := s.Set("/a=1MB"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("/b=2MB"); err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != "/a=1MB,/b=2MB" {
+		t.Fatalf("String = %q", s.String())
+	}
+}

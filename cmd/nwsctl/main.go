@@ -1,0 +1,146 @@
+// Command nwsctl inspects a Network Weather Service deployment on the
+// simulated paper testbed: registered processes, measurement series,
+// forecasts and the expert race. It is the operator's view of the NWS
+// substrate.
+//
+//	nwsctl -runfor 10m -list
+//	nwsctl -runfor 10m -series bandwidth.tcp:hit0->alpha1
+//	nwsctl -runfor 10m -forecast hit0:alpha1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/experiments"
+	"github.com/hpclab/datagrid/internal/metrics"
+	"github.com/hpclab/datagrid/internal/nws"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		runfor   = flag.Duration("runfor", 10*time.Minute, "virtual time to run the deployment")
+		list     = flag.Bool("list", false, "list nameserver registrations")
+		series   = flag.String("series", "", "print a measurement series, e.g. bandwidth.tcp:hit0->alpha1")
+		forecast = flag.String("forecast", "", "forecast bandwidth for src:dst, e.g. hit0:alpha1")
+		tail     = flag.Int("tail", 12, "series samples to show")
+		save     = flag.String("save", "", "write the NWS memory journal to this file")
+		load     = flag.String("load", "", "preload a previously saved memory journal")
+	)
+	flag.Parse()
+
+	env, err := experiments.NewEnv(*seed, true)
+	if err != nil {
+		log.Fatalf("nwsctl: %v", err)
+	}
+	if err := env.Engine.RunUntil(*runfor); err != nil {
+		log.Fatalf("nwsctl: %v", err)
+	}
+	dep := env.Deploy
+
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			log.Fatalf("nwsctl: %v", err)
+		}
+		n, err := dep.NWS.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("nwsctl: loading journal: %v", err)
+		}
+		fmt.Printf("loaded %d measurements from %s\n", n, *load)
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			log.Fatalf("nwsctl: %v", err)
+		}
+		n, err := dep.NWS.Save(f)
+		cerr := f.Close()
+		if err != nil || cerr != nil {
+			log.Fatalf("nwsctl: saving journal: %v %v", err, cerr)
+		}
+		fmt.Printf("saved %d measurements to %s\n", n, *save)
+	}
+
+	ran := *save != "" || *load != ""
+	if *list {
+		ran = true
+		tb := metrics.NewTable("NWS registrations", "name", "kind", "host", "resource")
+		for _, r := range dep.NameServer.List("") {
+			tb.AddRow(r.Name, string(r.Kind), r.Host, r.Attrs["resource"])
+		}
+		fmt.Println(tb.String())
+	}
+	if *series != "" {
+		ran = true
+		key, err := parseSeriesKey(*series)
+		if err != nil {
+			log.Fatalf("nwsctl: %v", err)
+		}
+		hist, err := dep.NWS.History(key)
+		if err != nil {
+			log.Fatalf("nwsctl: %v", err)
+		}
+		if len(hist) > *tail {
+			hist = hist[len(hist)-*tail:]
+		}
+		tb := metrics.NewTable("series "+key.String(), "t", "value")
+		for _, m := range hist {
+			tb.AddRow(m.At.String(), fmt.Sprintf("%.3f", m.Value))
+		}
+		fmt.Println(tb.String())
+	}
+	if *forecast != "" {
+		ran = true
+		src, dst, ok := strings.Cut(*forecast, ":")
+		if !ok {
+			log.Fatal("nwsctl: -forecast wants src:dst")
+		}
+		key := nws.SeriesKey{Resource: nws.ResourceBandwidth, Source: src, Target: dst}
+		fc, err := dep.NWS.Forecast(key)
+		if err != nil {
+			log.Fatalf("nwsctl: %v", err)
+		}
+		fmt.Printf("forecast %s: %.3f Mb/s (expert %s, mse %.4f over %d samples)\n",
+			key, fc.Value, fc.Expert, fc.MSE, fc.N)
+		fmt.Printf("MAE winner: %.3f Mb/s (expert %s, mae %.4f)\n", fc.MAEValue, fc.MAEExpert, fc.MAE)
+	}
+	if !ran {
+		// Default: dump every known series with its latest value.
+		tb := metrics.NewTable("NWS series", "series", "samples", "latest")
+		keys := dep.NWS.Keys()
+		sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+		for _, k := range keys {
+			last, err := dep.NWS.Latest(k)
+			if err != nil {
+				continue
+			}
+			tb.AddRow(k.String(), fmt.Sprintf("%d", dep.NWS.Len(k)), fmt.Sprintf("%.3f", last.Value))
+		}
+		fmt.Println(tb.String())
+	}
+}
+
+func parseSeriesKey(s string) (nws.SeriesKey, error) {
+	res, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		// Host-local resource form: resource@host.
+		r, h, ok := strings.Cut(s, "@")
+		if !ok {
+			return nws.SeriesKey{}, fmt.Errorf("bad series %q", s)
+		}
+		return nws.SeriesKey{Resource: r, Source: h}, nil
+	}
+	src, dst, ok := strings.Cut(rest, "->")
+	if !ok {
+		return nws.SeriesKey{}, fmt.Errorf("bad series %q, want resource:src->dst", s)
+	}
+	return nws.SeriesKey{Resource: res, Source: src, Target: dst}, nil
+}

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/hpclab/datagrid/internal/nws"
+)
+
+func TestParseSeriesKey(t *testing.T) {
+	k, err := parseSeriesKey("bandwidth.tcp:hit0->alpha1")
+	if err != nil || k.Resource != nws.ResourceBandwidth || k.Source != "hit0" || k.Target != "alpha1" {
+		t.Fatalf("parseSeriesKey = %+v, %v", k, err)
+	}
+	k, err = parseSeriesKey("availableCPU@lz02")
+	if err != nil || k.Resource != nws.ResourceCPU || k.Source != "lz02" || k.Target != "" {
+		t.Fatalf("host-local key = %+v, %v", k, err)
+	}
+	for _, bad := range []string{"nope", "res:broken"} {
+		if _, err := parseSeriesKey(bad); err == nil {
+			t.Fatalf("parseSeriesKey(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Failover walkthrough: what the replica selection stack does when a grid
+// site drops off the network. A client fetches the same file repeatedly
+// while the best replica's WAN link dies and later recovers; the NWS
+// probes stall, the bandwidth series goes stale, the information server
+// declares the host unmonitored, and the selection server quietly routes
+// requests to the next-best replica until the link returns.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/cluster"
+	"github.com/hpclab/datagrid/internal/core"
+	"github.com/hpclab/datagrid/internal/info"
+	"github.com/hpclab/datagrid/internal/metrics"
+	"github.com/hpclab/datagrid/internal/replica"
+	"github.com/hpclab/datagrid/internal/simulation"
+	"github.com/hpclab/datagrid/internal/simxfer"
+)
+
+func main() {
+	const seed = 21
+	engine := simulation.NewEngine()
+	testbed, err := cluster.NewPaperTestbed(engine, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.StartPaperDynamics(testbed, seed); err != nil {
+		log.Fatal(err)
+	}
+	dep, err := info.Deploy(testbed, info.DeploymentConfig{
+		Local:   "alpha1",
+		Remotes: []string{"hit0", "lz02"},
+		Seed:    seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	catalog := replica.NewCatalog()
+	if err := catalog.CreateLogical(replica.LogicalFile{Name: "file-a", SizeBytes: 256_000_000}); err != nil {
+		log.Fatal(err)
+	}
+	for _, h := range []string{"hit0", "lz02"} {
+		if err := catalog.Register("file-a", replica.Location{Host: h, Path: "/data/file-a"}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	selection, err := core.NewSelectionServer(catalog, dep.Server, core.PaperWeights, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	xfer, err := simxfer.New(testbed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := core.NewApplication(core.ApplicationConfig{Local: "alpha1"},
+		selection, xfer.ReplicaTransfer(simxfer.GridFTPOptions(4)), engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tb := metrics.NewTable("fetching file-a every 3 minutes while hit0's uplink fails and recovers",
+		"t", "event", "chosen replica", "fetch time")
+	hitSwitch := cluster.SwitchNode(cluster.SiteHIT)
+	thuSwitch := cluster.SwitchNode(cluster.SiteTHU)
+
+	fetch := func(event string) {
+		done := false
+		err := app.Fetch("file-a", func(r core.FetchResult, err error) {
+			done = true
+			if err != nil {
+				tb.AddRow(fmtMin(engine.Now()), event, "-", "FAILED: "+err.Error())
+				return
+			}
+			tb.AddRow(fmtMin(r.Started), event, r.Chosen.Location.Host,
+				r.Duration().Round(time.Millisecond).String())
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for !done {
+			if err := engine.RunUntil(engine.Now() + time.Minute); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	advanceTo := func(at time.Duration) {
+		if err := engine.RunUntil(at); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	advanceTo(3 * time.Minute)
+	fetch("healthy grid")
+	advanceTo(6 * time.Minute)
+	fetch("healthy grid")
+
+	// Sever HIT from THU.
+	if err := testbed.Network().SetLinkDown(hitSwitch, thuSwitch, true); err != nil {
+		log.Fatal(err)
+	}
+	if err := testbed.Network().SetLinkDown(thuSwitch, hitSwitch, true); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("t=6m: HIT <-> THU backbone cut")
+	// NWS probes must stall and expire before selection reacts.
+	advanceTo(9 * time.Minute)
+	fetch("hit0 unreachable")
+	advanceTo(12 * time.Minute)
+	fetch("hit0 unreachable")
+
+	// Repair the backbone.
+	if err := testbed.Network().SetLinkDown(hitSwitch, thuSwitch, false); err != nil {
+		log.Fatal(err)
+	}
+	if err := testbed.Network().SetLinkDown(thuSwitch, hitSwitch, false); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("t=12m: backbone repaired")
+	advanceTo(15 * time.Minute)
+	fetch("recovered")
+
+	fmt.Println()
+	fmt.Println(tb.String())
+	fmt.Println("during the outage the selection server never offered hit0: its")
+	fmt.Println("bandwidth series went stale once probes timed out, so Rank skipped it.")
+}
+
+func fmtMin(d time.Duration) string {
+	return fmt.Sprintf("%dm%02ds", int(d.Minutes()), int(d.Seconds())%60)
+}

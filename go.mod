@@ -1,0 +1,3 @@
+module github.com/hpclab/datagrid
+
+go 1.22

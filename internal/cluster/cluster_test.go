@@ -1,0 +1,442 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/netsim"
+	"github.com/hpclab/datagrid/internal/simulation"
+)
+
+func twoSiteConfig() Config {
+	lan := netsim.LinkConfig{CapacityBps: gbps, Delay: 50 * time.Microsecond}
+	return Config{
+		Sites: []SiteConfig{
+			{Name: "s1", LAN: lan, Hosts: []HostConfig{
+				{Name: "h1", CPU: CPUSpec{Cores: 2, MHz: 2000}, MemMB: 1024, Disk: DiskSpec{CapacityGB: 60, ReadBps: 400 * mbps, WriteBps: 300 * mbps}},
+				{Name: "h2", CPU: CPUSpec{Cores: 1, MHz: 900}, MemMB: 256, Disk: DiskSpec{CapacityGB: 10, ReadBps: 100 * mbps, WriteBps: 80 * mbps}},
+			}},
+			{Name: "s2", LAN: lan, Hosts: []HostConfig{
+				{Name: "h3", CPU: CPUSpec{Cores: 1, MHz: 2800}, MemMB: 512, Disk: DiskSpec{CapacityGB: 80, ReadBps: 400 * mbps, WriteBps: 300 * mbps}},
+			}},
+		},
+		WAN: []WANLink{{From: "s1", To: "s2", Link: netsim.LinkConfig{CapacityBps: 100 * mbps, Delay: 2 * time.Millisecond}}},
+	}
+}
+
+func newTestbed(t *testing.T) (*simulation.Engine, *Testbed) {
+	t.Helper()
+	eng := simulation.NewEngine()
+	tb, err := New(eng, 1, twoSiteConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, tb
+}
+
+func TestTopologyBuilt(t *testing.T) {
+	_, tb := newTestbed(t)
+	if got := tb.Hosts(); len(got) != 3 {
+		t.Fatalf("Hosts = %v", got)
+	}
+	if got := tb.Sites(); len(got) != 2 || got[0] != "s1" || got[1] != "s2" {
+		t.Fatalf("Sites = %v", got)
+	}
+	hs, err := tb.SiteHosts("s1")
+	if err != nil || len(hs) != 2 || hs[0].Name() != "h1" {
+		t.Fatalf("SiteHosts = %v, %v", hs, err)
+	}
+	if _, err := tb.SiteHosts("nope"); err == nil {
+		t.Fatal("unknown site should error")
+	}
+	// Cross-site routing must work through switches.
+	rtt, err := tb.Network().PathRTT("h1", "h3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * (50*time.Microsecond + 2*time.Millisecond + 50*time.Microsecond)
+	if rtt != want {
+		t.Fatalf("h1->h3 RTT = %v, want %v", rtt, want)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	eng := simulation.NewEngine()
+	lan := netsim.LinkConfig{CapacityBps: gbps}
+	disk := DiskSpec{CapacityGB: 1, ReadBps: 1, WriteBps: 1}
+	cpu := CPUSpec{Cores: 1, MHz: 1000}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no sites", Config{}},
+		{"empty site name", Config{Sites: []SiteConfig{{LAN: lan, Hosts: []HostConfig{{Name: "h", CPU: cpu, Disk: disk}}}}}},
+		{"no hosts", Config{Sites: []SiteConfig{{Name: "s", LAN: lan}}}},
+		{"empty host name", Config{Sites: []SiteConfig{{Name: "s", LAN: lan, Hosts: []HostConfig{{CPU: cpu, Disk: disk}}}}}},
+		{"zero disk", Config{Sites: []SiteConfig{{Name: "s", LAN: lan, Hosts: []HostConfig{{Name: "h", CPU: cpu}}}}}},
+		{"zero cores", Config{Sites: []SiteConfig{{Name: "s", LAN: lan, Hosts: []HostConfig{{Name: "h", Disk: disk}}}}}},
+		{"dup site", Config{Sites: []SiteConfig{
+			{Name: "s", LAN: lan, Hosts: []HostConfig{{Name: "h1", CPU: cpu, Disk: disk}}},
+			{Name: "s", LAN: lan, Hosts: []HostConfig{{Name: "h2", CPU: cpu, Disk: disk}}}}}},
+		{"dup host", Config{Sites: []SiteConfig{{Name: "s", LAN: lan, Hosts: []HostConfig{
+			{Name: "h", CPU: cpu, Disk: disk}, {Name: "h", CPU: cpu, Disk: disk}}}}}},
+		{"bad wan site", Config{
+			Sites: []SiteConfig{{Name: "s", LAN: lan, Hosts: []HostConfig{{Name: "h", CPU: cpu, Disk: disk}}}},
+			WAN:   []WANLink{{From: "s", To: "zzz", Link: netsim.LinkConfig{CapacityBps: 1}}}}},
+	}
+	for _, c := range cases {
+		if _, err := New(eng, 1, c.cfg); err == nil {
+			t.Fatalf("config %q should be rejected", c.name)
+		}
+	}
+}
+
+func TestHostLoadAccessors(t *testing.T) {
+	_, tb := newTestbed(t)
+	h, err := tb.Host("h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.CPUIdle() != 1 || h.IOIdle() != 1 {
+		t.Fatal("fresh host should be fully idle")
+	}
+	if err := h.SetBaseCPULoad(0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetBaseIOLoad(0.3); err != nil {
+		t.Fatal(err)
+	}
+	if h.CPULoad() != 0.4 || h.IOLoad() != 0.3 {
+		t.Fatalf("loads = %v, %v", h.CPULoad(), h.IOLoad())
+	}
+	if h.CPUIdle() != 0.6 {
+		t.Fatalf("CPUIdle = %v", h.CPUIdle())
+	}
+	if got := h.EffectiveDiskReadBps(); got != 400*mbps*0.7 {
+		t.Fatalf("EffectiveDiskReadBps = %v", got)
+	}
+	if got := h.EffectiveDiskWriteBps(); got != 300*mbps*0.7 {
+		t.Fatalf("EffectiveDiskWriteBps = %v", got)
+	}
+	if err := h.SetBaseCPULoad(1.5); err == nil {
+		t.Fatal("load > 1 should be rejected")
+	}
+	if err := h.SetBaseIOLoad(-0.1); err == nil {
+		t.Fatal("negative load should be rejected")
+	}
+	if h.Name() != "h1" || h.Site() != "s1" || h.Config().MemMB != 1024 {
+		t.Fatal("host metadata accessors wrong")
+	}
+	if _, err := tb.Host("nope"); err == nil {
+		t.Fatal("unknown host should error")
+	}
+}
+
+func TestJobs(t *testing.T) {
+	_, tb := newTestbed(t)
+	h, _ := tb.Host("h1")
+	j1, err := h.AddJob(0.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := h.AddJob(0.7, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.CPULoad() != 1 { // 1.2 saturates at 1
+		t.Fatalf("CPULoad = %v, want saturation at 1", h.CPULoad())
+	}
+	if h.IOLoad() != 0.5 {
+		t.Fatalf("IOLoad = %v", h.IOLoad())
+	}
+	j1.Release()
+	if h.CPULoad() != 0.7 || h.IOLoad() != 0.3 {
+		t.Fatalf("after release: %v, %v", h.CPULoad(), h.IOLoad())
+	}
+	j1.Release() // idempotent
+	if h.CPULoad() != 0.7 {
+		t.Fatal("double release changed load")
+	}
+	j2.Release()
+	if h.CPULoad() != 0 || h.IOLoad() != 0 {
+		t.Fatalf("after all released: %v, %v", h.CPULoad(), h.IOLoad())
+	}
+	if _, err := h.AddJob(-0.1, 0); err == nil {
+		t.Fatal("negative job load should be rejected")
+	}
+	if _, err := h.AddJob(0, 1.1); err == nil {
+		t.Fatal("job load > 1 should be rejected")
+	}
+}
+
+func TestLoadProcess(t *testing.T) {
+	eng, tb := newTestbed(t)
+	p, err := tb.StartLoad("h2", LoadConfig{
+		CPUMean: 0.4, CPUVolatility: 0.08,
+		IOMean: 0.2, IOVolatility: 0.05,
+		Reversion: 0.2, Period: time.Second,
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := tb.Host("h2")
+	if h.CPULoad() != 0.4 || h.IOLoad() != 0.2 {
+		t.Fatal("load process should start at the mean")
+	}
+	moved := false
+	prev := h.CPULoad()
+	for i := 0; i < 50; i++ {
+		if err := eng.RunUntil(time.Duration(i+1) * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if h.CPULoad() < 0 || h.CPULoad() > 1 || h.IOLoad() < 0 || h.IOLoad() > 1 {
+			t.Fatalf("load escaped [0,1]: cpu=%v io=%v", h.CPULoad(), h.IOLoad())
+		}
+		if h.CPULoad() != prev {
+			moved = true
+		}
+		prev = h.CPULoad()
+	}
+	if !moved {
+		t.Fatal("load never changed")
+	}
+	p.Stop()
+	frozen := h.CPULoad()
+	if err := eng.RunUntil(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if h.CPULoad() != frozen {
+		t.Fatal("load changed after Stop")
+	}
+}
+
+func TestLoadConfigValidation(t *testing.T) {
+	_, tb := newTestbed(t)
+	bad := []LoadConfig{
+		{CPUMean: -0.1, Reversion: 0.5, Period: time.Second},
+		{CPUMean: 0.5, IOMean: 1.2, Reversion: 0.5, Period: time.Second},
+		{CPUVolatility: -1, Reversion: 0.5, Period: time.Second},
+		{Reversion: 0, Period: time.Second},
+		{Reversion: 0.5, Period: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := tb.StartLoad("h1", cfg, 1); err == nil {
+			t.Fatalf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := tb.StartLoad("ghost", LoadConfig{Reversion: 0.5, Period: time.Second}, 1); err == nil {
+		t.Fatal("unknown host should be rejected")
+	}
+}
+
+func TestPaperTestbed(t *testing.T) {
+	eng := simulation.NewEngine()
+	tb, err := NewPaperTestbed(eng, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tb.Hosts()); got != 12 {
+		t.Fatalf("paper testbed has %d hosts, want 12", got)
+	}
+	wantSites := []string{SiteHIT, SiteLiZen, SiteTHU}
+	got := tb.Sites()
+	for i := range wantSites {
+		if got[i] != wantSites[i] {
+			t.Fatalf("Sites = %v", got)
+		}
+	}
+	for _, name := range []string{"alpha1", "alpha4", "lz02", "lz04", "hit0", "gridhit3"} {
+		if _, err := tb.Host(name); err != nil {
+			t.Fatalf("paper host %q missing: %v", name, err)
+		}
+	}
+	// THU -> Li-Zen bottleneck is the 30 Mb/s WAN/site rate.
+	bn, err := tb.Network().BottleneckBps("alpha2", "lz04")
+	if err != nil || bn != 30*mbps {
+		t.Fatalf("THU->LiZen bottleneck = %v, %v; want 30 Mb/s", bn, err)
+	}
+	// THU -> HIT bottleneck is the 100 Mb/s backbone.
+	bn, err = tb.Network().BottleneckBps("alpha1", "gridhit3")
+	if err != nil || bn != 100*mbps {
+		t.Fatalf("THU->HIT bottleneck = %v, %v; want 100 Mb/s", bn, err)
+	}
+	// Paper hardware: THU nodes are dual-core, Li-Zen single 900 MHz.
+	a1, _ := tb.Host("alpha1")
+	if a1.Config().CPU.Cores != 2 || a1.Config().CPU.MHz != 2000 {
+		t.Fatalf("alpha1 CPU = %+v", a1.Config().CPU)
+	}
+	lz, _ := tb.Host("lz02")
+	if lz.Config().CPU.MHz != 900 || lz.Config().MemMB != 256 {
+		t.Fatalf("lz02 spec = %+v", lz.Config())
+	}
+}
+
+func TestPaperDynamics(t *testing.T) {
+	eng := simulation.NewEngine()
+	tb, err := NewPaperTestbed(eng, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := StartPaperDynamics(tb, 99); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Loads must have been initialized and stay in range.
+	busy := 0
+	for _, name := range tb.Hosts() {
+		h, _ := tb.Host(name)
+		if h.CPULoad() < 0 || h.CPULoad() > 1 {
+			t.Fatalf("host %s CPU load %v", name, h.CPULoad())
+		}
+		if h.CPULoad() > 0 {
+			busy++
+		}
+	}
+	if busy == 0 {
+		t.Fatal("no host ever got load")
+	}
+	// WAN links must carry background traffic.
+	l, err := tb.Network().GetLink(SwitchNode(SiteTHU), SwitchNode(SiteLiZen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.BackgroundLoad() <= 0 {
+		t.Fatal("no background traffic on THU->LiZen")
+	}
+}
+
+func TestDeterministicDynamics(t *testing.T) {
+	run := func() float64 {
+		eng := simulation.NewEngine()
+		tb, err := NewPaperTestbed(eng, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := StartPaperDynamics(tb, 5); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.RunUntil(60 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		h, _ := tb.Host("alpha1")
+		return h.CPULoad()
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different trajectories")
+	}
+}
+
+// Property: aggregate job loads always stay within [0,1] no matter the
+// add/release sequence.
+func TestPropertyJobLoadBounds(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		eng := simulation.NewEngine()
+		tb, err := New(eng, 1, twoSiteConfig())
+		if err != nil {
+			return false
+		}
+		h, err := tb.Host("h1")
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var jobs []*Job
+		for i := 0; i < int(n%50); i++ {
+			if rng.Intn(3) > 0 || len(jobs) == 0 {
+				j, err := h.AddJob(rng.Float64(), rng.Float64())
+				if err != nil {
+					return false
+				}
+				jobs = append(jobs, j)
+			} else {
+				k := rng.Intn(len(jobs))
+				jobs[k].Release()
+				jobs = append(jobs[:k], jobs[k+1:]...)
+			}
+			if h.CPULoad() < 0 || h.CPULoad() > 1 || h.IOLoad() < 0 || h.IOLoad() > 1 {
+				return false
+			}
+		}
+		for _, j := range jobs {
+			j.Release()
+		}
+		// Summation order may leave float residue; it must be negligible.
+		return h.CPULoad() < 1e-9 && h.IOLoad() < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetHostDown(t *testing.T) {
+	eng := simulation.NewEngine()
+	tb, err := NewPaperTestbed(eng, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down, err := tb.HostDown("lz02")
+	if err != nil || down {
+		t.Fatalf("fresh host down = %v, %v", down, err)
+	}
+	if err := tb.SetHostDown("lz02", true); err != nil {
+		t.Fatal(err)
+	}
+	down, err = tb.HostDown("lz02")
+	if err != nil || !down {
+		t.Fatalf("HostDown after failure = %v, %v", down, err)
+	}
+	// Path capacity through the dead host collapses.
+	avail, err := tb.Network().AvailableBps("lz02", "alpha1")
+	if err != nil || avail != 0 {
+		t.Fatalf("avail from dead host = %v, %v", avail, err)
+	}
+	// Site peers are unaffected.
+	avail, err = tb.Network().AvailableBps("lz03", "alpha1")
+	if err != nil || avail <= 0 {
+		t.Fatalf("peer avail = %v, %v", avail, err)
+	}
+	if err := tb.SetHostDown("lz02", false); err != nil {
+		t.Fatal(err)
+	}
+	avail, err = tb.Network().AvailableBps("lz02", "alpha1")
+	if err != nil || avail <= 0 {
+		t.Fatalf("avail after recovery = %v, %v", avail, err)
+	}
+	if err := tb.SetHostDown("ghost", true); err == nil {
+		t.Fatal("unknown host should error")
+	}
+	if _, err := tb.HostDown("ghost"); err == nil {
+		t.Fatal("unknown host should error")
+	}
+}
+
+func TestHostNICBps(t *testing.T) {
+	eng := simulation.NewEngine()
+	tb, err := NewPaperTestbed(eng, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, tx, err := tb.HostNICBps("alpha4")
+	if err != nil || rx != 0 || tx != 0 {
+		t.Fatalf("idle NIC = %v/%v, %v", rx, tx, err)
+	}
+	// A transfer out of alpha4 shows up as tx there and rx at alpha1.
+	if _, err := tb.Network().StartFlow("alpha4", "alpha1", 1<<30, netsim.FlowOptions{WindowBytes: 1 << 30, RateCapBps: 50e6}, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, tx, err = tb.HostNICBps("alpha4")
+	if err != nil || tx != 50e6 {
+		t.Fatalf("sender tx = %v, %v; want 50 Mb/s", tx, err)
+	}
+	rx, _, err = tb.HostNICBps("alpha1")
+	if err != nil || rx != 50e6 {
+		t.Fatalf("receiver rx = %v, %v; want 50 Mb/s", rx, err)
+	}
+	if _, _, err := tb.HostNICBps("ghost"); err == nil {
+		t.Fatal("unknown host should error")
+	}
+}

@@ -1,0 +1,36 @@
+package coalloc
+
+import (
+	"errors"
+
+	"github.com/hpclab/datagrid/internal/gridftp"
+)
+
+// GridFTPSource adapts a logged-in gridftp.Client to the Source interface.
+// Each source must be its own control connection (GridFTP sessions are
+// single-transfer at a time).
+type GridFTPSource struct {
+	// Label names the source (e.g. the replica host).
+	Label string
+	// Client is the connected, authenticated session.
+	Client *gridftp.Client
+}
+
+// NewGridFTPSource wraps a client.
+func NewGridFTPSource(label string, client *gridftp.Client) (*GridFTPSource, error) {
+	if label == "" {
+		return nil, errors.New("coalloc: source needs a label")
+	}
+	if client == nil {
+		return nil, errors.New("coalloc: nil gridftp client")
+	}
+	return &GridFTPSource{Label: label, Client: client}, nil
+}
+
+// Name returns the source label.
+func (s *GridFTPSource) Name() string { return s.Label }
+
+// FetchRange pulls one byte range with ERET partial transfer.
+func (s *GridFTPSource) FetchRange(path string, off, length int64) ([]byte, error) {
+	return s.Client.GetPartial(path, off, length)
+}

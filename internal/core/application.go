@@ -1,0 +1,198 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/replica"
+)
+
+// Clock supplies the current virtual time.
+type Clock interface {
+	Now() time.Duration
+}
+
+// FetchResult describes one completed data-access request.
+type FetchResult struct {
+	// Logical is the requested logical file name.
+	Logical string
+	// Chosen is the replica the selection server picked (zero for local
+	// hits).
+	Chosen Candidate
+	// LocalHit reports whether the file was already present at the local
+	// site and no transfer happened (Fig. 1's first branch).
+	LocalHit bool
+	// Started and Finished are virtual timestamps of the request.
+	Started, Finished time.Duration
+}
+
+// Duration returns the end-to-end request time.
+func (r FetchResult) Duration() time.Duration { return r.Finished - r.Started }
+
+// Application models the client side of Fig. 1: a parallel application on
+// the local host that checks for a local replica, otherwise consults the
+// replica catalog and selection server and fetches the chosen replica via
+// GridFTP (abstracted as a replica.Transfer).
+type Application struct {
+	local     string
+	localDir  string
+	selection *SelectionServer
+	transfer  replica.Transfer
+	clock     Clock
+	// registerFetched, when set, publishes the fetched copy back into the
+	// catalog so later requests (anywhere) can use it.
+	registerFetched bool
+	catalog         *replica.Catalog
+}
+
+// ApplicationConfig configures the client pipeline.
+type ApplicationConfig struct {
+	// Local is the host the application runs on.
+	Local string
+	// LocalDir is where fetched files land; default "/cache".
+	LocalDir string
+	// RegisterFetched publishes fetched copies as new replicas.
+	RegisterFetched bool
+}
+
+// NewApplication wires the client pipeline.
+func NewApplication(cfg ApplicationConfig, selection *SelectionServer, transfer replica.Transfer, clock Clock) (*Application, error) {
+	if cfg.Local == "" {
+		return nil, errors.New("core: application needs a local host")
+	}
+	if selection == nil {
+		return nil, errors.New("core: application needs a selection server")
+	}
+	if transfer == nil {
+		return nil, errors.New("core: application needs a transfer mechanism")
+	}
+	if clock == nil {
+		return nil, errors.New("core: application needs a clock")
+	}
+	if cfg.LocalDir == "" {
+		cfg.LocalDir = "/cache"
+	}
+	return &Application{
+		local:           cfg.Local,
+		localDir:        cfg.LocalDir,
+		selection:       selection,
+		transfer:        transfer,
+		clock:           clock,
+		registerFetched: cfg.RegisterFetched,
+		catalog:         selection.catalog,
+	}, nil
+}
+
+// CollectionResult summarizes staging one whole logical collection.
+type CollectionResult struct {
+	// Collection is the staged collection name.
+	Collection string
+	// Results holds the per-file outcomes in fetch order.
+	Results []FetchResult
+	// Started and Finished span the whole staging operation.
+	Started, Finished time.Duration
+}
+
+// Duration returns the end-to-end staging time.
+func (r CollectionResult) Duration() time.Duration { return r.Finished - r.Started }
+
+// FetchCollection stages every member of a logical collection, selecting
+// the best replica independently for each file (conditions may shift
+// between transfers, so each fetch re-consults the information server).
+// Files are fetched sequentially, as the paper's single-client application
+// would. done is invoked once, after the last file lands or on the first
+// failure.
+func (a *Application) FetchCollection(collection string, done func(CollectionResult, error)) error {
+	if done == nil {
+		return errors.New("core: FetchCollection needs a completion callback")
+	}
+	members, err := a.catalog.CollectionFiles(collection)
+	if err != nil {
+		return err
+	}
+	if len(members) == 0 {
+		return fmt.Errorf("core: collection %q is empty", collection)
+	}
+	res := CollectionResult{Collection: collection, Started: a.clock.Now()}
+	var next func(i int)
+	next = func(i int) {
+		if i >= len(members) {
+			res.Finished = a.clock.Now()
+			done(res, nil)
+			return
+		}
+		err := a.Fetch(members[i], func(fr FetchResult, err error) {
+			if err != nil {
+				res.Finished = a.clock.Now()
+				done(res, fmt.Errorf("core: staging %q of collection %q: %w", members[i], collection, err))
+				return
+			}
+			res.Results = append(res.Results, fr)
+			next(i + 1)
+		})
+		if err != nil {
+			res.Finished = a.clock.Now()
+			done(res, err)
+		}
+	}
+	next(0)
+	return nil
+}
+
+// Fetch runs the full scenario for one logical file. done is invoked
+// exactly once with the outcome (immediately for local hits and failures
+// that occur before the transfer starts would instead be returned as an
+// error from Fetch itself).
+func (a *Application) Fetch(logical string, done func(FetchResult, error)) error {
+	if done == nil {
+		return errors.New("core: Fetch needs a completion callback")
+	}
+	start := a.clock.Now()
+	// Step 1: is the file already at the local site?
+	locs, err := a.catalog.Locations(logical)
+	if err != nil {
+		return err
+	}
+	for _, l := range locs {
+		if l.Host == a.local {
+			done(FetchResult{
+				Logical:  logical,
+				LocalHit: true,
+				Chosen:   Candidate{Location: l},
+				Started:  start,
+				Finished: a.clock.Now(),
+			}, nil)
+			return nil
+		}
+	}
+	// Steps 2-4: catalog -> selection server -> information server.
+	best, err := a.selection.SelectBest(logical, start)
+	if err != nil {
+		return err
+	}
+	lf, err := a.catalog.Logical(logical)
+	if err != nil {
+		return err
+	}
+	dstPath := a.localDir + "/" + logical
+	// Step 5: transfer the chosen replica via GridFTP.
+	return a.transfer(best.Location.Host, best.Location.Path, a.local, dstPath, lf.SizeBytes, func(terr error) {
+		res := FetchResult{
+			Logical:  logical,
+			Chosen:   best,
+			Started:  start,
+			Finished: a.clock.Now(),
+		}
+		if terr != nil {
+			done(res, fmt.Errorf("core: fetching %q from %s: %w", logical, best.Location.Host, terr))
+			return
+		}
+		if a.registerFetched {
+			_ = a.catalog.Register(logical, replica.Location{
+				Host: a.local, Path: dstPath, RegisteredAt: a.clock.Now(),
+			})
+		}
+		done(res, nil)
+	})
+}

@@ -1,0 +1,184 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4), plus the ablations and extensions called out in
+// DESIGN.md. Each experiment builds its own deterministic simulated
+// testbed from a seed, so results are exactly reproducible.
+package experiments
+
+import (
+	"errors"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/cluster"
+	"github.com/hpclab/datagrid/internal/core"
+	"github.com/hpclab/datagrid/internal/info"
+	"github.com/hpclab/datagrid/internal/replica"
+	"github.com/hpclab/datagrid/internal/simulation"
+	"github.com/hpclab/datagrid/internal/simxfer"
+	"github.com/hpclab/datagrid/internal/workload"
+)
+
+// Warmup is how long monitors run before any measurement, letting NWS
+// accumulate probe history and the load processes decorrelate from their
+// initial state.
+const Warmup = 3 * time.Minute
+
+// Env is one disposable simulated world: the paper testbed with its
+// dynamics, and optionally the full monitoring deployment.
+type Env struct {
+	Engine  *simulation.Engine
+	Testbed *cluster.Testbed
+	Xfer    *simxfer.Transferrer
+	Deploy  *info.Deployment // nil unless monitoring was requested
+}
+
+// NewEnv builds the paper testbed with synthetic dynamics. When monitor
+// is true, the full NWS/MDS/sysstat deployment is installed with alpha1 as
+// the local host and the Table 1 candidates as remotes.
+func NewEnv(seed int64, monitor bool) (*Env, error) {
+	eng := simulation.NewEngine()
+	tb, err := cluster.NewPaperTestbed(eng, seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := cluster.StartPaperDynamics(tb, seed); err != nil {
+		return nil, err
+	}
+	e := &Env{Engine: eng, Testbed: tb}
+	e.Xfer, err = simxfer.New(tb)
+	if err != nil {
+		return nil, err
+	}
+	if monitor {
+		e.Deploy, err = info.Deploy(tb, info.DeploymentConfig{
+			Local:   "alpha1",
+			Remotes: []string{"alpha4", "hit0", "lz02"},
+			Seed:    seed + 1000,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// MeasureAt runs the world to virtual time at, then performs one transfer
+// and returns its result.
+func (e *Env) MeasureAt(at time.Duration, src, dst string, bytes int64, o simxfer.Options) (simxfer.Result, error) {
+	if err := e.Engine.RunUntil(at); err != nil {
+		return simxfer.Result{}, err
+	}
+	var res simxfer.Result
+	got := false
+	if err := e.Xfer.Start(src, dst, bytes, o, func(r simxfer.Result) { res = r; got = true }); err != nil {
+		return simxfer.Result{}, err
+	}
+	// Run until the transfer's completion callback fires. The dynamics
+	// tick forever, so RunUntil in bounded slices.
+	deadline := at
+	for !got {
+		deadline += 10 * time.Minute
+		if deadline > at+100*time.Hour {
+			return simxfer.Result{}, errors.New("experiments: transfer never completed")
+		}
+		if err := e.Engine.RunUntil(deadline); err != nil {
+			return simxfer.Result{}, err
+		}
+	}
+	return res, nil
+}
+
+// seconds renders a duration in seconds for tables.
+func seconds(d time.Duration) float64 { return d.Seconds() }
+
+// buildCatalog registers the Table 1 scenario: logical file-a with
+// replicas on the three candidate hosts.
+func buildCatalog(sizeBytes int64) (*replica.Catalog, error) {
+	cat := replica.NewCatalog()
+	if err := cat.CreateLogical(replica.LogicalFile{
+		Name:      "file-a",
+		SizeBytes: sizeBytes,
+		Attributes: map[string]string{
+			"type": "biological-database",
+		},
+	}); err != nil {
+		return nil, err
+	}
+	for _, h := range []string{"alpha4", "hit0", "lz02"} {
+		if err := cat.Register("file-a", replica.Location{Host: h, Path: "/data/file-a"}); err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}
+
+// selectionFor wires a selection server over the env's deployment.
+func (e *Env) selectionFor(cat *replica.Catalog, w core.Weights, sel core.Selector) (*core.SelectionServer, error) {
+	if e.Deploy == nil {
+		return nil, errors.New("experiments: env has no monitoring deployment")
+	}
+	return core.NewSelectionServer(cat, e.Deploy.Server, w, sel)
+}
+
+// sequentialFetches runs n fetches of logical through app, spaced gap
+// apart, and returns each fetch's duration.
+func sequentialFetches(e *Env, app *core.Application, logical string, n int, gap time.Duration) ([]time.Duration, error) {
+	durations := make([]time.Duration, 0, n)
+	var fetchErr error
+	var launch func(i int)
+	launch = func(i int) {
+		if i >= n {
+			return
+		}
+		err := app.Fetch(logical, func(r core.FetchResult, err error) {
+			if err != nil {
+				fetchErr = err
+				return
+			}
+			durations = append(durations, r.Duration())
+			if _, serr := e.Engine.After(gap, func(time.Duration) { launch(i + 1) }); serr != nil {
+				fetchErr = serr
+			}
+		})
+		if err != nil {
+			fetchErr = err
+		}
+	}
+	if _, err := e.Engine.After(0, func(time.Duration) { launch(0) }); err != nil {
+		return nil, err
+	}
+	deadline := e.Engine.Now()
+	for len(durations) < n && fetchErr == nil {
+		deadline += 30 * time.Minute
+		if deadline > 1000*time.Hour {
+			return nil, errors.New("experiments: fetch sequence stalled")
+		}
+		if err := e.Engine.RunUntil(deadline); err != nil {
+			return nil, err
+		}
+	}
+	if fetchErr != nil {
+		return nil, fetchErr
+	}
+	return durations, nil
+}
+
+// meanSeconds averages durations in seconds.
+func meanSeconds(ds []time.Duration) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, d := range ds {
+		sum += d.Seconds()
+	}
+	return sum / float64(len(ds))
+}
+
+// sizesLabel formats the standard file-size sweep for table headers.
+func sizesLabel() []float64 {
+	out := make([]float64, len(workload.PaperFileSizesMB))
+	for i, s := range workload.PaperFileSizesMB {
+		out[i] = float64(s)
+	}
+	return out
+}

@@ -1,0 +1,427 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/simxfer"
+)
+
+const seed = 42
+
+func TestEnvDeterministic(t *testing.T) {
+	run := func() float64 {
+		env, err := NewEnv(seed, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := env.MeasureAt(Warmup, "alpha1", "gridhit3", 64_000_000, simxfer.FTPOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Duration().Seconds()
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different measurements")
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	rows, rendered, err := Figure3(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for i, r := range rows {
+		// FTP and GridFTP are close: GridFTP pays only session setup.
+		if r.GridFTPSeconds <= r.FTPSeconds {
+			t.Fatalf("size %d: GridFTP (%v) should pay setup overhead vs FTP (%v)",
+				r.SizeMB, r.GridFTPSeconds, r.FTPSeconds)
+		}
+		if gap := r.GridFTPSeconds - r.FTPSeconds; gap > r.FTPSeconds*0.05 {
+			t.Fatalf("size %d: protocols should be close, gap %.2fs of %.2fs", r.SizeMB, gap, r.FTPSeconds)
+		}
+		// Transfer time grows with size, roughly linearly.
+		if i > 0 && rows[i].FTPSeconds <= rows[i-1].FTPSeconds {
+			t.Fatalf("transfer time not increasing: %+v", rows)
+		}
+	}
+	// Doubling the size roughly doubles the time (within 15%).
+	ratio := rows[3].FTPSeconds / rows[2].FTPSeconds
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("2048/1024 ratio = %.2f, want ~2", ratio)
+	}
+	for _, want := range []string{"Figure 3", "FTP", "GridFTP", "2048"} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("rendered figure missing %q:\n%s", want, rendered)
+		}
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	series, rendered, err := Figure4(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 6 {
+		t.Fatalf("series = %d, want 6", len(series))
+	}
+	at := func(streams int, size int64) float64 {
+		for _, s := range series {
+			if s.Streams == streams {
+				return s.SecondsBySizeMB[size]
+			}
+		}
+		t.Fatalf("missing series %d", streams)
+		return 0
+	}
+	for _, size := range []int64{256, 512, 1024, 2048} {
+		// One MODE E stream is marginally slower than stream mode
+		// (framing), and more streams win big on the lossy Li-Zen path.
+		if at(1, size) <= at(0, size) {
+			t.Fatalf("size %d: MODE E 1-stream (%v) should trail stream mode (%v)",
+				size, at(1, size), at(0, size))
+		}
+		if !(at(2, size) < at(1, size) && at(4, size) < at(1, size)) {
+			t.Fatalf("size %d: parallel streams should beat one stream", size)
+		}
+		if at(16, size) > at(4, size)*1.05 {
+			t.Fatalf("size %d: 16 streams (%v) should not be slower than 4 (%v)",
+				size, at(16, size), at(4, size))
+		}
+		// Parallelism gain is substantial: at least 25% faster with 4.
+		if at(4, size) > at(1, size)*0.75 {
+			t.Fatalf("size %d: 4-stream gain too small: %v vs %v", size, at(4, size), at(1, size))
+		}
+	}
+	// Diminishing returns: 4 -> 16 gains far less than 1 -> 4.
+	if gainLate := at(4, 1024) - at(16, 1024); gainLate > (at(1, 1024)-at(4, 1024))/2 {
+		t.Fatalf("no diminishing returns: late gain %v", gainLate)
+	}
+	if !strings.Contains(rendered, "Figure 4") || !strings.Contains(rendered, "16 TCP Stream") {
+		t.Fatalf("rendered figure wrong:\n%s", rendered)
+	}
+}
+
+func TestTable1RankingAgreement(t *testing.T) {
+	res, rendered, err := Table1(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 4 {
+		t.Fatalf("candidates = %d, want 4", len(res.Candidates))
+	}
+	if !res.OrderingsAgree {
+		t.Fatalf("cost-model ranking disagrees with measured times:\n%s", rendered)
+	}
+	if res.Spearman > -0.99 {
+		t.Fatalf("Spearman = %v, want ~-1", res.Spearman)
+	}
+	byHost := map[string]Table1Candidate{}
+	for _, c := range res.Candidates {
+		byHost[c.Host] = c
+	}
+	// The local host wins; the local-site replica beats the remote ones;
+	// the 30 Mb/s Li-Zen host loses.
+	if !(byHost["alpha1"].Score >= byHost["alpha4"].Score) {
+		t.Fatalf("alpha1 should score highest: %+v", res.Candidates)
+	}
+	if !(byHost["alpha4"].Score > byHost["hit0"].Score && byHost["hit0"].Score > byHost["lz02"].Score) {
+		t.Fatalf("expected alpha4 > hit0 > lz02: %+v", res.Candidates)
+	}
+	if !(byHost["lz02"].TransferSeconds > byHost["hit0"].TransferSeconds) {
+		t.Fatalf("lz02 should be slowest remote: %+v", res.Candidates)
+	}
+	for _, c := range res.Candidates {
+		if c.BWPercent < 0 || c.BWPercent > 100 || c.CPUIdle < 0 || c.CPUIdle > 100 || c.IOIdle < 0 || c.IOIdle > 100 {
+			t.Fatalf("factor out of range: %+v", c)
+		}
+	}
+	if !strings.Contains(rendered, "Table 1") || !strings.Contains(rendered, "ranking agreement: true") {
+		t.Fatalf("rendered table wrong:\n%s", rendered)
+	}
+}
+
+func TestCostSeries(t *testing.T) {
+	points, err := CostSeries(seed, 60*time.Second, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 sample times x 3 candidates.
+	if len(points) != 21 {
+		t.Fatalf("points = %d, want 21", len(points))
+	}
+	hosts := map[string]bool{}
+	for _, p := range points {
+		if p.Score <= 0 || p.Score > 100 {
+			t.Fatalf("score %v out of range", p.Score)
+		}
+		hosts[p.Host] = true
+	}
+	if len(hosts) != 3 {
+		t.Fatalf("hosts sampled = %v", hosts)
+	}
+	if _, err := CostSeries(seed, 0, time.Second); err == nil {
+		t.Fatal("zero span should be rejected")
+	}
+	if _, err := CostSeries(seed, time.Second, 0); err == nil {
+		t.Fatal("zero period should be rejected")
+	}
+}
+
+func TestAblationSelectors(t *testing.T) {
+	res, rendered, err := AblationSelectors(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("policies = %d, want 4", len(res))
+	}
+	byName := map[string]float64{}
+	for _, r := range res {
+		if r.Fetches == 0 {
+			t.Fatalf("policy %s made no fetches", r.Name)
+		}
+		byName[r.Name] = r.MeanSeconds
+	}
+	// The informed policies must clearly beat the uninformed ones.
+	if byName["cost-model"] >= byName["round-robin"] || byName["cost-model"] >= byName["random"] {
+		t.Fatalf("cost model should win:\n%s", rendered)
+	}
+	if byName["bandwidth-only"] >= byName["round-robin"] {
+		t.Fatalf("bandwidth-only should beat round-robin:\n%s", rendered)
+	}
+}
+
+func TestAblationWeights(t *testing.T) {
+	res, rendered, err := AblationWeights(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("weight vectors = %d, want 5", len(res))
+	}
+	var paper, noBW WeightResult
+	for _, r := range res {
+		if r.Weights == paperWeights() {
+			paper = r
+		}
+		if r.Weights.Bandwidth == 0 {
+			noBW = r
+		}
+		if r.MeanRegretSeconds < 0 {
+			t.Fatalf("negative regret: %+v", r)
+		}
+	}
+	// The paper's bandwidth-dominant weights must have (near-)zero regret;
+	// ignoring bandwidth entirely must hurt badly.
+	if paper.MeanRegretSeconds > 5 {
+		t.Fatalf("paper weights regret = %v:\n%s", paper.MeanRegretSeconds, rendered)
+	}
+	if noBW.MeanRegretSeconds < paper.MeanRegretSeconds+30 {
+		t.Fatalf("bandwidth-blind weights should suffer:\n%s", rendered)
+	}
+}
+
+func TestAblationForecasters(t *testing.T) {
+	res, rendered, err := AblationForecasters(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) < 15 {
+		t.Fatalf("forecasters = %d", len(res))
+	}
+	var bank, last, best float64
+	best = -1
+	for _, r := range res {
+		if r.MSE < 0 {
+			t.Fatalf("negative MSE: %+v", r)
+		}
+		switch r.Name {
+		case "nws-bank(adaptive)":
+			bank = r.MSE
+		case "last":
+			last = r.MSE
+		}
+		if best < 0 || r.MSE < best {
+			best = r.MSE
+		}
+	}
+	if bank == 0 || last == 0 {
+		t.Fatalf("missing bank or last results:\n%s", rendered)
+	}
+	// The adaptive bank must land near the best individual expert and
+	// beat the naive last-value predictor on this wandering trace.
+	if bank > best*1.25 {
+		t.Fatalf("bank MSE %v vs best %v:\n%s", bank, best, rendered)
+	}
+	if bank >= last {
+		t.Fatalf("bank (%v) should beat last-value (%v)", bank, last)
+	}
+}
+
+func TestExtensionStriped(t *testing.T) {
+	res, rendered, err := ExtensionStriped(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("configs = %d, want 3", len(res))
+	}
+	if !(res[0].Seconds > res[1].Seconds && res[1].Seconds > res[2].Seconds) {
+		t.Fatalf("striping should monotonically help a disk-bound source:\n%s", rendered)
+	}
+	// Two stripes should roughly halve the time of one.
+	ratio := res[0].Seconds / res[1].Seconds
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Fatalf("1->2 stripes speedup = %.2fx, want ~2x:\n%s", ratio, rendered)
+	}
+}
+
+func TestExtensionScale(t *testing.T) {
+	res, rendered, err := ExtensionScale(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("sizes = %d, want 4", len(res))
+	}
+	for _, r := range res {
+		if r.CostModelSeconds >= r.RandomSeconds {
+			t.Fatalf("cost model should beat random at %d sites:\n%s", r.Sites, rendered)
+		}
+		if r.ImprovementPercent <= 0 {
+			t.Fatalf("improvement %v at %d sites", r.ImprovementPercent, r.Sites)
+		}
+	}
+}
+
+func TestExtensionReplication(t *testing.T) {
+	res, rendered, err := ExtensionReplication(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("strategies = %d, want 2", len(res))
+	}
+	byName := map[string]ReplicationResult{}
+	for _, r := range res {
+		byName[r.Strategy] = r
+	}
+	base := byName["no-replication"]
+	dyn := byName["threshold(3)+LRU"]
+	if base.Replications != 0 || dyn.Replications != 1 {
+		t.Fatalf("replication counts wrong:\n%s", rendered)
+	}
+	// Without replication fetch times stay flat; with it, later fetches
+	// must be at least 1.5x faster than the early remote ones.
+	if base.LateSeconds < base.EarlySeconds*0.9 || base.LateSeconds > base.EarlySeconds*1.1 {
+		t.Fatalf("baseline should be flat:\n%s", rendered)
+	}
+	if dyn.LateSeconds >= dyn.EarlySeconds/1.5 {
+		t.Fatalf("dynamic replication should speed up later fetches:\n%s", rendered)
+	}
+	// Both strategies see identical conditions before replication.
+	if base.EarlySeconds != dyn.EarlySeconds {
+		t.Fatalf("early fetches should match across strategies:\n%s", rendered)
+	}
+}
+
+func TestExtensionCoallocation(t *testing.T) {
+	res, rendered, err := ExtensionCoallocation(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("configs = %d, want 4", len(res))
+	}
+	byName := map[string]CoallocationResult{}
+	for _, r := range res {
+		byName[r.Config] = r
+	}
+	hit := byName["single hit0"].Seconds
+	lz := byName["single lz02"].Seconds
+	static := byName["static split hit0+lz02"].Seconds
+	dynamic := byName["dynamic chunks hit0+lz02"].Seconds
+	if !(hit < lz) {
+		t.Fatalf("hit0 should be the faster single source:\n%s", rendered)
+	}
+	// The classic co-allocation ordering: dynamic < best-single < static
+	// (an equal split waits on the slow server) < worst-single.
+	if !(dynamic < hit && hit < static && static < lz) {
+		t.Fatalf("expected dynamic < single-hit0 < static < single-lz02:\n%s", rendered)
+	}
+	dyn := byName["dynamic chunks hit0+lz02"]
+	if dyn.BytesBySource["hit0"] <= dyn.BytesBySource["lz02"] {
+		t.Fatalf("dynamic scheduling should favor the fast path:\n%s", rendered)
+	}
+}
+
+func TestAblationLatency(t *testing.T) {
+	res, rendered, err := AblationLatency(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("selectors = %d, want 2", len(res))
+	}
+	byName := map[string]LatencyResult{}
+	for _, r := range res {
+		byName[r.Selector] = r
+	}
+	plain := byName["cost-model"]
+	aware := byName["cost-model+latency"]
+	// The plain model is fooled by the far replica's high bandwidth
+	// percentage; the latency-aware variant must avoid it and be at least
+	// twice as fast on this small-file workload.
+	if plain.FarPicks == 0 {
+		t.Fatalf("scenario broken: plain model should be drawn to the far replica:\n%s", rendered)
+	}
+	if aware.FarPicks != 0 {
+		t.Fatalf("latency-aware selector picked the far replica:\n%s", rendered)
+	}
+	if aware.MeanSeconds*2 > plain.MeanSeconds {
+		t.Fatalf("latency awareness should at least halve fetch time:\n%s", rendered)
+	}
+}
+
+func TestAblationAutoStreams(t *testing.T) {
+	res, rendered, err := AblationAutoStreams(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 8 {
+		t.Fatalf("rows = %d, want 8", len(res))
+	}
+	byPath := map[string]map[string]AutoStreamsResult{}
+	for _, r := range res {
+		if byPath[r.Path] == nil {
+			byPath[r.Path] = map[string]AutoStreamsResult{}
+		}
+		byPath[r.Path][r.Config] = r
+	}
+	for path, rows := range byPath {
+		var auto AutoStreamsResult
+		best := -1.0
+		for cfg, r := range rows {
+			if len(cfg) > 4 && cfg[:4] == "auto" {
+				auto = r
+				continue
+			}
+			if best < 0 || r.Seconds < best {
+				best = r.Seconds
+			}
+		}
+		if auto.Streams < 1 || auto.Streams > 16 {
+			t.Fatalf("%s: auto streams = %d", path, auto.Streams)
+		}
+		// One policy, both paths: within 5% of the best fixed setting.
+		if auto.Seconds > best*1.05 {
+			t.Fatalf("%s: auto (%v) should match best fixed (%v):\n%s",
+				path, auto.Seconds, best, rendered)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/cluster"
+	"github.com/hpclab/datagrid/internal/core"
+	"github.com/hpclab/datagrid/internal/info"
+	"github.com/hpclab/datagrid/internal/metrics"
+	"github.com/hpclab/datagrid/internal/netsim"
+	"github.com/hpclab/datagrid/internal/replica"
+	"github.com/hpclab/datagrid/internal/simulation"
+	"github.com/hpclab/datagrid/internal/simxfer"
+	"github.com/hpclab/datagrid/internal/workload"
+)
+
+// StripedResult is one configuration of the striped-transfer extension.
+type StripedResult struct {
+	Stripes int
+	Streams int
+	Seconds float64
+}
+
+// ExtensionStriped evaluates the paper's future work #1: striped data
+// transfer. The source host's disk is saturated, so parallel streams from
+// one host cannot help, but stripes across site peers aggregate disk
+// bandwidth.
+func ExtensionStriped(seed int64) ([]StripedResult, string, error) {
+	var out []StripedResult
+	for _, stripes := range []int{1, 2, 4} {
+		env, err := NewEnv(seed, false)
+		if err != nil {
+			return nil, "", err
+		}
+		h, err := env.Testbed.Host("alpha4")
+		if err != nil {
+			return nil, "", err
+		}
+		// Attach an I/O-heavy job: unlike base load (which the synthetic
+		// load process keeps rewriting), job load persists for the whole
+		// transfer.
+		if _, err := h.AddJob(0.2, 0.65); err != nil {
+			return nil, "", err
+		}
+		res, err := env.MeasureAt(Warmup, "alpha4", "alpha1", 1024*workload.MB, simxfer.Options{
+			Protocol: simxfer.ProtoGridFTPModeE, Streams: 2, Stripes: stripes,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		out = append(out, StripedResult{Stripes: stripes, Streams: 2, Seconds: seconds(res.Duration())})
+	}
+	tb := metrics.NewTable("Extension: striped transfer with a disk-saturated source (1024 MB, 2 streams/stripe)",
+		"stripes", "transfer time (s)")
+	for _, r := range out {
+		tb.AddRow(fmt.Sprintf("%d", r.Stripes), fmt.Sprintf("%.2f", r.Seconds))
+	}
+	return out, tb.String(), nil
+}
+
+// ScaleResult is one testbed size in the scaling extension.
+type ScaleResult struct {
+	Sites              int
+	CostModelSeconds   float64
+	RandomSeconds      float64
+	ImprovementPercent float64
+}
+
+// randomGrid builds an N-site testbed: two hosts per site, a WAN ring plus
+// random chords with varied capacity, delay and loss — the paper's future
+// work #3 ("a dynamic and larger number of sites environment").
+func randomGrid(engine *simulation.Engine, sites int, seed int64) (*cluster.Testbed, error) {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := cluster.Config{}
+	for i := 0; i < sites; i++ {
+		site := fmt.Sprintf("site%02d", i)
+		lanBps := 100e6 * float64(1+rng.Intn(10))
+		hosts := make([]cluster.HostConfig, 2)
+		for j := range hosts {
+			hosts[j] = cluster.HostConfig{
+				Name:  fmt.Sprintf("%s-h%d", site, j),
+				CPU:   cluster.CPUSpec{Model: "sim", Cores: 1 + rng.Intn(2), MHz: 900 + float64(rng.Intn(2000))},
+				MemMB: 256 << rng.Intn(3),
+				Disk: cluster.DiskSpec{
+					CapacityGB: 40,
+					ReadBps:    (100 + 300*rng.Float64()) * 1e6,
+					WriteBps:   (80 + 240*rng.Float64()) * 1e6,
+				},
+			}
+		}
+		cfg.Sites = append(cfg.Sites, cluster.SiteConfig{
+			Name:  site,
+			LAN:   netsim.LinkConfig{CapacityBps: lanBps, Delay: 100 * time.Microsecond},
+			Hosts: hosts,
+		})
+	}
+	wanLink := func() netsim.LinkConfig {
+		return netsim.LinkConfig{
+			CapacityBps: (20 + 80*rng.Float64()) * 1e6,
+			Delay:       time.Duration(2+rng.Intn(14)) * time.Millisecond,
+			LossRate:    0.001 + 0.006*rng.Float64(),
+		}
+	}
+	linked := map[[2]int]bool{}
+	addWAN := func(a, b int) {
+		if a == b {
+			return
+		}
+		key := [2]int{a, b}
+		if a > b {
+			key = [2]int{b, a}
+		}
+		if linked[key] {
+			return
+		}
+		linked[key] = true
+		cfg.WAN = append(cfg.WAN, cluster.WANLink{
+			From: fmt.Sprintf("site%02d", a),
+			To:   fmt.Sprintf("site%02d", b),
+			Link: wanLink(),
+		})
+	}
+	for i := 0; i < sites; i++ {
+		addWAN(i, (i+1)%sites)
+	}
+	// Random chords for path diversity (duplicates are skipped).
+	for c := 0; c < sites/2; c++ {
+		addWAN(rng.Intn(sites), rng.Intn(sites))
+	}
+	return cluster.New(engine, seed, cfg)
+}
+
+// ExtensionScale grows the grid from 3 to 12 sites and compares cost-model
+// selection against random selection for sequential fetches of a file
+// replicated on one host per remote site.
+func ExtensionScale(seed int64) ([]ScaleResult, string, error) {
+	const fileSize = 256 * workload.MB
+	const fetches = 5
+	var out []ScaleResult
+	for _, sites := range []int{3, 6, 9, 12} {
+		run := func(selector core.Selector) (float64, error) {
+			engine := simulation.NewEngine()
+			tb, err := randomGrid(engine, sites, seed+int64(sites))
+			if err != nil {
+				return 0, err
+			}
+			local := "site00-h0"
+			var remotes []string
+			for i := 1; i < sites; i++ {
+				remotes = append(remotes, fmt.Sprintf("site%02d-h0", i))
+			}
+			dep, err := info.Deploy(tb, info.DeploymentConfig{
+				Local: local, Remotes: remotes, Seed: seed,
+			})
+			if err != nil {
+				return 0, err
+			}
+			cat := replica.NewCatalog()
+			if err := cat.CreateLogical(replica.LogicalFile{Name: "file-x", SizeBytes: fileSize}); err != nil {
+				return 0, err
+			}
+			for _, r := range remotes {
+				if err := cat.Register("file-x", replica.Location{Host: r, Path: "/data/file-x"}); err != nil {
+					return 0, err
+				}
+			}
+			srv, err := core.NewSelectionServer(cat, dep.Server, paperWeights(), selector)
+			if err != nil {
+				return 0, err
+			}
+			xf, err := simxfer.New(tb)
+			if err != nil {
+				return 0, err
+			}
+			app, err := core.NewApplication(core.ApplicationConfig{Local: local},
+				srv, xf.ReplicaTransfer(simxfer.GridFTPOptions(0)), engine)
+			if err != nil {
+				return 0, err
+			}
+			if err := engine.RunUntil(Warmup); err != nil {
+				return 0, err
+			}
+			env := &Env{Engine: engine, Testbed: tb, Xfer: xf}
+			ds, err := sequentialFetches(env, app, "file-x", fetches, 30*time.Second)
+			if err != nil {
+				return 0, err
+			}
+			return meanSeconds(ds), nil
+		}
+		cm, err := run(core.CostModelSelector{Weights: paperWeights()})
+		if err != nil {
+			return nil, "", err
+		}
+		rnd, err := run(core.NewRandomSelector(seed))
+		if err != nil {
+			return nil, "", err
+		}
+		out = append(out, ScaleResult{
+			Sites:              sites,
+			CostModelSeconds:   cm,
+			RandomSeconds:      rnd,
+			ImprovementPercent: 100 * (rnd - cm) / rnd,
+		})
+	}
+	tb := metrics.NewTable("Extension: selection quality as the grid grows (256 MB, 5 fetches)",
+		"sites", "cost-model (s)", "random (s)", "improvement %")
+	for _, r := range out {
+		tb.AddRow(fmt.Sprintf("%d", r.Sites),
+			fmt.Sprintf("%.2f", r.CostModelSeconds),
+			fmt.Sprintf("%.2f", r.RandomSeconds),
+			fmt.Sprintf("%.1f", r.ImprovementPercent))
+	}
+	return out, tb.String(), nil
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/cluster"
+	"github.com/hpclab/datagrid/internal/core"
+	"github.com/hpclab/datagrid/internal/info"
+	"github.com/hpclab/datagrid/internal/metrics"
+	"github.com/hpclab/datagrid/internal/netsim"
+	"github.com/hpclab/datagrid/internal/replica"
+	"github.com/hpclab/datagrid/internal/simulation"
+	"github.com/hpclab/datagrid/internal/simxfer"
+	"github.com/hpclab/datagrid/internal/workload"
+)
+
+// LatencyResult is one selector's outcome in the latency-factor ablation.
+type LatencyResult struct {
+	Selector    string
+	MeanSeconds float64
+	// FarPicks counts how often the high-bandwidth/high-RTT replica was
+	// chosen.
+	FarPicks int
+}
+
+// latencyTestbed builds the scenario where the paper's three factors
+// mislead: the "far" replica sits behind a fat 100 Mb/s pipe with 80 ms
+// RTT (high bandwidth percentage, but un-tuned TCP windows and session
+// setup are RTT-bound), while the "near" replica has a thinner, loaded
+// 50 Mb/s pipe 4 ms away.
+func latencyTestbed(engine *simulation.Engine, seed int64) (*cluster.Testbed, error) {
+	lan := netsim.LinkConfig{CapacityBps: 1e9, Delay: 50 * time.Microsecond}
+	disk := cluster.DiskSpec{CapacityGB: 80, ReadBps: 4e8, WriteBps: 3.2e8}
+	cpu := cluster.CPUSpec{Model: "sim", Cores: 1, MHz: 2000}
+	host := func(n string) []cluster.HostConfig {
+		return []cluster.HostConfig{{Name: n, CPU: cpu, MemMB: 512, Disk: disk}}
+	}
+	tb, err := cluster.New(engine, seed, cluster.Config{
+		Sites: []cluster.SiteConfig{
+			{Name: "Home", LAN: lan, Hosts: host("client")},
+			{Name: "Far", LAN: lan, Hosts: host("far")},
+			{Name: "Near", LAN: lan, Hosts: host("near")},
+		},
+		WAN: []cluster.WANLink{
+			{From: "Home", To: "Far", Link: netsim.LinkConfig{CapacityBps: 100e6, Delay: 40 * time.Millisecond}},
+			{From: "Home", To: "Near", Link: netsim.LinkConfig{CapacityBps: 50e6, Delay: 2 * time.Millisecond}},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Load the near pipe so its bandwidth percentage trails the far one.
+	_, err = tb.Network().StartBackground(cluster.SwitchNode("Near"), cluster.SwitchNode("Home"),
+		netsim.BackgroundConfig{Mean: 0.25, Volatility: 0.03, Reversion: 0.3, Period: time.Second}, seed+5)
+	if err != nil {
+		return nil, err
+	}
+	return tb, nil
+}
+
+// AblationLatency compares the plain three-factor cost model against the
+// latency-aware extension on a small-file workload, where per-session
+// round trips and un-tuned TCP windows make RTT, not bandwidth, the
+// binding constraint.
+func AblationLatency(seed int64) ([]LatencyResult, string, error) {
+	const fetches = 6
+	const fileSize = 2 * workload.MB
+	selectors := []core.Selector{
+		core.CostModelSelector{Weights: core.PaperWeights},
+		core.LatencyAwareSelector{Weights: core.PaperWeights, PenaltyPerMs: 0.5},
+	}
+	var out []LatencyResult
+	for _, sel := range selectors {
+		engine := simulation.NewEngine()
+		tb, err := latencyTestbed(engine, seed)
+		if err != nil {
+			return nil, "", err
+		}
+		// Long probes with tuned windows, so the far path's measured
+		// bandwidth reflects its steady state rather than slow start —
+		// the very regime in which the plain model is misled.
+		dep, err := info.Deploy(tb, info.DeploymentConfig{
+			Local:          "client",
+			Remotes:        []string{"far", "near"},
+			Seed:           seed,
+			NWSProbeBytes:  64 << 20,
+			NWSProbeWindow: 8 << 20,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		cat := replica.NewCatalog()
+		if err := cat.CreateLogical(replica.LogicalFile{Name: "small-file", SizeBytes: fileSize}); err != nil {
+			return nil, "", err
+		}
+		for _, h := range []string{"far", "near"} {
+			if err := cat.Register("small-file", replica.Location{Host: h, Path: "/data/small-file"}); err != nil {
+				return nil, "", err
+			}
+		}
+		srv, err := core.NewSelectionServer(cat, dep.Server, core.PaperWeights, sel)
+		if err != nil {
+			return nil, "", err
+		}
+		xf, err := simxfer.New(tb)
+		if err != nil {
+			return nil, "", err
+		}
+		farPicks := 0
+		countingTransfer := func(srcHost, srcPath, dstHost, dstPath string, bytes int64, done func(error)) error {
+			if srcHost == "far" {
+				farPicks++
+			}
+			return xf.ReplicaTransfer(simxfer.GridFTPOptions(0))(srcHost, srcPath, dstHost, dstPath, bytes, done)
+		}
+		app, err := core.NewApplication(core.ApplicationConfig{Local: "client"}, srv, countingTransfer, engine)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := engine.RunUntil(Warmup); err != nil {
+			return nil, "", err
+		}
+		env := &Env{Engine: engine, Testbed: tb, Xfer: xf}
+		ds, err := sequentialFetches(env, app, "small-file", fetches, 30*time.Second)
+		if err != nil {
+			return nil, "", err
+		}
+		out = append(out, LatencyResult{
+			Selector:    sel.Name(),
+			MeanSeconds: meanSeconds(ds),
+			FarPicks:    farPicks,
+		})
+	}
+	tb := metrics.NewTable(
+		"Ablation: latency as a fourth system factor (2 MB files, far=100Mb/s@80ms vs near=50Mb/s@4ms)",
+		"selector", "mean fetch (s)", "far picks")
+	for _, r := range out {
+		tb.AddRow(r.Selector, fmt.Sprintf("%.2f", r.MeanSeconds), fmt.Sprintf("%d", r.FarPicks))
+	}
+	return out, tb.String(), nil
+}

@@ -1,0 +1,177 @@
+package ftp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// DiskStore serves a real directory tree — the production mode of
+// cmd/gridftpd. All paths are confined to the root directory; traversal
+// attempts are rejected before touching the filesystem.
+type DiskStore struct {
+	root string
+}
+
+// NewDiskStore creates a store rooted at dir, which must exist and be a
+// directory.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("ftp: resolving store root: %w", err)
+	}
+	fi, err := os.Stat(abs)
+	if err != nil {
+		return nil, fmt.Errorf("ftp: store root: %w", err)
+	}
+	if !fi.IsDir() {
+		return nil, fmt.Errorf("ftp: store root %q is not a directory", abs)
+	}
+	return &DiskStore{root: abs}, nil
+}
+
+// Root returns the absolute root directory.
+func (s *DiskStore) Root() string { return s.root }
+
+// resolve maps a virtual path onto the real filesystem, refusing escapes.
+func (s *DiskStore) resolve(path string) (string, error) {
+	p, err := cleanPath(path)
+	if err != nil {
+		return "", err
+	}
+	full := filepath.Join(s.root, filepath.FromSlash(p))
+	if full != s.root && !strings.HasPrefix(full, s.root+string(filepath.Separator)) {
+		return "", fmt.Errorf("ftp: path %q escapes store root", path)
+	}
+	return full, nil
+}
+
+// diskFile adapts *os.File to the Store's File interface with a cached
+// size for readers and growth tracking for writers.
+type diskFile struct {
+	f *os.File
+}
+
+func (d diskFile) ReadAt(p []byte, off int64) (int, error)  { return d.f.ReadAt(p, off) }
+func (d diskFile) WriteAt(p []byte, off int64) (int, error) { return d.f.WriteAt(p, off) }
+
+func (d diskFile) Size() int64 {
+	fi, err := d.f.Stat()
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+// Open returns an existing file for reading (and offset writes, for ESTO).
+func (s *DiskStore) Open(path string) (File, error) {
+	full, err := s.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(full, os.O_RDWR, 0)
+	if errors.Is(err, fs.ErrNotExist) {
+		// Fall back to read-only for files we cannot write.
+		f, err = os.Open(full)
+	}
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ftp: opening %s: %w", path, err)
+	}
+	return diskFile{f}, nil
+}
+
+// Create makes (or truncates) a file, creating parent directories.
+func (s *DiskStore) Create(path string) (File, error) {
+	full, err := s.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		return nil, fmt.Errorf("ftp: creating directories for %s: %w", path, err)
+	}
+	f, err := os.OpenFile(full, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ftp: creating %s: %w", path, err)
+	}
+	return diskFile{f}, nil
+}
+
+// Size returns a file's length.
+func (s *DiskStore) Size(path string) (int64, error) {
+	full, err := s.resolve(path)
+	if err != nil {
+		return 0, err
+	}
+	fi, err := os.Stat(full)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if fi.IsDir() {
+		return 0, fmt.Errorf("%w: %s is a directory", ErrNotFound, path)
+	}
+	return fi.Size(), nil
+}
+
+// List walks the tree and returns all virtual file paths, sorted.
+func (s *DiskStore) List() []string {
+	var out []string
+	_ = filepath.WalkDir(s.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(s.root, p)
+		if err != nil {
+			return nil
+		}
+		out = append(out, "/"+filepath.ToSlash(rel))
+		return nil
+	})
+	sort.Strings(out)
+	return out
+}
+
+// Remove deletes a file.
+func (s *DiskStore) Remove(path string) error {
+	full, err := s.resolve(path)
+	if err != nil {
+		return err
+	}
+	err = os.Remove(full)
+	if errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return err
+}
+
+// Rename moves a file, creating target directories as needed.
+func (s *DiskStore) Rename(from, to string) error {
+	src, err := s.resolve(from)
+	if err != nil {
+		return err
+	}
+	dst, err := s.resolve(to)
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stat(src); errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("%w: %s", ErrNotFound, from)
+	}
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	return os.Rename(src, dst)
+}
+
+var _ Store = (*DiskStore)(nil)
+var _ io.ReaderAt = diskFile{}

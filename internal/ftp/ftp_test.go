@@ -1,0 +1,370 @@
+package ftp
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// startServer spins up a server on a loopback port with some files.
+func startServer(t *testing.T, cfg ServerConfig) (*Server, string) {
+	t.Helper()
+	if cfg.Store == nil {
+		st := NewMemStore()
+		if err := st.Put("/data/hello.txt", []byte("hello, grid")); err != nil {
+			t.Fatal(err)
+		}
+		cfg.Store = st
+	}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr
+}
+
+func login(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if err := c.Login("anonymous", "x@y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.TypeImage(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestMemStore(t *testing.T) {
+	st := NewMemStore()
+	if err := st.Put("/a/b.bin", []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get("/a/b.bin")
+	if err != nil || !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("Get = %v, %v", got, err)
+	}
+	// Paths are normalized to a leading slash.
+	got, err = st.Get("a/b.bin")
+	if err != nil || len(got) != 3 {
+		t.Fatalf("normalized Get = %v, %v", got, err)
+	}
+	if _, err := st.Open("/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Open missing err = %v", err)
+	}
+	if _, err := st.Open("/../etc/passwd"); err == nil {
+		t.Fatal("path traversal should be rejected")
+	}
+	n, err := st.Size("/a/b.bin")
+	if err != nil || n != 3 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+	if got := st.List(); len(got) != 1 || got[0] != "/a/b.bin" {
+		t.Fatalf("List = %v", got)
+	}
+	if err := st.Remove("/a/b.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Remove("/a/b.bin"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double remove err = %v", err)
+	}
+	if _, err := st.Create(""); err == nil {
+		t.Fatal("empty path should be rejected")
+	}
+}
+
+func TestMemFileSparseWriteAt(t *testing.T) {
+	st := NewMemStore()
+	f, err := st.Create("/sparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-order writes, as MODE E blocks arrive.
+	if _, err := f.WriteAt([]byte("world"), 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello,"), 0); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := st.Get("/sparse")
+	if string(got) != "hello,"+string(byte(0))+""+"world" && string(got[:6]) != "hello," {
+		t.Fatalf("sparse content = %q", got)
+	}
+	if f.Size() != 11 {
+		t.Fatalf("Size = %d", f.Size())
+	}
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 6); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "world" {
+		t.Fatalf("ReadAt = %q", buf)
+	}
+	if _, err := f.ReadAt(buf, 100); err != io.EOF {
+		t.Fatalf("ReadAt past end err = %v", err)
+	}
+	if _, err := f.ReadAt(buf, -1); err == nil {
+		t.Fatal("negative ReadAt offset should fail")
+	}
+	if _, err := f.WriteAt(buf, -1); err == nil {
+		t.Fatal("negative WriteAt offset should fail")
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	if _, err := NewServer(ServerConfig{}); err == nil {
+		t.Fatal("server without store should be rejected")
+	}
+}
+
+func TestLoginAndBasics(t *testing.T) {
+	_, addr := startServer(t, ServerConfig{})
+	c := login(t, addr)
+	if _, err := c.Expect(215, "SYST"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Expect(200, "NOOP"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Expect(257, "PWD"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Size("/data/hello.txt")
+	if err != nil || n != 11 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+	if err := c.Quit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuthRequired(t *testing.T) {
+	_, addr := startServer(t, ServerConfig{
+		Auth: func(user, pass string) bool { return user == "ctyang" && pass == "thu" },
+	})
+	c, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Commands before login are refused.
+	code, _, err := c.Cmd("PASV")
+	if err != nil || code != 530 {
+		t.Fatalf("pre-login PASV = %d, %v", code, err)
+	}
+	if err := c.Login("ctyang", "wrong"); err == nil {
+		t.Fatal("bad password should fail")
+	}
+	if err := c.Login("ctyang", "thu"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetr(t *testing.T) {
+	_, addr := startServer(t, ServerConfig{})
+	c := login(t, addr)
+	var buf bytes.Buffer
+	n, err := c.Retr("/data/hello.txt", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 11 || buf.String() != "hello, grid" {
+		t.Fatalf("Retr = %d bytes, %q", n, buf.String())
+	}
+}
+
+func TestRetrMissingFile(t *testing.T) {
+	_, addr := startServer(t, ServerConfig{})
+	c := login(t, addr)
+	var buf bytes.Buffer
+	if _, err := c.Retr("/no/such/file", &buf); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+func TestStorAndRoundTrip(t *testing.T) {
+	srv, addr := startServer(t, ServerConfig{})
+	c := login(t, addr)
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 64*1024) // 1 MiB
+	n, err := c.Stor("/up/large.bin", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(payload)) {
+		t.Fatalf("Stor sent %d, want %d", n, len(payload))
+	}
+	got, err := srv.Store().(*MemStore).Get("/up/large.bin")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("server content mismatch: %d bytes, %v", len(got), err)
+	}
+	var buf bytes.Buffer
+	if _, err := c.Retr("/up/large.bin", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), payload) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestRestPartialRetr(t *testing.T) {
+	_, addr := startServer(t, ServerConfig{})
+	c := login(t, addr)
+	var buf bytes.Buffer
+	n, err := c.RetrFrom("/data/hello.txt", 7, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 || buf.String() != "grid" {
+		t.Fatalf("partial = %d %q", n, buf.String())
+	}
+	// Offset beyond EOF is an error.
+	if _, err := c.RetrFrom("/data/hello.txt", 100, &buf); err == nil {
+		t.Fatal("offset beyond size should fail")
+	}
+}
+
+func TestDeleAndList(t *testing.T) {
+	_, addr := startServer(t, ServerConfig{})
+	c := login(t, addr)
+	files, err := c.List()
+	if err != nil || len(files) != 1 || files[0] != "/data/hello.txt" {
+		t.Fatalf("List = %v, %v", files, err)
+	}
+	if _, err := c.Expect(250, "DELE /data/hello.txt"); err != nil {
+		t.Fatal(err)
+	}
+	files, err = c.List()
+	if err != nil || len(files) != 0 {
+		t.Fatalf("List after DELE = %v, %v", files, err)
+	}
+}
+
+func TestFeatMultiline(t *testing.T) {
+	_, addr := startServer(t, ServerConfig{})
+	c := login(t, addr)
+	code, msg, err := c.Cmd("FEAT")
+	if err != nil || code != 211 {
+		t.Fatalf("FEAT = %d, %v", code, err)
+	}
+	if !strings.Contains(msg, "SIZE") || !strings.Contains(msg, "REST STREAM") {
+		t.Fatalf("FEAT msg = %q", msg)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	_, addr := startServer(t, ServerConfig{})
+	c := login(t, addr)
+	code, _, err := c.Cmd("XYZZY")
+	if err != nil || code != 502 {
+		t.Fatalf("unknown command = %d, %v", code, err)
+	}
+}
+
+func TestModeECommandRejectedByPlainFTP(t *testing.T) {
+	// Plain FTP only implements stream mode; MODE E (GridFTP) must be
+	// refused — that is the protocol gap the gridftp package fills.
+	_, addr := startServer(t, ServerConfig{})
+	c := login(t, addr)
+	code, _, err := c.Cmd("MODE E")
+	if err != nil || code != 504 {
+		t.Fatalf("MODE E = %d, %v; want 504", code, err)
+	}
+	if _, err := c.Expect(200, "MODE S"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeHandling(t *testing.T) {
+	_, addr := startServer(t, ServerConfig{})
+	c := login(t, addr)
+	if _, err := c.Expect(200, "TYPE A"); err != nil {
+		t.Fatal(err)
+	}
+	code, _, err := c.Cmd("TYPE X")
+	if err != nil || code != 504 {
+		t.Fatalf("TYPE X = %d, %v", code, err)
+	}
+}
+
+func TestPasvAddrRoundTrip(t *testing.T) {
+	addr, err := ParsePasvAddr("127,0,0,1,4,210")
+	if err != nil || addr != "127.0.0.1:1234" {
+		t.Fatalf("ParsePasvAddr = %q, %v", addr, err)
+	}
+	for _, bad := range []string{"1,2,3", "a,b,c,d,e,f", "256,0,0,1,0,1", ""} {
+		if _, err := ParsePasvAddr(bad); err == nil {
+			t.Fatalf("ParsePasvAddr(%q) should fail", bad)
+		}
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	_, addr := startServer(t, ServerConfig{})
+	const n = 8
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			c, err := Dial(addr, 5*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			if err := c.Login("u", "p"); err != nil {
+				errs <- err
+				return
+			}
+			var buf bytes.Buffer
+			if _, err := c.Retr("/data/hello.txt", &buf); err != nil {
+				errs <- err
+				return
+			}
+			if buf.String() != "hello, grid" {
+				errs <- errors.New("content mismatch")
+				return
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Property: STOR then RETR round-trips arbitrary binary content.
+func TestPropertyStorRetrRoundTrip(t *testing.T) {
+	_, addr := startServer(t, ServerConfig{})
+	c := login(t, addr)
+	f := func(seed int64, size uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		payload := make([]byte, int(size)+1)
+		rng.Read(payload)
+		if _, err := c.Stor("/prop/file.bin", bytes.NewReader(payload)); err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if _, err := c.Retr("/prop/file.bin", &buf); err != nil {
+			return false
+		}
+		return bytes.Equal(buf.Bytes(), payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,817 @@
+package ftp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	gopath "path"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Handler processes one control-channel command for a session.
+type Handler func(s *Session, arg string)
+
+// ServerConfig configures a Server.
+type ServerConfig struct {
+	// Store is the filesystem served. Required.
+	Store Store
+	// Auth validates USER/PASS; nil accepts any pair (anonymous FTP).
+	Auth func(user, pass string) bool
+	// Welcome overrides the 220 banner text.
+	Welcome string
+	// DataTimeout bounds waits for data-connection setup; default 10s.
+	DataTimeout time.Duration
+	// TransferLog, when set, receives one wu-ftpd xferlog-style line per
+	// completed RETR/STOR/APPE, the era's standard transfer audit trail.
+	TransferLog io.Writer
+	// Clock supplies xferlog timestamps; defaults to time.Now. Override
+	// in tests or simulations for determinism.
+	Clock func() time.Time
+}
+
+// Server is an FTP server bound to one listener. Its command table can be
+// extended (or overridden) before Serve starts, which is how the gridftp
+// package builds on it.
+type Server struct {
+	cfg      ServerConfig
+	handlers map[string]Handler
+	feats    []string
+
+	ln        net.Listener
+	mu        sync.Mutex
+	conns     map[net.Conn]bool
+	closed    bool
+	wg        sync.WaitGroup
+	onSessEnd []func(*Session)
+}
+
+// OnSessionEnd registers a hook run when a control session terminates;
+// extensions use it to release per-session resources (e.g. gridftp stripe
+// listeners). Must be called before Listen.
+func (s *Server) OnSessionEnd(f func(*Session)) {
+	s.onSessEnd = append(s.onSessEnd, f)
+}
+
+// NewServer creates a server with the standard RFC 959 command subset
+// installed.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("ftp: server needs a store")
+	}
+	if cfg.Welcome == "" {
+		cfg.Welcome = "datagrid FTP server ready"
+	}
+	if cfg.DataTimeout == 0 {
+		cfg.DataTimeout = 10 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	s := &Server{
+		cfg:      cfg,
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]bool),
+	}
+	s.Handle("USER", handleUSER)
+	s.Handle("PASS", handlePASS)
+	s.Handle("QUIT", handleQUIT)
+	s.Handle("SYST", handleSYST)
+	s.Handle("NOOP", func(se *Session, _ string) { se.Reply(200, "NOOP ok") })
+	s.Handle("TYPE", handleTYPE)
+	s.Handle("MODE", handleMODE)
+	s.Handle("PASV", handlePASV)
+	s.Handle("PORT", handlePORT)
+	s.Handle("RETR", HandleRETR)
+	s.Handle("STOR", HandleSTOR)
+	s.Handle("SIZE", handleSIZE)
+	s.Handle("REST", handleREST)
+	s.Handle("DELE", handleDELE)
+	s.Handle("NLST", handleNLST)
+	s.Handle("FEAT", handleFEAT)
+	s.Handle("PWD", func(se *Session, _ string) { se.Reply(257, `"`+se.cwd+`" is the current directory`) })
+	s.Handle("CWD", handleCWD)
+	s.Handle("CDUP", func(se *Session, _ string) { handleCWD(se, "..") })
+	s.Handle("RNFR", handleRNFR)
+	s.Handle("RNTO", handleRNTO)
+	s.Handle("APPE", handleAPPE)
+	s.Handle("STAT", handleSTAT)
+	s.Handle("ABOR", func(se *Session, _ string) { se.Reply(226, "no transfer to abort") })
+	s.Handle("MLSD", handleMLSD)
+	s.AddFeature("SIZE")
+	s.AddFeature("REST STREAM")
+	s.AddFeature("MLSD type*;size*;")
+	return s, nil
+}
+
+// Handle installs (or replaces) the handler for a command verb.
+func (s *Server) Handle(verb string, h Handler) {
+	s.handlers[strings.ToUpper(verb)] = h
+}
+
+// Handler returns the installed handler for a verb (for extensions that
+// wrap the default behaviour), or nil.
+func (s *Server) Handler(verb string) Handler {
+	return s.handlers[strings.ToUpper(verb)]
+}
+
+// AddFeature adds a line to the FEAT response.
+func (s *Server) AddFeature(f string) { s.feats = append(s.feats, f) }
+
+// Store returns the served filesystem.
+func (s *Server) Store() Store { return s.cfg.Store }
+
+// Listen binds the server to addr (e.g. "127.0.0.1:0") and starts serving
+// in background goroutines. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("ftp: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the listener and tears down active sessions.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Session is one control connection's state.
+type Session struct {
+	srv  *Server
+	conn net.Conn
+	r    *bufio.Reader
+
+	user   string
+	authed bool
+	mode   byte // 'S' stream (default) or 'E' extended (gridftp)
+	dtype  byte // 'A' ascii (default) or 'I' image
+
+	pasv       net.Listener
+	portAddr   string
+	rest       int64
+	cwd        string
+	renameFrom string
+
+	// Extra carries extension state (the gridftp package stores session
+	// options such as parallelism here).
+	Extra map[string]any
+
+	quitting bool
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	sess := &Session{
+		srv:   s,
+		conn:  conn,
+		r:     bufio.NewReader(conn),
+		mode:  'S',
+		dtype: 'A',
+		cwd:   "/",
+		Extra: make(map[string]any),
+	}
+	defer func() {
+		sess.closePasv()
+		for _, f := range s.onSessEnd {
+			f(sess)
+		}
+	}()
+	sess.Reply(220, s.cfg.Welcome)
+	for !sess.quitting {
+		line, err := sess.r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			continue
+		}
+		verb, arg := line, ""
+		if i := strings.IndexByte(line, ' '); i >= 0 {
+			verb, arg = line[:i], line[i+1:]
+		}
+		h, ok := s.handlers[strings.ToUpper(verb)]
+		if !ok {
+			sess.Reply(502, fmt.Sprintf("command %q not implemented", verb))
+			continue
+		}
+		h(sess, arg)
+	}
+}
+
+// LogTransfer emits one xferlog-format line (wu-ftpd's transfer audit
+// format): date, duration, remote host, bytes, path, type, direction,
+// user. Extensions (gridftp) call it for their own transfer paths too.
+// It is a no-op when no TransferLog is configured.
+func (s *Session) LogTransfer(duration time.Duration, bytes int64, path string, direction byte) {
+	w := s.srv.cfg.TransferLog
+	if w == nil {
+		return
+	}
+	secs := int64(duration.Seconds())
+	if secs < 1 {
+		secs = 1 // xferlog records whole seconds, minimum 1
+	}
+	host, _, err := net.SplitHostPort(s.conn.RemoteAddr().String())
+	if err != nil {
+		host = s.conn.RemoteAddr().String()
+	}
+	user := s.user
+	if user == "" {
+		user = "?"
+	}
+	fmt.Fprintf(w, "%s %d %s %d %s b _ %c a %s ftp 0 * c\n",
+		s.srv.cfg.Clock().Format("Mon Jan  2 15:04:05 2006"),
+		secs, host, bytes, path, direction, user)
+}
+
+// Reply sends a single-line reply.
+func (s *Session) Reply(code int, msg string) {
+	fmt.Fprintf(s.conn, "%d %s\r\n", code, msg)
+}
+
+// ReplyLines sends a multi-line reply in RFC 959 format.
+func (s *Session) ReplyLines(code int, first string, middle []string, last string) {
+	fmt.Fprintf(s.conn, "%d-%s\r\n", code, first)
+	for _, l := range middle {
+		fmt.Fprintf(s.conn, " %s\r\n", l)
+	}
+	fmt.Fprintf(s.conn, "%d %s\r\n", code, last)
+}
+
+// Server returns the owning server.
+func (s *Session) Server() *Server { return s.srv }
+
+// Store returns the served filesystem.
+func (s *Session) Store() Store { return s.srv.cfg.Store }
+
+// Conn returns the control connection (extensions run in-band handshakes
+// on it, e.g. AUTH GSI).
+func (s *Session) Conn() net.Conn { return s.conn }
+
+// Reader returns the buffered control reader (paired with Conn for
+// in-band handshakes).
+func (s *Session) Reader() *bufio.Reader { return s.r }
+
+// Authed reports whether login completed.
+func (s *Session) Authed() bool { return s.authed }
+
+// SetAuthed marks the session authenticated (used by AUTH extensions).
+func (s *Session) SetAuthed(user string) {
+	s.user = user
+	s.authed = true
+}
+
+// User returns the logged-in user name.
+func (s *Session) User() string { return s.user }
+
+// RequireAuth replies 530 and returns false when the session has not
+// logged in.
+func (s *Session) RequireAuth() bool {
+	if !s.authed {
+		s.Reply(530, "please login first")
+		return false
+	}
+	return true
+}
+
+// Mode returns the transfer mode ('S' or 'E').
+func (s *Session) Mode() byte { return s.mode }
+
+// SetMode sets the transfer mode.
+func (s *Session) SetMode(m byte) { s.mode = m }
+
+// TakeRest consumes and returns the restart offset set by REST.
+func (s *Session) TakeRest() int64 {
+	r := s.rest
+	s.rest = 0
+	return r
+}
+
+// SetRest sets the restart offset.
+func (s *Session) SetRest(v int64) { s.rest = v }
+
+// SetupPasv opens a passive-mode listener and returns its address. Any
+// previous listener is closed.
+func (s *Session) SetupPasv() (net.Addr, error) {
+	s.closePasv()
+	host, _, err := net.SplitHostPort(s.conn.LocalAddr().String())
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+	if err != nil {
+		return nil, err
+	}
+	s.pasv = ln
+	return ln.Addr(), nil
+}
+
+func (s *Session) closePasv() {
+	if s.pasv != nil {
+		s.pasv.Close()
+		s.pasv = nil
+	}
+}
+
+// SetPortAddr records the active-mode (PORT) peer address.
+func (s *Session) SetPortAddr(addr string) { s.portAddr = addr }
+
+// AcceptData waits for one inbound data connection on the passive
+// listener.
+func (s *Session) AcceptData() (net.Conn, error) {
+	if s.pasv == nil {
+		return nil, errors.New("ftp: no passive listener")
+	}
+	type result struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		c, err := s.pasv.Accept()
+		ch <- result{c, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.c, r.err
+	case <-time.After(s.srv.cfg.DataTimeout):
+		return nil, errors.New("ftp: timed out waiting for data connection")
+	}
+}
+
+// OpenDataConn establishes the data connection: accepting on the passive
+// listener if PASV was issued, else dialing the PORT address.
+func (s *Session) OpenDataConn() (net.Conn, error) {
+	if s.pasv != nil {
+		return s.AcceptData()
+	}
+	if s.portAddr != "" {
+		return net.DialTimeout("tcp", s.portAddr, s.srv.cfg.DataTimeout)
+	}
+	return nil, errors.New("ftp: use PASV or PORT first")
+}
+
+// ResolvePath interprets a command's path argument relative to the
+// session's working directory. Absolute arguments pass through.
+func (s *Session) ResolvePath(arg string) string {
+	arg = strings.TrimSpace(arg)
+	if strings.HasPrefix(arg, "/") {
+		return gopath.Clean(arg)
+	}
+	return gopath.Clean(gopath.Join(s.cwd, arg))
+}
+
+// Cwd returns the session's working directory.
+func (s *Session) Cwd() string { return s.cwd }
+
+// --- standard handlers ---
+
+func handleCWD(s *Session, arg string) {
+	if !s.RequireAuth() {
+		return
+	}
+	if arg == "" {
+		s.Reply(501, "CWD needs a directory")
+		return
+	}
+	next := s.ResolvePath(arg)
+	if !strings.HasPrefix(next, "/") {
+		s.Reply(550, "invalid directory")
+		return
+	}
+	s.cwd = next
+	s.Reply(250, "CWD successful, now "+s.cwd)
+}
+
+func handleRNFR(s *Session, arg string) {
+	if !s.RequireAuth() {
+		return
+	}
+	p := s.ResolvePath(arg)
+	if _, err := s.Store().Size(p); err != nil {
+		s.Reply(550, err.Error())
+		return
+	}
+	s.renameFrom = p
+	s.Reply(350, "ready for RNTO")
+}
+
+func handleRNTO(s *Session, arg string) {
+	if !s.RequireAuth() {
+		return
+	}
+	if s.renameFrom == "" {
+		s.Reply(503, "RNFR required first")
+		return
+	}
+	from := s.renameFrom
+	s.renameFrom = ""
+	if err := s.Store().Rename(from, s.ResolvePath(arg)); err != nil {
+		s.Reply(550, err.Error())
+		return
+	}
+	s.Reply(250, "rename successful")
+}
+
+// handleAPPE appends the incoming data to an existing file (creating it if
+// absent) — RFC 959 APPE.
+func handleAPPE(s *Session, arg string) {
+	if !s.RequireAuth() {
+		return
+	}
+	p := s.ResolvePath(arg)
+	size, err := s.Store().Size(p)
+	if errors.Is(err, ErrNotFound) {
+		size = 0
+		if _, cerr := s.Store().Create(p); cerr != nil {
+			s.Reply(550, cerr.Error())
+			return
+		}
+	} else if err != nil {
+		s.Reply(550, err.Error())
+		return
+	}
+	s.SetRest(size)
+	HandleSTOR(s, arg)
+}
+
+func handleSTAT(s *Session, arg string) {
+	if arg == "" {
+		s.ReplyLines(211, "server status",
+			[]string{
+				"logged in: " + fmt.Sprint(s.authed),
+				"type: " + string(s.dtype),
+				"mode: " + string(s.mode),
+				"cwd: " + s.cwd,
+				fmt.Sprintf("files: %d", len(s.Store().List())),
+			}, "end of status")
+		return
+	}
+	if !s.RequireAuth() {
+		return
+	}
+	p := s.ResolvePath(arg)
+	size, err := s.Store().Size(p)
+	if err != nil {
+		s.Reply(550, err.Error())
+		return
+	}
+	s.ReplyLines(213, "status of "+p,
+		[]string{fmt.Sprintf("size: %d", size)}, "end of status")
+}
+
+func handleUSER(s *Session, arg string) {
+	if arg == "" {
+		s.Reply(501, "USER needs a name")
+		return
+	}
+	s.user = arg
+	s.Reply(331, "password required for "+arg)
+}
+
+func handlePASS(s *Session, arg string) {
+	if s.user == "" {
+		s.Reply(503, "login with USER first")
+		return
+	}
+	if s.srv.cfg.Auth != nil && !s.srv.cfg.Auth(s.user, arg) {
+		s.Reply(530, "login incorrect")
+		return
+	}
+	s.authed = true
+	s.Reply(230, "user "+s.user+" logged in")
+}
+
+func handleQUIT(s *Session, _ string) {
+	s.Reply(221, "goodbye")
+	s.quitting = true
+}
+
+func handleSYST(s *Session, _ string) {
+	s.Reply(215, "UNIX Type: L8")
+}
+
+func handleTYPE(s *Session, arg string) {
+	switch strings.ToUpper(arg) {
+	case "I":
+		s.dtype = 'I'
+		s.Reply(200, "type set to I")
+	case "A":
+		s.dtype = 'A'
+		s.Reply(200, "type set to A")
+	default:
+		s.Reply(504, "only types A and I supported")
+	}
+}
+
+func handleMODE(s *Session, arg string) {
+	switch strings.ToUpper(arg) {
+	case "S":
+		s.mode = 'S'
+		s.Reply(200, "mode set to S")
+	default:
+		s.Reply(504, "only stream mode supported")
+	}
+}
+
+// FormatPasvAddr renders an address as the h1,h2,h3,h4,p1,p2 form of the
+// 227 reply.
+func FormatPasvAddr(addr net.Addr) (string, error) {
+	host, portStr, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return "", err
+	}
+	ip := net.ParseIP(host).To4()
+	if ip == nil {
+		return "", fmt.Errorf("ftp: passive mode needs IPv4, got %q", host)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%d,%d,%d,%d,%d,%d", ip[0], ip[1], ip[2], ip[3], port/256, port%256), nil
+}
+
+// FormatAddrSpec renders a "host:port" string as h1,h2,h3,h4,p1,p2 (the
+// argument form PORT and SPOR take).
+func FormatAddrSpec(hostport string) (string, error) {
+	host, portStr, err := net.SplitHostPort(hostport)
+	if err != nil {
+		return "", err
+	}
+	ip := net.ParseIP(host).To4()
+	if ip == nil {
+		return "", fmt.Errorf("ftp: need IPv4 address, got %q", host)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%d,%d,%d,%d,%d,%d", ip[0], ip[1], ip[2], ip[3], port/256, port%256), nil
+}
+
+// ParsePasvAddr parses the h1,h2,h3,h4,p1,p2 form into host:port.
+func ParsePasvAddr(spec string) (string, error) {
+	parts := strings.Split(strings.TrimSpace(spec), ",")
+	if len(parts) != 6 {
+		return "", fmt.Errorf("ftp: bad address %q", spec)
+	}
+	nums := make([]int, 6)
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 || n > 255 {
+			return "", fmt.Errorf("ftp: bad address component %q", p)
+		}
+		nums[i] = n
+	}
+	return fmt.Sprintf("%d.%d.%d.%d:%d", nums[0], nums[1], nums[2], nums[3], nums[4]*256+nums[5]), nil
+}
+
+func handlePASV(s *Session, _ string) {
+	if !s.RequireAuth() {
+		return
+	}
+	addr, err := s.SetupPasv()
+	if err != nil {
+		s.Reply(425, "cannot open passive port: "+err.Error())
+		return
+	}
+	spec, err := FormatPasvAddr(addr)
+	if err != nil {
+		s.closePasv()
+		s.Reply(425, err.Error())
+		return
+	}
+	s.Reply(227, "Entering Passive Mode ("+spec+")")
+}
+
+func handlePORT(s *Session, arg string) {
+	if !s.RequireAuth() {
+		return
+	}
+	addr, err := ParsePasvAddr(arg)
+	if err != nil {
+		s.Reply(501, err.Error())
+		return
+	}
+	s.closePasv()
+	s.portAddr = addr
+	s.Reply(200, "PORT command successful")
+}
+
+// HandleRETR is the stream-mode RETR implementation. The gridftp package
+// falls back to it when the session is in MODE S.
+func HandleRETR(s *Session, arg string) {
+	if !s.RequireAuth() {
+		return
+	}
+	f, err := s.Store().Open(s.ResolvePath(arg))
+	if err != nil {
+		s.Reply(550, err.Error())
+		return
+	}
+	offset := s.TakeRest()
+	size := f.Size()
+	if offset > size {
+		s.Reply(554, fmt.Sprintf("restart offset %d beyond size %d", offset, size))
+		return
+	}
+	s.Reply(150, fmt.Sprintf("opening data connection for %s (%d bytes)", arg, size-offset))
+	conn, err := s.OpenDataConn()
+	if err != nil {
+		s.Reply(425, err.Error())
+		return
+	}
+	defer conn.Close()
+	start := s.srv.cfg.Clock()
+	n, err := io.Copy(conn, io.NewSectionReader(f, offset, size-offset))
+	if err != nil {
+		s.Reply(426, "transfer aborted: "+err.Error())
+		return
+	}
+	s.LogTransfer(s.srv.cfg.Clock().Sub(start), n, s.ResolvePath(arg), 'o')
+	s.Reply(226, fmt.Sprintf("transfer complete (%d bytes)", n))
+}
+
+// HandleSTOR is the stream-mode STOR implementation, shared with gridftp's
+// MODE S path.
+func HandleSTOR(s *Session, arg string) {
+	if !s.RequireAuth() {
+		return
+	}
+	offset := s.TakeRest()
+	p := s.ResolvePath(arg)
+	var f File
+	var err error
+	if offset > 0 {
+		f, err = s.Store().Open(p)
+	} else {
+		f, err = s.Store().Create(p)
+	}
+	if err != nil {
+		s.Reply(550, err.Error())
+		return
+	}
+	s.Reply(150, "ok to send data")
+	conn, err := s.OpenDataConn()
+	if err != nil {
+		s.Reply(425, err.Error())
+		return
+	}
+	defer conn.Close()
+	start := s.srv.cfg.Clock()
+	buf := make([]byte, 64*1024)
+	total := int64(0)
+	for {
+		n, rerr := conn.Read(buf)
+		if n > 0 {
+			if _, werr := f.WriteAt(buf[:n], offset+total); werr != nil {
+				s.Reply(452, "write failed: "+werr.Error())
+				return
+			}
+			total += int64(n)
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			s.Reply(426, "transfer aborted: "+rerr.Error())
+			return
+		}
+	}
+	s.LogTransfer(s.srv.cfg.Clock().Sub(start), total, p, 'i')
+	s.Reply(226, fmt.Sprintf("transfer complete (%d bytes)", total))
+}
+
+func handleSIZE(s *Session, arg string) {
+	if !s.RequireAuth() {
+		return
+	}
+	n, err := s.Store().Size(s.ResolvePath(arg))
+	if err != nil {
+		s.Reply(550, err.Error())
+		return
+	}
+	s.Reply(213, strconv.FormatInt(n, 10))
+}
+
+func handleREST(s *Session, arg string) {
+	if !s.RequireAuth() {
+		return
+	}
+	n, err := strconv.ParseInt(arg, 10, 64)
+	if err != nil || n < 0 {
+		s.Reply(501, "bad restart offset")
+		return
+	}
+	s.SetRest(n)
+	s.Reply(350, fmt.Sprintf("restarting at %d, send transfer command", n))
+}
+
+func handleDELE(s *Session, arg string) {
+	if !s.RequireAuth() {
+		return
+	}
+	if err := s.Store().Remove(s.ResolvePath(arg)); err != nil {
+		s.Reply(550, err.Error())
+		return
+	}
+	s.Reply(250, "file deleted")
+}
+
+func handleNLST(s *Session, _ string) {
+	if !s.RequireAuth() {
+		return
+	}
+	s.Reply(150, "opening data connection for file list")
+	conn, err := s.OpenDataConn()
+	if err != nil {
+		s.Reply(425, err.Error())
+		return
+	}
+	defer conn.Close()
+	for _, p := range s.Store().List() {
+		fmt.Fprintf(conn, "%s\r\n", p)
+	}
+	s.Reply(226, "transfer complete")
+}
+
+func handleFEAT(s *Session, _ string) {
+	s.ReplyLines(211, "Features:", s.srv.feats, "End")
+}
+
+// handleMLSD sends an RFC 3659 machine-readable listing of the files under
+// the given directory (the cwd if absent) over the data connection.
+func handleMLSD(s *Session, arg string) {
+	if !s.RequireAuth() {
+		return
+	}
+	dir := s.cwd
+	if arg != "" {
+		dir = s.ResolvePath(arg)
+	}
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	s.Reply(150, "opening data connection for MLSD")
+	conn, err := s.OpenDataConn()
+	if err != nil {
+		s.Reply(425, err.Error())
+		return
+	}
+	defer conn.Close()
+	for _, p := range s.Store().List() {
+		if dir != "/" && !strings.HasPrefix(p, prefix) {
+			continue
+		}
+		size, err := s.Store().Size(p)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(conn, "type=file;size=%d; %s\r\n", size, p)
+	}
+	s.Reply(226, "MLSD complete")
+}

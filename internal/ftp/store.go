@@ -1,0 +1,232 @@
+// Package ftp implements a real, runnable subset of the FTP protocol
+// (RFC 959) over TCP: the baseline the paper measures GridFTP against
+// (§4.1). The server's command table is extensible, which is how package
+// gridftp layers the GridFTP extensions (MODE E, parallel data channels,
+// partial and third-party transfer) on top of this implementation.
+package ftp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// File is an open file supporting random access reads and writes. MODE E
+// receivers need WriteAt because extended blocks may arrive out of order.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	// Size returns the current file length.
+	Size() int64
+}
+
+// Store is the virtual filesystem a server exposes.
+type Store interface {
+	// Open returns an existing file for reading.
+	Open(path string) (File, error)
+	// Create makes (or truncates) a file for writing.
+	Create(path string) (File, error)
+	// Size returns a file's length.
+	Size(path string) (int64, error)
+	// List returns all paths, sorted.
+	List() []string
+	// Remove deletes a file.
+	Remove(path string) error
+	// Rename moves a file to a new path (RNFR/RNTO).
+	Rename(from, to string) error
+}
+
+// ErrNotFound is returned for missing paths.
+var ErrNotFound = errors.New("ftp: file not found")
+
+// MemStore is an in-memory Store, safe for concurrent use.
+type MemStore struct {
+	mu    sync.RWMutex
+	files map[string]*memFile
+}
+
+// NewMemStore returns an empty store.
+func NewMemStore() *MemStore {
+	return &MemStore{files: make(map[string]*memFile)}
+}
+
+type memFile struct {
+	mu   sync.RWMutex
+	data []byte
+}
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if off < 0 {
+		return 0, errors.New("ftp: negative offset")
+	}
+	if off >= int64(len(f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("ftp: negative offset")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	end := off + int64(len(p))
+	if end > int64(len(f.data)) {
+		if end <= int64(cap(f.data)) {
+			f.data = f.data[:end]
+		} else {
+			// Grow geometrically: a MODE E receiver extends the file on
+			// nearly every block, and linear reallocation would make the
+			// fill quadratic.
+			newCap := int64(cap(f.data)) * 2
+			if newCap < end {
+				newCap = end
+			}
+			grown := make([]byte, end, newCap)
+			copy(grown, f.data)
+			f.data = grown
+		}
+	}
+	copy(f.data[off:end], p)
+	return len(p), nil
+}
+
+func (f *memFile) Size() int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return int64(len(f.data))
+}
+
+func cleanPath(path string) (string, error) {
+	if path == "" {
+		return "", errors.New("ftp: empty path")
+	}
+	if !strings.HasPrefix(path, "/") {
+		path = "/" + path
+	}
+	if strings.Contains(path, "..") {
+		return "", fmt.Errorf("ftp: path %q escapes root", path)
+	}
+	return path, nil
+}
+
+// Open returns an existing file for reading.
+func (s *MemStore) Open(path string) (File, error) {
+	p, err := cleanPath(path)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, ok := s.files[p]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, p)
+	}
+	return f, nil
+}
+
+// Create makes (or truncates) a file for writing.
+func (s *MemStore) Create(path string) (File, error) {
+	p, err := cleanPath(path)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := &memFile{}
+	s.files[p] = f
+	return f, nil
+}
+
+// Size returns a file's length.
+func (s *MemStore) Size(path string) (int64, error) {
+	f, err := s.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	return f.Size(), nil
+}
+
+// List returns all paths, sorted.
+func (s *MemStore) List() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.files))
+	for p := range s.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Remove deletes a file.
+func (s *MemStore) Remove(path string) error {
+	p, err := cleanPath(path)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.files[p]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, p)
+	}
+	delete(s.files, p)
+	return nil
+}
+
+// Rename moves a file to a new path, replacing any existing target.
+func (s *MemStore) Rename(from, to string) error {
+	f, err := cleanPath(from)
+	if err != nil {
+		return err
+	}
+	t, err := cleanPath(to)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	file, ok := s.files[f]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, f)
+	}
+	delete(s.files, f)
+	s.files[t] = file
+	return nil
+}
+
+// Put writes a whole file (test and example convenience).
+func (s *MemStore) Put(path string, data []byte) error {
+	f, err := s.Create(path)
+	if err != nil {
+		return err
+	}
+	_, err = f.WriteAt(data, 0)
+	return err
+}
+
+// Get reads a whole file (test and example convenience).
+func (s *MemStore) Get(path string) ([]byte, error) {
+	f, err := s.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, f.Size())
+	if len(out) == 0 {
+		return out, nil
+	}
+	if _, err := f.ReadAt(out, 0); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return out, nil
+}

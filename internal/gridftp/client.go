@@ -1,0 +1,489 @@
+package gridftp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/ftp"
+	"github.com/hpclab/datagrid/internal/gsi"
+)
+
+// ClientConfig tunes a GridFTP client session, mirroring globus-url-copy's
+// options.
+type ClientConfig struct {
+	// Timeout bounds each control and data operation; default 10s.
+	Timeout time.Duration
+	// Parallelism is the number of parallel TCP data channels (the -p
+	// option). 0 or 1 means one channel. Values above 1 require MODE E.
+	Parallelism int
+	// BlockSize is the MODE E block payload size; default 64 KiB.
+	BlockSize int
+	// TCPBuffer, when non-zero, is negotiated with SBUF and applied to
+	// data sockets (the -tcp-bs option).
+	TCPBuffer int
+}
+
+// Client is a GridFTP control-channel client.
+type Client struct {
+	*ftp.Client
+	cfg   ClientConfig
+	modeE bool
+}
+
+// Dial connects to a GridFTP (or plain FTP) server.
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	if cfg.Parallelism < 0 {
+		return nil, fmt.Errorf("gridftp: negative parallelism %d", cfg.Parallelism)
+	}
+	if cfg.BlockSize < 0 || cfg.TCPBuffer < 0 {
+		return nil, errors.New("gridftp: negative client option")
+	}
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = 1
+	}
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = DefaultBlockSize
+	}
+	base, err := ftp.Dial(addr, cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{Client: base, cfg: cfg}, nil
+}
+
+// AuthGSI authenticates the control channel with the GSI handshake and
+// returns the server's subject.
+func (c *Client) AuthGSI(a *gsi.Authenticator) (string, error) {
+	if a == nil {
+		return "", errors.New("gridftp: nil authenticator")
+	}
+	if _, err := c.Expect(334, "AUTH GSI"); err != nil {
+		return "", err
+	}
+	rw := struct {
+		io.Reader
+		io.Writer
+	}{c.Reader(), c.Conn()}
+	peer, err := a.Client(rw)
+	if err != nil {
+		return "", err
+	}
+	if _, err := c.ExpectFinal(235); err != nil {
+		return "", err
+	}
+	return peer, nil
+}
+
+// Setup performs the standard post-login negotiation: binary type, MODE E
+// when parallelism or explicit extended mode is wanted, OPTS parallelism
+// and SBUF. Call after Login/AuthGSI.
+func (c *Client) Setup() error {
+	if err := c.TypeImage(); err != nil {
+		return err
+	}
+	if c.cfg.Parallelism > 1 {
+		if err := c.UseModeE(); err != nil {
+			return err
+		}
+	}
+	if c.cfg.TCPBuffer > 0 {
+		if _, err := c.Expect(200, "SBUF %d", c.cfg.TCPBuffer); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UseModeE switches the session to extended block mode.
+func (c *Client) UseModeE() error {
+	if _, err := c.Expect(200, "MODE E"); err != nil {
+		return err
+	}
+	c.modeE = true
+	if _, err := c.Expect(200, "OPTS RETR Parallelism=%d,%d,%d;", c.cfg.Parallelism, c.cfg.Parallelism, c.cfg.Parallelism); err != nil {
+		return err
+	}
+	return nil
+}
+
+// UseStreamMode switches back to stream mode with a single channel.
+func (c *Client) UseStreamMode() error {
+	if _, err := c.Expect(200, "MODE S"); err != nil {
+		return err
+	}
+	c.modeE = false
+	return nil
+}
+
+// ModeE reports whether the session is in extended block mode.
+func (c *Client) ModeE() bool { return c.modeE }
+
+// Parallelism returns the configured channel count.
+func (c *Client) Parallelism() int { return c.cfg.Parallelism }
+
+// dialDataChannels opens n connections to the server's passive address.
+func (c *Client) dialDataChannels(addr string, n int) ([]net.Conn, error) {
+	conns := make([]net.Conn, 0, n)
+	for i := 0; i < n; i++ {
+		conn, err := net.DialTimeout("tcp", addr, c.Timeout())
+		if err != nil {
+			closeAll(conns)
+			return nil, fmt.Errorf("gridftp: dialing data channel %d: %w", i, err)
+		}
+		if c.cfg.TCPBuffer > 0 {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				_ = tc.SetReadBuffer(c.cfg.TCPBuffer)
+				_ = tc.SetWriteBuffer(c.cfg.TCPBuffer)
+			}
+		}
+		conns = append(conns, conn)
+	}
+	return conns, nil
+}
+
+// byteWriterAt adapts a fixed buffer to io.WriterAt with bounds checking.
+type byteWriterAt struct {
+	buf []byte
+}
+
+func (b byteWriterAt) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 || off+int64(len(p)) > int64(len(b.buf)) {
+		return 0, fmt.Errorf("gridftp: write (%d,%d) outside buffer of %d", off, len(p), len(b.buf))
+	}
+	copy(b.buf[off:], p)
+	return len(p), nil
+}
+
+// Get downloads a whole file, using the session's mode and parallelism.
+func (c *Client) Get(path string) ([]byte, error) {
+	size, err := c.Size(path)
+	if err != nil {
+		return nil, err
+	}
+	if !c.modeE {
+		buf := make([]byte, 0, size)
+		w := &appendWriter{buf: &buf}
+		if _, err := c.Retr(path, w); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	buf := make([]byte, size)
+	if err := c.retrModeE(fmt.Sprintf("RETR %s", path), buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// GetPartial downloads the byte range [offset, offset+length) with ERET —
+// GridFTP's partial file transfer.
+func (c *Client) GetPartial(path string, offset, length int64) ([]byte, error) {
+	if offset < 0 || length < 0 {
+		return nil, errors.New("gridftp: negative partial range")
+	}
+	if !c.modeE {
+		var sb strings.Builder
+		addr, err := c.Passive()
+		if err != nil {
+			return nil, err
+		}
+		conns, err := c.dialDataChannels(addr, 1)
+		if err != nil {
+			return nil, err
+		}
+		defer closeAll(conns)
+		if _, err := c.Expect(150, "ERET P %d %d %s", offset, length, path); err != nil {
+			return nil, err
+		}
+		if _, err := io.Copy(&sb, conns[0]); err != nil {
+			return nil, err
+		}
+		if _, err := c.ExpectFinal(226); err != nil {
+			return nil, err
+		}
+		return []byte(sb.String()), nil
+	}
+	buf := make([]byte, length)
+	// MODE E blocks carry absolute offsets; receive into a window shifted
+	// back by the region start.
+	if err := c.retrModeEInto(fmt.Sprintf("ERET P %d %d %s", offset, length, path), shiftedWriterAt{byteWriterAt{buf}, -offset}); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+type shiftedWriterAt struct {
+	w     io.WriterAt
+	shift int64
+}
+
+func (s shiftedWriterAt) WriteAt(p []byte, off int64) (int, error) {
+	return s.w.WriteAt(p, off+s.shift)
+}
+
+type appendWriter struct {
+	buf *[]byte
+}
+
+func (a *appendWriter) Write(p []byte) (int, error) {
+	*a.buf = append(*a.buf, p...)
+	return len(p), nil
+}
+
+func (c *Client) retrModeE(cmd string, buf []byte) error {
+	return c.retrModeEInto(cmd, byteWriterAt{buf})
+}
+
+func (c *Client) retrModeEInto(cmd string, dst io.WriterAt) error {
+	addr, err := c.Passive()
+	if err != nil {
+		return err
+	}
+	conns, err := c.dialDataChannels(addr, c.cfg.Parallelism)
+	if err != nil {
+		return err
+	}
+	defer closeAll(conns)
+	if _, err := c.Expect(150, "%s", cmd); err != nil {
+		return err
+	}
+	rs := make([]io.Reader, len(conns))
+	for i, cn := range conns {
+		rs[i] = cn
+	}
+	_, announced, eods, err := ReceiveBlocks(rs, dst)
+	if err != nil {
+		return err
+	}
+	if announced > 0 && eods < announced {
+		return fmt.Errorf("gridftp: incomplete transfer: %d EODs of %d channels", eods, announced)
+	}
+	if _, err := c.ExpectFinal(226); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Put uploads data to path, using the session's mode and parallelism.
+func (c *Client) Put(path string, data []byte) error {
+	if !c.modeE {
+		_, err := c.Stor(path, strings.NewReader(string(data)))
+		return err
+	}
+	addr, err := c.Passive()
+	if err != nil {
+		return err
+	}
+	conns, err := c.dialDataChannels(addr, c.cfg.Parallelism)
+	if err != nil {
+		return err
+	}
+	defer closeAll(conns)
+	if _, err := c.Expect(200, "OPTS STOR Parallelism=%d,%d,%d;", c.cfg.Parallelism, c.cfg.Parallelism, c.cfg.Parallelism); err != nil {
+		return err
+	}
+	if _, err := c.Expect(150, "STOR %s", path); err != nil {
+		return err
+	}
+	ws := make([]io.Writer, len(conns))
+	for i, cn := range conns {
+		ws[i] = cn
+	}
+	if err := SendBlocks(ws, bytesReaderAt(data), 0, int64(len(data)), c.cfg.BlockSize); err != nil {
+		return err
+	}
+	closeAll(conns) // signal EOF on every channel
+	if _, err := c.ExpectFinal(226); err != nil {
+		return err
+	}
+	return nil
+}
+
+type bytesReaderAt []byte
+
+func (b bytesReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off > int64(len(b)) {
+		return 0, io.EOF
+	}
+	n := copy(p, b[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// GetStriped downloads a file over the server's striped data movers
+// (SPAS) — the paper's future-work feature #1. It requires MODE E.
+func (c *Client) GetStriped(path string) ([]byte, error) {
+	if !c.modeE {
+		return nil, errors.New("gridftp: striped transfer requires MODE E")
+	}
+	size, err := c.Size(path)
+	if err != nil {
+		return nil, err
+	}
+	code, msg, err := c.Cmd("SPAS")
+	if err != nil {
+		return nil, err
+	}
+	if code != 229 {
+		return nil, fmt.Errorf("gridftp: SPAS: %d %s", code, msg)
+	}
+	addrs, err := parseSpasReply(msg)
+	if err != nil {
+		return nil, err
+	}
+	conns := make([]net.Conn, 0, len(addrs))
+	for _, a := range addrs {
+		conn, err := net.DialTimeout("tcp", a, c.Timeout())
+		if err != nil {
+			closeAll(conns)
+			return nil, fmt.Errorf("gridftp: dialing stripe %s: %w", a, err)
+		}
+		conns = append(conns, conn)
+	}
+	defer closeAll(conns)
+	if _, err := c.Expect(150, "RETR %s", path); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, size)
+	rs := make([]io.Reader, len(conns))
+	for i, cn := range conns {
+		rs[i] = cn
+	}
+	_, announced, eods, err := ReceiveBlocks(rs, byteWriterAt{buf})
+	if err != nil {
+		return nil, err
+	}
+	if announced > 0 && eods < announced {
+		return nil, fmt.Errorf("gridftp: incomplete striped transfer: %d of %d EODs", eods, announced)
+	}
+	if _, err := c.ExpectFinal(226); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// parseSpasReply extracts dialable addresses from the multiline 229 reply.
+func parseSpasReply(msg string) ([]string, error) {
+	var out []string
+	for _, line := range strings.Split(msg, "\n") {
+		line = strings.TrimSpace(line)
+		if strings.Count(line, ",") == 5 {
+			addr, err := ftp.ParsePasvAddr(line)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, addr)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("gridftp: no stripe addresses in SPAS reply %q", msg)
+	}
+	return out, nil
+}
+
+// ThirdPartyStriped moves srcPath on the src server to dstPath on the dst
+// server through the source's striped data movers: the client asks the
+// source for its stripe listeners (SPAS), hands them to the destination
+// (SPOR), and the destination's movers pull the file in parallel — the
+// full combination of the paper's future-work striping with third-party
+// transfer. Both sessions must be in MODE E.
+func ThirdPartyStriped(src *Client, srcPath string, dst *Client, dstPath string) error {
+	if src == nil || dst == nil {
+		return errors.New("gridftp: third-party needs two clients")
+	}
+	if !src.modeE || !dst.modeE {
+		return errors.New("gridftp: striped third-party requires MODE E on both endpoints")
+	}
+	code, msg, err := src.Cmd("SPAS")
+	if err != nil {
+		return err
+	}
+	if code != 229 {
+		return fmt.Errorf("gridftp: SPAS: %d %s", code, msg)
+	}
+	addrs, err := parseSpasReply(msg)
+	if err != nil {
+		return err
+	}
+	specs := make([]string, 0, len(addrs))
+	for _, a := range addrs {
+		spec, err := ftp.FormatAddrSpec(a)
+		if err != nil {
+			return err
+		}
+		specs = append(specs, spec)
+	}
+	if _, err := dst.Expect(200, "SPOR %s", strings.Join(specs, " ")); err != nil {
+		return err
+	}
+	if _, err := dst.Expect(150, "STOR %s", dstPath); err != nil {
+		return err
+	}
+	if _, err := src.Expect(150, "RETR %s", srcPath); err != nil {
+		return err
+	}
+	if _, err := src.ExpectFinal(226); err != nil {
+		return err
+	}
+	if _, err := dst.ExpectFinal(226); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ThirdParty moves srcPath on the src server directly to dstPath on the
+// dst server, with the client orchestrating both control channels and no
+// data flowing through the client — GridFTP third-party transfer. Both
+// sessions must be in the same mode; in MODE E the configured parallelism
+// applies (src accepts what dst dials).
+func ThirdParty(src *Client, srcPath string, dst *Client, dstPath string) error {
+	if src == nil || dst == nil {
+		return errors.New("gridftp: third-party needs two clients")
+	}
+	if src.modeE != dst.modeE {
+		return errors.New("gridftp: third-party endpoints must use the same mode")
+	}
+	srcAddr, err := src.Passive()
+	if err != nil {
+		return err
+	}
+	spec, err := ftp.FormatAddrSpec(srcAddr)
+	if err != nil {
+		return err
+	}
+	if _, err := dst.Expect(200, "PORT %s", spec); err != nil {
+		return err
+	}
+	if src.modeE {
+		p := src.cfg.Parallelism
+		if dp := dst.cfg.Parallelism; dp < p {
+			p = dp
+		}
+		if _, err := src.Expect(200, "OPTS RETR Parallelism=%d;", p); err != nil {
+			return err
+		}
+		if _, err := dst.Expect(200, "OPTS STOR Parallelism=%d;", p); err != nil {
+			return err
+		}
+	}
+	// Destination first: its 150 means it is dialing the source listener.
+	if _, err := dst.Expect(150, "STOR %s", dstPath); err != nil {
+		return err
+	}
+	if _, err := src.Expect(150, "RETR %s", srcPath); err != nil {
+		return err
+	}
+	if _, err := src.ExpectFinal(226); err != nil {
+		return err
+	}
+	if _, err := dst.ExpectFinal(226); err != nil {
+		return err
+	}
+	return nil
+}

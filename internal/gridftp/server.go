@@ -1,0 +1,538 @@
+package gridftp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/ftp"
+	"github.com/hpclab/datagrid/internal/gsi"
+)
+
+// Session Extra keys used by the extension handlers.
+const (
+	extraParallelism = "gridftp.parallelism"
+	extraSpas        = "gridftp.spas"
+	extraSpor        = "gridftp.spor"
+	extraSBuf        = "gridftp.sbuf"
+	extraGSIPeer     = "gridftp.gsiPeer"
+)
+
+// ServerConfig configures a GridFTP server.
+type ServerConfig struct {
+	// Store is the filesystem served. Required.
+	Store ftp.Store
+	// GSI, when set, enables the AUTH GSI command; with RequireGSI the
+	// server refuses USER/PASS logins.
+	GSI *gsi.Authenticator
+	// RequireGSI forces GSI authentication.
+	RequireGSI bool
+	// Stripes is the number of data movers SPAS exposes; default 4.
+	Stripes int
+	// DataTimeout bounds data-connection setup; default 10s.
+	DataTimeout time.Duration
+	// TransferLog receives wu-ftpd xferlog lines for completed transfers
+	// (stream and MODE E alike).
+	TransferLog io.Writer
+}
+
+// Server is a GridFTP server: an ftp.Server with the Grid extensions
+// installed.
+type Server struct {
+	*ftp.Server
+	cfg ServerConfig
+}
+
+// NewServer builds a GridFTP server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Stripes == 0 {
+		cfg.Stripes = 4
+	}
+	if cfg.Stripes < 0 {
+		return nil, fmt.Errorf("gridftp: negative stripe count %d", cfg.Stripes)
+	}
+	if cfg.DataTimeout == 0 {
+		cfg.DataTimeout = 10 * time.Second
+	}
+	var auth func(user, pass string) bool
+	if cfg.RequireGSI {
+		if cfg.GSI == nil {
+			return nil, errors.New("gridftp: RequireGSI needs a GSI authenticator")
+		}
+		auth = func(string, string) bool { return false }
+	}
+	base, err := ftp.NewServer(ftp.ServerConfig{
+		Store:       cfg.Store,
+		Auth:        auth,
+		Welcome:     "datagrid GridFTP server ready",
+		DataTimeout: cfg.DataTimeout,
+		TransferLog: cfg.TransferLog,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{Server: base, cfg: cfg}
+	base.Handle("MODE", s.handleMODE)
+	base.Handle("AUTH", s.handleAUTH)
+	base.Handle("OPTS", s.handleOPTS)
+	base.Handle("SBUF", s.handleSBUF)
+	base.Handle("RETR", s.handleRETR)
+	base.Handle("STOR", s.handleSTOR)
+	base.Handle("ERET", s.handleERET)
+	base.Handle("ESTO", s.handleESTO)
+	base.Handle("SPAS", s.handleSPAS)
+	base.Handle("SPOR", s.handleSPOR)
+	base.Handle("CKSM", s.handleCKSM)
+	base.AddFeature("CKSM MD5,SHA1,CRC32")
+	base.AddFeature("AUTH GSI")
+	base.AddFeature("MODE E")
+	base.AddFeature("PARALLEL")
+	base.AddFeature("ERET")
+	base.AddFeature("ESTO")
+	base.AddFeature("SBUF")
+	base.AddFeature("SPAS")
+	base.AddFeature("SPOR")
+	base.OnSessionEnd(func(sess *ftp.Session) {
+		if lns, ok := sess.Extra[extraSpas].([]net.Listener); ok {
+			for _, ln := range lns {
+				ln.Close()
+			}
+		}
+	})
+	return s, nil
+}
+
+func (s *Server) handleMODE(sess *ftp.Session, arg string) {
+	switch strings.ToUpper(arg) {
+	case "S":
+		sess.SetMode('S')
+		sess.Reply(200, "mode set to S")
+	case "E":
+		sess.SetMode('E')
+		sess.Reply(200, "mode set to E (extended block)")
+	default:
+		sess.Reply(504, "only modes S and E supported")
+	}
+}
+
+func (s *Server) handleAUTH(sess *ftp.Session, arg string) {
+	if !strings.EqualFold(arg, "GSI") && !strings.EqualFold(arg, "GSSAPI") {
+		sess.Reply(504, "only AUTH GSI supported")
+		return
+	}
+	if s.cfg.GSI == nil {
+		sess.Reply(534, "GSI not configured on this server")
+		return
+	}
+	sess.Reply(334, "proceed with GSI handshake")
+	rw := struct {
+		io.Reader
+		io.Writer
+	}{sess.Reader(), sess.Conn()}
+	peer, err := s.cfg.GSI.Server(rw)
+	if err != nil {
+		sess.Reply(535, "GSI authentication failed")
+		return
+	}
+	sess.Extra[extraGSIPeer] = peer
+	sess.SetAuthed(peer)
+	sess.Reply(235, "GSI authentication successful for "+peer)
+}
+
+// parseParallelism extracts the first integer of "Parallelism=a,b,c;".
+func parseParallelism(arg string) (int, error) {
+	i := strings.Index(strings.ToLower(arg), "parallelism=")
+	if i < 0 {
+		return 0, fmt.Errorf("gridftp: no Parallelism option in %q", arg)
+	}
+	rest := arg[i+len("parallelism="):]
+	end := strings.IndexAny(rest, ",;")
+	if end < 0 {
+		end = len(rest)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(rest[:end]))
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("gridftp: bad parallelism %q", rest)
+	}
+	return n, nil
+}
+
+func (s *Server) handleOPTS(sess *ftp.Session, arg string) {
+	verb, rest, _ := strings.Cut(arg, " ")
+	switch strings.ToUpper(verb) {
+	case "RETR", "STOR":
+		n, err := parseParallelism(rest)
+		if err != nil {
+			sess.Reply(501, err.Error())
+			return
+		}
+		sess.Extra[extraParallelism] = n
+		sess.Reply(200, fmt.Sprintf("parallelism set to %d", n))
+	default:
+		sess.Reply(501, "OPTS target not supported")
+	}
+}
+
+func (s *Server) handleSBUF(sess *ftp.Session, arg string) {
+	n, err := strconv.Atoi(strings.TrimSpace(arg))
+	if err != nil || n <= 0 {
+		sess.Reply(501, "bad buffer size")
+		return
+	}
+	sess.Extra[extraSBuf] = n
+	sess.Reply(200, fmt.Sprintf("TCP buffer set to %d", n))
+}
+
+func (s *Server) parallelism(sess *ftp.Session) int {
+	if n, ok := sess.Extra[extraParallelism].(int); ok && n > 0 {
+		return n
+	}
+	return 1
+}
+
+func applySBuf(sess *ftp.Session, conns []net.Conn) {
+	n, ok := sess.Extra[extraSBuf].(int)
+	if !ok {
+		return
+	}
+	for _, c := range conns {
+		if tc, ok := c.(*net.TCPConn); ok {
+			_ = tc.SetReadBuffer(n)
+			_ = tc.SetWriteBuffer(n)
+		}
+	}
+}
+
+// dataChannels establishes the session's MODE E data connections:
+// striped listeners (SPAS) accept one each, a passive listener accepts
+// `parallelism` connections, striped addresses (SPOR) are dialed once
+// each, and an active-mode PORT address is dialed `parallelism` times.
+func (s *Server) dataChannels(sess *ftp.Session) ([]net.Conn, error) {
+	if lns, ok := sess.Extra[extraSpas].([]net.Listener); ok && len(lns) > 0 {
+		conns := make([]net.Conn, 0, len(lns))
+		for _, ln := range lns {
+			c, err := acceptTimeout(ln, s.cfg.DataTimeout)
+			if err != nil {
+				closeAll(conns)
+				return nil, err
+			}
+			conns = append(conns, c)
+		}
+		applySBuf(sess, conns)
+		return conns, nil
+	}
+	if addrs, ok := sess.Extra[extraSpor].([]string); ok && len(addrs) > 0 {
+		conns := make([]net.Conn, 0, len(addrs))
+		for _, a := range addrs {
+			c, err := net.DialTimeout("tcp", a, s.cfg.DataTimeout)
+			if err != nil {
+				closeAll(conns)
+				return nil, err
+			}
+			conns = append(conns, c)
+		}
+		applySBuf(sess, conns)
+		return conns, nil
+	}
+	p := s.parallelism(sess)
+	conns := make([]net.Conn, 0, p)
+	for i := 0; i < p; i++ {
+		c, err := sess.OpenDataConn()
+		if err != nil {
+			closeAll(conns)
+			return nil, err
+		}
+		conns = append(conns, c)
+	}
+	applySBuf(sess, conns)
+	return conns, nil
+}
+
+func acceptTimeout(ln net.Listener, d time.Duration) (net.Conn, error) {
+	type result struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- result{c, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.c, r.err
+	case <-time.After(d):
+		return nil, errors.New("gridftp: timed out waiting for data connection")
+	}
+}
+
+func closeAll(conns []net.Conn) {
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (s *Server) handleRETR(sess *ftp.Session, arg string) {
+	if sess.Mode() != 'E' {
+		ftp.HandleRETR(sess, arg)
+		return
+	}
+	if !sess.RequireAuth() {
+		return
+	}
+	f, err := sess.Store().Open(sess.ResolvePath(arg))
+	if err != nil {
+		sess.Reply(550, err.Error())
+		return
+	}
+	offset := sess.TakeRest()
+	size := f.Size()
+	if offset > size {
+		sess.Reply(554, fmt.Sprintf("restart offset %d beyond size %d", offset, size))
+		return
+	}
+	s.sendRange(sess, f, offset, size-offset, arg)
+}
+
+func (s *Server) handleERET(sess *ftp.Session, arg string) {
+	if !sess.RequireAuth() {
+		return
+	}
+	// ERET P <offset> <length> <path>
+	fields := strings.SplitN(arg, " ", 4)
+	if len(fields) != 4 || !strings.EqualFold(fields[0], "P") {
+		sess.Reply(501, "usage: ERET P <offset> <length> <path>")
+		return
+	}
+	offset, err1 := strconv.ParseInt(fields[1], 10, 64)
+	length, err2 := strconv.ParseInt(fields[2], 10, 64)
+	if err1 != nil || err2 != nil || offset < 0 || length < 0 {
+		sess.Reply(501, "bad offset/length")
+		return
+	}
+	f, err := sess.Store().Open(sess.ResolvePath(fields[3]))
+	if err != nil {
+		sess.Reply(550, err.Error())
+		return
+	}
+	if offset+length > f.Size() {
+		sess.Reply(554, fmt.Sprintf("region (%d,%d) beyond size %d", offset, length, f.Size()))
+		return
+	}
+	if sess.Mode() != 'E' {
+		// Stream-mode partial retrieve.
+		sess.Reply(150, fmt.Sprintf("opening data connection for %s region (%d,%d)", fields[3], offset, length))
+		conn, err := sess.OpenDataConn()
+		if err != nil {
+			sess.Reply(425, err.Error())
+			return
+		}
+		defer conn.Close()
+		if _, err := io.Copy(conn, io.NewSectionReader(f, offset, length)); err != nil {
+			sess.Reply(426, "transfer aborted: "+err.Error())
+			return
+		}
+		sess.Reply(226, "transfer complete")
+		return
+	}
+	s.sendRange(sess, f, offset, length, fields[3])
+}
+
+// sendRange runs a MODE E send of [offset, offset+length) over the
+// session's data channels.
+func (s *Server) sendRange(sess *ftp.Session, f ftp.File, offset, length int64, name string) {
+	sess.Reply(150, fmt.Sprintf("opening %d data channel(s) for %s (%d bytes, MODE E)",
+		s.channelCount(sess), name, length))
+	conns, err := s.dataChannels(sess)
+	if err != nil {
+		sess.Reply(425, err.Error())
+		return
+	}
+	defer closeAll(conns)
+	ws := make([]io.Writer, len(conns))
+	for i, c := range conns {
+		ws[i] = c
+	}
+	start := time.Now()
+	if err := SendBlocks(ws, f, offset, length, DefaultBlockSize); err != nil {
+		sess.Reply(426, "transfer aborted: "+err.Error())
+		return
+	}
+	sess.LogTransfer(time.Since(start), length, name, 'o')
+	sess.Reply(226, fmt.Sprintf("transfer complete (%d bytes on %d channels)", length, len(conns)))
+}
+
+func (s *Server) channelCount(sess *ftp.Session) int {
+	if lns, ok := sess.Extra[extraSpas].([]net.Listener); ok && len(lns) > 0 {
+		return len(lns)
+	}
+	if addrs, ok := sess.Extra[extraSpor].([]string); ok && len(addrs) > 0 {
+		return len(addrs)
+	}
+	return s.parallelism(sess)
+}
+
+func (s *Server) handleSTOR(sess *ftp.Session, arg string) {
+	if sess.Mode() != 'E' {
+		ftp.HandleSTOR(sess, arg)
+		return
+	}
+	if !sess.RequireAuth() {
+		return
+	}
+	s.receiveInto(sess, arg, 0, false)
+}
+
+func (s *Server) handleESTO(sess *ftp.Session, arg string) {
+	if !sess.RequireAuth() {
+		return
+	}
+	// ESTO A <offset> <path>
+	fields := strings.SplitN(arg, " ", 3)
+	if len(fields) != 3 || !strings.EqualFold(fields[0], "A") {
+		sess.Reply(501, "usage: ESTO A <offset> <path>")
+		return
+	}
+	offset, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || offset < 0 {
+		sess.Reply(501, "bad offset")
+		return
+	}
+	if sess.Mode() != 'E' {
+		sess.SetRest(offset)
+		ftp.HandleSTOR(sess, fields[2])
+		return
+	}
+	s.receiveInto(sess, fields[2], offset, true)
+}
+
+// receiveInto runs a MODE E receive into path, shifting block offsets by
+// base when adjusted (ESTO A).
+func (s *Server) receiveInto(sess *ftp.Session, path string, base int64, adjusted bool) {
+	path = sess.ResolvePath(path)
+	var f ftp.File
+	var err error
+	if adjusted {
+		f, err = sess.Store().Open(path)
+		if errors.Is(err, ftp.ErrNotFound) {
+			f, err = sess.Store().Create(path)
+		}
+	} else {
+		f, err = sess.Store().Create(path)
+	}
+	if err != nil {
+		sess.Reply(550, err.Error())
+		return
+	}
+	sess.Reply(150, fmt.Sprintf("ready for %d data channel(s) (MODE E)", s.channelCount(sess)))
+	conns, err := s.dataChannels(sess)
+	if err != nil {
+		sess.Reply(425, err.Error())
+		return
+	}
+	defer closeAll(conns)
+	rs := make([]io.Reader, len(conns))
+	for i, c := range conns {
+		rs[i] = c
+	}
+	dst := io.WriterAt(f)
+	if base != 0 {
+		dst = offsetWriterAt{f, base}
+	}
+	start := time.Now()
+	total, announced, eods, err := ReceiveBlocks(rs, dst)
+	if err != nil {
+		sess.Reply(426, "transfer aborted: "+err.Error())
+		return
+	}
+	if announced > 0 && eods < announced {
+		sess.Reply(426, fmt.Sprintf("missing data channels: got %d EODs of %d", eods, announced))
+		return
+	}
+	sess.LogTransfer(time.Since(start), total, path, 'i')
+	sess.Reply(226, fmt.Sprintf("transfer complete (%d bytes on %d channels)", total, len(conns)))
+}
+
+type offsetWriterAt struct {
+	w    io.WriterAt
+	base int64
+}
+
+func (o offsetWriterAt) WriteAt(p []byte, off int64) (int, error) {
+	return o.w.WriteAt(p, off+o.base)
+}
+
+func (s *Server) handleSPAS(sess *ftp.Session, _ string) {
+	if !sess.RequireAuth() {
+		return
+	}
+	// Close any previous stripe listeners.
+	if old, ok := sess.Extra[extraSpas].([]net.Listener); ok {
+		for _, ln := range old {
+			ln.Close()
+		}
+	}
+	host, _, err := net.SplitHostPort(sess.Conn().LocalAddr().String())
+	if err != nil {
+		sess.Reply(425, err.Error())
+		return
+	}
+	lns := make([]net.Listener, 0, s.cfg.Stripes)
+	specs := make([]string, 0, s.cfg.Stripes)
+	for i := 0; i < s.cfg.Stripes; i++ {
+		ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+		if err != nil {
+			for _, l := range lns {
+				l.Close()
+			}
+			sess.Reply(425, "cannot open stripe listener: "+err.Error())
+			return
+		}
+		spec, err := ftp.FormatPasvAddr(ln.Addr())
+		if err != nil {
+			ln.Close()
+			for _, l := range lns {
+				l.Close()
+			}
+			sess.Reply(425, err.Error())
+			return
+		}
+		lns = append(lns, ln)
+		specs = append(specs, spec)
+	}
+	sess.Extra[extraSpas] = lns
+	delete(sess.Extra, extraSpor)
+	sess.ReplyLines(229, "Entering Striped Passive Mode", specs, "End")
+}
+
+func (s *Server) handleSPOR(sess *ftp.Session, arg string) {
+	if !sess.RequireAuth() {
+		return
+	}
+	fields := strings.Fields(arg)
+	if len(fields) == 0 {
+		sess.Reply(501, "SPOR needs at least one address")
+		return
+	}
+	addrs := make([]string, 0, len(fields))
+	for _, f := range fields {
+		a, err := ftp.ParsePasvAddr(f)
+		if err != nil {
+			sess.Reply(501, err.Error())
+			return
+		}
+		addrs = append(addrs, a)
+	}
+	sess.Extra[extraSpor] = addrs
+	if old, ok := sess.Extra[extraSpas].([]net.Listener); ok {
+		for _, ln := range old {
+			ln.Close()
+		}
+		delete(sess.Extra, extraSpas)
+	}
+	sess.Reply(200, fmt.Sprintf("striped port set (%d stripes)", len(addrs)))
+}

@@ -1,0 +1,201 @@
+// Package gsi provides a simplified Grid Security Infrastructure: mutual
+// authentication between grid processes before any protocol traffic, the
+// role GSI plays at the connection layer of every Globus service (paper
+// §2.1).
+//
+// Substitution note (DESIGN.md): real GSI uses X.509 proxy certificates.
+// Reimplementing PKI is out of scope, so this package models a virtual
+// organization's CA as a shared HMAC issuer: the CA derives a per-subject
+// secret, and a three-way nonce exchange proves possession of that secret
+// in both directions. The wire shape (extra round trips before the FTP
+// banner is usable) is what the performance experiments care about, and
+// that is preserved.
+package gsi
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+)
+
+// CA is a virtual organization's certificate authority.
+type CA struct {
+	key []byte
+}
+
+// NewCA creates a CA from a secret key. The key must be non-empty.
+func NewCA(key []byte) (*CA, error) {
+	if len(key) == 0 {
+		return nil, errors.New("gsi: empty CA key")
+	}
+	cp := append([]byte(nil), key...)
+	return &CA{key: cp}, nil
+}
+
+// Issue creates a credential for a subject (e.g. "/O=Grid/CN=alpha1").
+func (ca *CA) Issue(subject string) (Credential, error) {
+	if subject == "" {
+		return Credential{}, errors.New("gsi: empty subject")
+	}
+	if strings.ContainsAny(subject, " \n\r") {
+		return Credential{}, fmt.Errorf("gsi: subject %q contains whitespace", subject)
+	}
+	return Credential{Subject: subject, secret: ca.subjectSecret(subject)}, nil
+}
+
+func (ca *CA) subjectSecret(subject string) []byte {
+	m := hmac.New(sha256.New, ca.key)
+	m.Write([]byte("subject-key:" + subject))
+	return m.Sum(nil)
+}
+
+// Credential identifies one grid process.
+type Credential struct {
+	// Subject is the distinguished name.
+	Subject string
+	secret  []byte
+}
+
+// Valid reports whether the credential was issued by a CA.
+func (c Credential) Valid() bool { return c.Subject != "" && len(c.secret) > 0 }
+
+// Authenticator performs the handshake for one process. The process trusts
+// a single CA (its virtual organization).
+type Authenticator struct {
+	ca   *CA
+	cred Credential
+	rng  *rand.Rand
+}
+
+// NewAuthenticator wires a process's credential and trusted CA. The seeded
+// rng keeps nonce generation deterministic inside simulations; use any
+// seed in production paths.
+func NewAuthenticator(ca *CA, cred Credential, seed int64) (*Authenticator, error) {
+	if ca == nil {
+		return nil, errors.New("gsi: nil CA")
+	}
+	if !cred.Valid() {
+		return nil, errors.New("gsi: invalid credential")
+	}
+	return &Authenticator{ca: ca, cred: cred, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// ErrAuthFailed is returned when the peer cannot prove its identity.
+var ErrAuthFailed = errors.New("gsi: authentication failed")
+
+const protoTag = "GSI/1"
+
+func (a *Authenticator) nonce() string {
+	b := make([]byte, 16)
+	a.rng.Read(b)
+	return hex.EncodeToString(b)
+}
+
+func proof(secret []byte, nonceC, nonceS, role string) string {
+	m := hmac.New(sha256.New, secret)
+	m.Write([]byte(nonceC + "|" + nonceS + "|" + role))
+	return hex.EncodeToString(m.Sum(nil))
+}
+
+// Client runs the initiator side of the handshake over rw and returns the
+// authenticated server subject.
+//
+// The handshake reads rw one byte at a time and never reads past the final
+// handshake line, so it can run in-band on a control channel whose later
+// bytes belong to another protocol (e.g. the FTP reply stream).
+func (a *Authenticator) Client(rw io.ReadWriter) (string, error) {
+	nonceC := a.nonce()
+	if _, err := fmt.Fprintf(rw, "%s AUTH %s %s\n", protoTag, a.cred.Subject, nonceC); err != nil {
+		return "", fmt.Errorf("gsi: sending auth: %w", err)
+	}
+	line, err := readLine(rw)
+	if err != nil {
+		return "", err
+	}
+	parts := strings.Fields(line)
+	if len(parts) != 5 || parts[0] != protoTag || parts[1] != "AUTH" {
+		return "", fmt.Errorf("%w: malformed server hello %q", ErrAuthFailed, line)
+	}
+	serverSubject, nonceS, serverProof := parts[2], parts[3], parts[4]
+	want := proof(a.ca.subjectSecret(serverSubject), nonceC, nonceS, "server")
+	if !hmac.Equal([]byte(want), []byte(serverProof)) {
+		return "", fmt.Errorf("%w: server %q proof mismatch", ErrAuthFailed, serverSubject)
+	}
+	if _, err := fmt.Fprintf(rw, "%s PROOF %s\n", protoTag, proof(a.cred.secret, nonceC, nonceS, "client")); err != nil {
+		return "", fmt.Errorf("gsi: sending proof: %w", err)
+	}
+	line, err = readLine(rw)
+	if err != nil {
+		return "", err
+	}
+	if line != protoTag+" OK" {
+		return "", fmt.Errorf("%w: server rejected: %q", ErrAuthFailed, line)
+	}
+	return serverSubject, nil
+}
+
+// Server runs the responder side of the handshake over rw and returns the
+// authenticated client subject.
+func (a *Authenticator) Server(rw io.ReadWriter) (string, error) {
+	line, err := readLine(rw)
+	if err != nil {
+		return "", err
+	}
+	parts := strings.Fields(line)
+	if len(parts) != 4 || parts[0] != protoTag || parts[1] != "AUTH" {
+		return "", fmt.Errorf("%w: malformed client hello %q", ErrAuthFailed, line)
+	}
+	clientSubject, nonceC := parts[2], parts[3]
+	nonceS := a.nonce()
+	if _, err := fmt.Fprintf(rw, "%s AUTH %s %s %s\n", protoTag, a.cred.Subject, nonceS,
+		proof(a.cred.secret, nonceC, nonceS, "server")); err != nil {
+		return "", fmt.Errorf("gsi: sending server hello: %w", err)
+	}
+	line, err = readLine(rw)
+	if err != nil {
+		return "", err
+	}
+	parts = strings.Fields(line)
+	if len(parts) != 3 || parts[0] != protoTag || parts[1] != "PROOF" {
+		fmt.Fprintf(rw, "%s FAIL malformed-proof\n", protoTag)
+		return "", fmt.Errorf("%w: malformed client proof %q", ErrAuthFailed, line)
+	}
+	want := proof(a.ca.subjectSecret(clientSubject), nonceC, nonceS, "client")
+	if !hmac.Equal([]byte(want), []byte(parts[2])) {
+		fmt.Fprintf(rw, "%s FAIL bad-proof\n", protoTag)
+		return "", fmt.Errorf("%w: client %q proof mismatch", ErrAuthFailed, clientSubject)
+	}
+	if _, err := fmt.Fprintf(rw, "%s OK\n", protoTag); err != nil {
+		return "", fmt.Errorf("gsi: sending ok: %w", err)
+	}
+	return clientSubject, nil
+}
+
+// readLine reads up to and including one '\n' without any read-ahead, so
+// bytes after the handshake stay in the underlying stream.
+func readLine(r io.Reader) (string, error) {
+	var b strings.Builder
+	buf := make([]byte, 1)
+	for {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return "", fmt.Errorf("gsi: reading handshake: %w", err)
+		}
+		if buf[0] == '\n' {
+			return strings.TrimRight(b.String(), "\r"), nil
+		}
+		b.WriteByte(buf[0])
+		if b.Len() > 4096 {
+			return "", errors.New("gsi: handshake line too long")
+		}
+	}
+}
+
+// HandshakeRoundTrips is the number of control-channel round trips the GSI
+// exchange costs before the application protocol may proceed. The
+// simulated transfer model charges this latency for GridFTP sessions.
+const HandshakeRoundTrips = 2

@@ -1,0 +1,141 @@
+package gsi
+
+import (
+	"errors"
+	"net"
+	"testing"
+)
+
+func newPair(t *testing.T) (*Authenticator, *Authenticator) {
+	t.Helper()
+	ca, err := NewCA([]byte("vo-secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientCred, err := ca.Issue("/O=Grid/CN=alpha1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverCred, err := ca.Issue("/O=Grid/CN=gridftpd.hit0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewAuthenticator(ca, clientCred, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewAuthenticator(ca, serverCred, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, s
+}
+
+// handshake runs both sides over a pipe and returns what each learned.
+func handshake(t *testing.T, c, s *Authenticator) (clientSaw, serverSaw string, clientErr, serverErr error) {
+	t.Helper()
+	cc, sc := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		serverSaw, serverErr = s.Server(sc)
+		sc.Close()
+		close(done)
+	}()
+	clientSaw, clientErr = c.Client(cc)
+	// Closing the client end unblocks a server still waiting for a proof
+	// the client refused to send (e.g. wrong-CA rejection).
+	cc.Close()
+	<-done
+	return
+}
+
+func TestMutualAuthentication(t *testing.T) {
+	c, s := newPair(t)
+	clientSaw, serverSaw, cerr, serr := handshake(t, c, s)
+	if cerr != nil || serr != nil {
+		t.Fatalf("handshake errs: client=%v server=%v", cerr, serr)
+	}
+	if clientSaw != "/O=Grid/CN=gridftpd.hit0" {
+		t.Fatalf("client saw %q", clientSaw)
+	}
+	if serverSaw != "/O=Grid/CN=alpha1" {
+		t.Fatalf("server saw %q", serverSaw)
+	}
+}
+
+func TestWrongCARejected(t *testing.T) {
+	c, _ := newPair(t)
+	otherCA, err := NewCA([]byte("rogue"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogueCred, err := otherCA.Issue("/O=Evil/CN=mallory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogue, err := NewAuthenticator(otherCA, rogueCred, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, cerr, serr := handshake(t, c, rogue)
+	if cerr == nil {
+		t.Fatal("client must reject a server from another CA")
+	}
+	if !errors.Is(cerr, ErrAuthFailed) {
+		t.Fatalf("client err = %v, want ErrAuthFailed", cerr)
+	}
+	_ = serr // server side may fail or not depending on timing of pipe close
+}
+
+func TestImpersonationRejected(t *testing.T) {
+	ca, _ := NewCA([]byte("vo-secret"))
+	// Mallory holds a valid credential but claims a different subject by
+	// reusing alice's name with her own secret.
+	malloryCred, _ := ca.Issue("/CN=mallory")
+	forged := Credential{Subject: "/CN=alice", secret: malloryCred.secret}
+	forger, err := NewAuthenticator(ca, forged, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s := newPair(t)
+	_, _, _, serr := handshake(t, forger, s)
+	if !errors.Is(serr, ErrAuthFailed) {
+		t.Fatalf("server err = %v, want ErrAuthFailed", serr)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewCA(nil); err == nil {
+		t.Fatal("empty CA key should be rejected")
+	}
+	ca, _ := NewCA([]byte("k"))
+	if _, err := ca.Issue(""); err == nil {
+		t.Fatal("empty subject should be rejected")
+	}
+	if _, err := ca.Issue("has space"); err == nil {
+		t.Fatal("whitespace subject should be rejected")
+	}
+	cred, _ := ca.Issue("/CN=x")
+	if _, err := NewAuthenticator(nil, cred, 1); err == nil {
+		t.Fatal("nil CA should be rejected")
+	}
+	if _, err := NewAuthenticator(ca, Credential{}, 1); err == nil {
+		t.Fatal("invalid credential should be rejected")
+	}
+	if (Credential{}).Valid() {
+		t.Fatal("zero credential must not be valid")
+	}
+}
+
+func TestDistinctSubjectsDistinctSecrets(t *testing.T) {
+	ca, _ := NewCA([]byte("k"))
+	a, _ := ca.Issue("/CN=a")
+	b, _ := ca.Issue("/CN=b")
+	if string(a.secret) == string(b.secret) {
+		t.Fatal("different subjects must derive different secrets")
+	}
+	a2, _ := ca.Issue("/CN=a")
+	if string(a.secret) != string(a2.secret) {
+		t.Fatal("same subject must derive the same secret")
+	}
+}

@@ -1,0 +1,223 @@
+package info
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/cluster"
+	"github.com/hpclab/datagrid/internal/mds"
+	"github.com/hpclab/datagrid/internal/nws"
+	"github.com/hpclab/datagrid/internal/sysstat"
+)
+
+// DeploymentConfig tunes the monitoring stack installed on a testbed.
+type DeploymentConfig struct {
+	// Local is the host user applications run on (node i of the cost
+	// model); NWS bandwidth sensors probe remote->Local.
+	Local string
+	// Remotes are the hosts to monitor as replica candidates. Empty means
+	// every other host on the testbed.
+	Remotes []string
+	// NWSProbePeriod is the bandwidth-probe interval; default 10s.
+	NWSProbePeriod time.Duration
+	// NWSProbeBytes is the probe size; default 4 MiB — large enough that
+	// slow start does not dominate the measurement on fast paths.
+	NWSProbeBytes int64
+	// NWSProbeWindow is the probe's TCP window; default 512 KiB (probes
+	// measure achievable bandwidth, so they use tuned buffers).
+	NWSProbeWindow int
+	// SysstatPeriod is the sar/iostat sampling interval; default 2s.
+	SysstatPeriod time.Duration
+	// MDSTTL is the GRIS/GIIS cache TTL; default 5s.
+	MDSTTL time.Duration
+	// Seed derives all monitor seeds.
+	Seed int64
+}
+
+func (c *DeploymentConfig) fillDefaults() {
+	if c.NWSProbePeriod == 0 {
+		c.NWSProbePeriod = 10 * time.Second
+	}
+	if c.NWSProbeBytes == 0 {
+		c.NWSProbeBytes = 4 << 20
+	}
+	if c.NWSProbeWindow == 0 {
+		c.NWSProbeWindow = 512 << 10
+	}
+	if c.SysstatPeriod == 0 {
+		c.SysstatPeriod = 2 * time.Second
+	}
+	if c.MDSTTL == 0 {
+		c.MDSTTL = 5 * time.Second
+	}
+}
+
+// Deployment is the full monitoring stack of Fig. 1's "information server":
+// an NWS installation (nameserver, memory, sensors), an MDS hierarchy
+// (GRIS per host, GIIS per site, one top GIIS) and a sysstat collector per
+// host, all wired into an info.Server.
+type Deployment struct {
+	Server     *Server
+	NWS        *nws.Memory
+	NameServer *nws.NameServer
+	TopGIIS    *mds.GIIS
+	Sysstat    map[string]*sysstat.Collector
+	Net        map[string]*sysstat.NetCollector
+	BWSensors  map[string]*nws.Sensor
+}
+
+// Deploy installs the monitoring stack on a testbed and returns the wired
+// information server.
+func Deploy(tb *cluster.Testbed, cfg DeploymentConfig) (*Deployment, error) {
+	if tb == nil {
+		return nil, errors.New("info: nil testbed")
+	}
+	if cfg.Local == "" {
+		return nil, errors.New("info: deployment needs a local host")
+	}
+	if _, err := tb.Host(cfg.Local); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	engine := tb.Engine()
+
+	remotes := cfg.Remotes
+	if len(remotes) == 0 {
+		for _, h := range tb.Hosts() {
+			if h != cfg.Local {
+				remotes = append(remotes, h)
+			}
+		}
+	}
+	for _, r := range remotes {
+		if r == cfg.Local {
+			return nil, fmt.Errorf("info: local host %q listed as remote", r)
+		}
+		if _, err := tb.Host(r); err != nil {
+			return nil, err
+		}
+	}
+
+	// --- NWS ---
+	ns := nws.NewNameServer()
+	mem := nws.NewMemory(0, nil)
+	if err := ns.Register(nws.Registration{Name: "memory.main", Kind: nws.KindMemory, Host: cfg.Local}); err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	bwSensors := make(map[string]*nws.Sensor, len(remotes))
+	for _, r := range remotes {
+		seed++
+		s, err := nws.NewBandwidthSensor(engine, ns, mem, tb.Network(), r, cfg.Local, nws.BandwidthSensorConfig{
+			Period:      cfg.NWSProbePeriod,
+			ProbeBytes:  cfg.NWSProbeBytes,
+			WindowBytes: cfg.NWSProbeWindow,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("info: bandwidth sensor %s->%s: %w", r, cfg.Local, err)
+		}
+		bwSensors[r] = s
+		seed++
+		if _, err := nws.NewLatencySensor(engine, ns, mem, tb.Network(), r, cfg.Local, cfg.NWSProbePeriod, seed); err != nil {
+			return nil, fmt.Errorf("info: latency sensor %s->%s: %w", r, cfg.Local, err)
+		}
+	}
+
+	// --- MDS hierarchy ---
+	top, err := mds.NewGIIS(engine, "Mds-Vo-name=grid,o=grid", cfg.MDSTTL)
+	if err != nil {
+		return nil, err
+	}
+	for _, site := range tb.Sites() {
+		siteGIIS, err := mds.NewGIIS(engine, "Mds-Vo-name="+site+",o=grid", cfg.MDSTTL)
+		if err != nil {
+			return nil, err
+		}
+		hosts, err := tb.SiteHosts(site)
+		if err != nil {
+			return nil, err
+		}
+		for _, h := range hosts {
+			gris, err := mds.NewGRIS(engine, "Mds-Host-hn="+h.Name()+",Mds-Vo-name="+site+",o=grid", cfg.MDSTTL)
+			if err != nil {
+				return nil, err
+			}
+			hc := h.Config()
+			st := mds.HostStatic{
+				Site:       site,
+				CPUModel:   hc.CPU.Model,
+				CPUCount:   hc.CPU.Cores,
+				CPUMHz:     hc.CPU.MHz,
+				MemMB:      hc.MemMB,
+				DiskGB:     hc.Disk.CapacityGB,
+				DiskReadB:  hc.Disk.ReadBps,
+				DiskWriteB: hc.Disk.WriteBps,
+			}
+			if err := gris.AddProvider(mds.NewCPUProvider(h, st)); err != nil {
+				return nil, err
+			}
+			if err := gris.AddProvider(mds.NewStorageProvider(h, st)); err != nil {
+				return nil, err
+			}
+			if err := siteGIIS.Register(gris); err != nil {
+				return nil, err
+			}
+		}
+		if err := top.Register(siteGIIS); err != nil {
+			return nil, err
+		}
+	}
+
+	// --- sysstat ---
+	collectors := make(map[string]*sysstat.Collector, len(remotes)+1)
+	netCollectors := make(map[string]*sysstat.NetCollector, len(remotes)+1)
+	for _, name := range append(append([]string(nil), remotes...), cfg.Local) {
+		h, err := tb.Host(name)
+		if err != nil {
+			return nil, err
+		}
+		seed++
+		col, err := sysstat.NewCollector(engine, name, h, sysstat.Config{Period: cfg.SysstatPeriod}, seed)
+		if err != nil {
+			return nil, err
+		}
+		collectors[name] = col
+		name := name
+		nc, err := sysstat.NewNetCollector(engine, name, func() (float64, float64, error) {
+			return tb.HostNICBps(name)
+		}, cfg.SysstatPeriod, 0)
+		if err != nil {
+			return nil, err
+		}
+		netCollectors[name] = nc
+		// NWS free-memory gauge (the fourth stock NWS sensor): available
+		// RAM shrinks as the host gets busier.
+		memKey := nws.SeriesKey{Resource: nws.ResourceMemory, Source: name}
+		host := h
+		if _, err := nws.NewGaugeSensor(engine, ns, mem, memKey, cfg.SysstatPeriod, func() (float64, error) {
+			return float64(host.Config().MemMB) * (0.35 + 0.65*host.CPUIdle()), nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	srv, err := NewServer(cfg.Local, tb.Network(), mem, top, collectors)
+	if err != nil {
+		return nil, err
+	}
+	// A host whose probes have failed for several periods is treated as
+	// unmonitored, so selection routes around dead hosts and links.
+	if err := srv.SetStaleness(6 * cfg.NWSProbePeriod); err != nil {
+		return nil, err
+	}
+	return &Deployment{
+		Server:     srv,
+		NWS:        mem,
+		NameServer: ns,
+		TopGIIS:    top,
+		Sysstat:    collectors,
+		Net:        netCollectors,
+		BWSensors:  bwSensors,
+	}, nil
+}

@@ -1,0 +1,213 @@
+// Package info implements the information server of the paper's replica
+// selection scenario (Fig. 1): the component that, asked about a candidate
+// replica host, returns "the performance of measurements and predictions of
+// three system factors" — network bandwidth (from NWS forecasts), CPU load
+// (from an MDS query) and I/O state (from sysstat collectors).
+package info
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/mds"
+	"github.com/hpclab/datagrid/internal/netsim"
+	"github.com/hpclab/datagrid/internal/nws"
+	"github.com/hpclab/datagrid/internal/sysstat"
+)
+
+// HostReport is the information server's answer about one candidate host,
+// seen from the local site. Percentages are in [0, 100].
+type HostReport struct {
+	// Host is the candidate replica host (node j in the cost model).
+	Host string
+	// Local is the requesting host (node i).
+	Local string
+	// BandwidthMbps is the NWS-forecast achievable TCP throughput from
+	// Host to Local.
+	BandwidthMbps float64
+	// TheoreticalMbps is the path's raw bottleneck line rate.
+	TheoreticalMbps float64
+	// BandwidthPercent is 100 * current/theoretical — the cost model's
+	// BW_P(i,j).
+	BandwidthPercent float64
+	// CPUIdlePercent is the candidate's idle CPU share — CPU_P(j).
+	CPUIdlePercent float64
+	// IOIdlePercent is the candidate's idle disk share — IO_P(j).
+	IOIdlePercent float64
+	// LatencyMs is the NWS-forecast round-trip time from Host to Local in
+	// milliseconds, 0 when no latency sensor covers the pair. It is the
+	// extra system factor of the paper's future work #2, consumed by
+	// core.LatencyAwareSelector.
+	LatencyMs float64
+	// At is the virtual time of the report.
+	At time.Duration
+}
+
+// Server aggregates the three monitoring substrates.
+type Server struct {
+	local   string
+	network *netsim.Network
+	nwsMem  *nws.Memory
+	dir     mds.Searcher
+	sys     map[string]*sysstat.Collector
+	// maxAge, when positive, marks hosts whose last bandwidth measurement
+	// is older than this as unmonitored (ErrNoData). Stale series mean
+	// the probe path stalled — typically a dead host or link — and the
+	// selection server must stop considering such replicas.
+	maxAge time.Duration
+}
+
+// SetStaleness configures the maximum bandwidth-measurement age before a
+// host is reported as unmonitored. Zero disables the check.
+func (s *Server) SetStaleness(d time.Duration) error {
+	if d < 0 {
+		return fmt.Errorf("info: negative staleness %v", d)
+	}
+	s.maxAge = d
+	return nil
+}
+
+// NewServer builds an information server for queries issued from the local
+// host. dir is the MDS index to query for CPU state (typically the top
+// GIIS); sys maps host name to its sysstat collector and may be nil if I/O
+// state should come from MDS disk entries instead.
+func NewServer(local string, network *netsim.Network, nwsMem *nws.Memory, dir mds.Searcher, sys map[string]*sysstat.Collector) (*Server, error) {
+	if local == "" {
+		return nil, errors.New("info: empty local host")
+	}
+	if network == nil {
+		return nil, errors.New("info: nil network")
+	}
+	if nwsMem == nil {
+		return nil, errors.New("info: nil NWS memory")
+	}
+	if dir == nil {
+		return nil, errors.New("info: nil MDS directory")
+	}
+	if sys == nil {
+		sys = map[string]*sysstat.Collector{}
+	}
+	return &Server{local: local, network: network, nwsMem: nwsMem, dir: dir, sys: sys}, nil
+}
+
+// Local returns the host this server reports relative to.
+func (s *Server) Local() string { return s.local }
+
+// ErrNoData is returned when a substrate has no information about a host.
+var ErrNoData = errors.New("info: no monitoring data")
+
+// Report gathers the three system factors for a candidate host at the
+// current virtual time.
+func (s *Server) Report(host string, now time.Duration) (HostReport, error) {
+	if host == "" {
+		return HostReport{}, errors.New("info: empty host")
+	}
+	r := HostReport{Host: host, Local: s.local, At: now}
+
+	if host == s.local {
+		// Local access: no network involved; treat bandwidth as ideal.
+		r.BandwidthPercent = 100
+		r.BandwidthMbps = 0
+		r.TheoreticalMbps = 0
+	} else {
+		theo, err := s.network.BottleneckBps(host, s.local)
+		if err != nil {
+			return HostReport{}, fmt.Errorf("info: no path %s->%s: %w", host, s.local, err)
+		}
+		r.TheoreticalMbps = theo / 1e6
+		bwKey := nws.SeriesKey{Resource: nws.ResourceBandwidth, Source: host, Target: s.local}
+		fc, err := s.nwsMem.Forecast(bwKey)
+		if err != nil {
+			return HostReport{}, fmt.Errorf("%w: bandwidth %s->%s: %v", ErrNoData, host, s.local, err)
+		}
+		if s.maxAge > 0 {
+			last, err := s.nwsMem.Latest(bwKey)
+			if err != nil {
+				return HostReport{}, fmt.Errorf("%w: bandwidth %s->%s: %v", ErrNoData, host, s.local, err)
+			}
+			if age := now - last.At; age > s.maxAge {
+				return HostReport{}, fmt.Errorf("%w: bandwidth %s->%s stale by %v", ErrNoData, host, s.local, age)
+			}
+		}
+		r.BandwidthMbps = fc.Value
+		r.BandwidthPercent = 100 * fc.Value / r.TheoreticalMbps
+		if r.BandwidthPercent > 100 {
+			r.BandwidthPercent = 100
+		}
+		if r.BandwidthPercent < 0 {
+			r.BandwidthPercent = 0
+		}
+		// Latency is best-effort: not every deployment runs latency
+		// sensors, and the base cost model does not need it.
+		if lfc, err := s.nwsMem.Forecast(nws.SeriesKey{
+			Resource: nws.ResourceLatency, Source: host, Target: s.local,
+		}); err == nil {
+			r.LatencyMs = lfc.Value
+		}
+	}
+
+	cpu, err := s.cpuIdle(host)
+	if err != nil {
+		return HostReport{}, err
+	}
+	r.CPUIdlePercent = cpu
+
+	io, err := s.ioIdle(host)
+	if err != nil {
+		return HostReport{}, err
+	}
+	r.IOIdlePercent = io
+	return r, nil
+}
+
+func (s *Server) cpuIdle(host string) (float64, error) {
+	f, err := mds.ParseFilter("(&(" + mds.AttrHostName + "=" + host + ")(" + mds.AttrDevice + "=cpu))")
+	if err != nil {
+		return 0, err
+	}
+	es, err := s.dir.Search(f)
+	if err != nil {
+		return 0, fmt.Errorf("%w: MDS query for %s: %v", ErrNoData, host, err)
+	}
+	if len(es) == 0 {
+		return 0, fmt.Errorf("%w: no MDS cpu entry for %s", ErrNoData, host)
+	}
+	raw, ok := es[0].Attrs[mds.AttrCPUFreeX100]
+	if !ok {
+		return 0, fmt.Errorf("%w: MDS entry for %s lacks %s", ErrNoData, host, mds.AttrCPUFreeX100)
+	}
+	x100, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("info: bad %s=%q for %s: %w", mds.AttrCPUFreeX100, raw, host, err)
+	}
+	return float64(x100) / 100, nil
+}
+
+func (s *Server) ioIdle(host string) (float64, error) {
+	if col, ok := s.sys[host]; ok {
+		v, err := col.IOIdlePercent()
+		if err == nil {
+			return v, nil
+		}
+		// fall through to MDS if the collector has no samples yet
+	}
+	f, err := mds.ParseFilter("(&(" + mds.AttrHostName + "=" + host + ")(" + mds.AttrDevice + "=disk))")
+	if err != nil {
+		return 0, err
+	}
+	es, err := s.dir.Search(f)
+	if err != nil || len(es) == 0 {
+		return 0, fmt.Errorf("%w: no I/O state for %s", ErrNoData, host)
+	}
+	raw, ok := es[0].Attrs[mds.AttrIOFreeX100]
+	if !ok {
+		return 0, fmt.Errorf("%w: MDS entry for %s lacks %s", ErrNoData, host, mds.AttrIOFreeX100)
+	}
+	x100, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("info: bad %s=%q for %s: %w", mds.AttrIOFreeX100, raw, host, err)
+	}
+	return float64(x100) / 100, nil
+}

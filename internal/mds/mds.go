@@ -1,0 +1,349 @@
+package mds
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/simulation"
+)
+
+// Attributes is one directory entry's attribute set.
+type Attributes map[string]string
+
+// clone copies an attribute set so callers cannot mutate cached entries.
+func (a Attributes) clone() Attributes {
+	out := make(Attributes, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// Entry is one object in the directory information tree.
+type Entry struct {
+	// DN is the distinguished name, e.g.
+	// "Mds-Device-name=cpu,Mds-Host-hn=alpha1,Mds-Vo-name=THU,o=grid".
+	DN    string
+	Attrs Attributes
+}
+
+// Provider supplies one entry's worth of live information (the analogue of
+// an MDS information-provider script invoked by the GRIS back end).
+type Provider interface {
+	// RDN is the relative distinguished name of the provided entry,
+	// e.g. "Mds-Device-name=cpu".
+	RDN() string
+	// Collect gathers current attribute values.
+	Collect() (Attributes, error)
+}
+
+// ProviderFunc adapts a function to the Provider interface.
+type ProviderFunc struct {
+	Rdn string
+	Fn  func() (Attributes, error)
+}
+
+// RDN returns the entry's relative distinguished name.
+func (p ProviderFunc) RDN() string { return p.Rdn }
+
+// Collect invokes the wrapped function.
+func (p ProviderFunc) Collect() (Attributes, error) { return p.Fn() }
+
+// Searcher is anything that answers directory searches: a GRIS or a GIIS.
+type Searcher interface {
+	// Search returns entries matching the filter.
+	Search(f Filter) ([]Entry, error)
+	// Suffix returns the DN suffix this server is responsible for.
+	Suffix() string
+}
+
+// GRIS is a Grid Resource Information Service: the per-host directory
+// server that runs information providers and caches their output.
+type GRIS struct {
+	engine    *simulation.Engine
+	suffix    string
+	ttl       time.Duration
+	providers []Provider
+
+	cache     []Entry
+	cachedAt  time.Duration
+	haveCache bool
+	collects  int
+}
+
+// NewGRIS creates a GRIS answering for suffix (e.g.
+// "Mds-Host-hn=alpha1,Mds-Vo-name=THU,o=grid"). Provider output is cached
+// for ttl of virtual time, mirroring MDS's cachettl.
+func NewGRIS(engine *simulation.Engine, suffix string, ttl time.Duration) (*GRIS, error) {
+	if engine == nil {
+		return nil, errors.New("mds: GRIS needs an engine")
+	}
+	if suffix == "" {
+		return nil, errors.New("mds: GRIS needs a suffix")
+	}
+	if ttl < 0 {
+		return nil, fmt.Errorf("mds: negative TTL %v", ttl)
+	}
+	return &GRIS{engine: engine, suffix: suffix, ttl: ttl}, nil
+}
+
+// Suffix returns the DN suffix of this server.
+func (g *GRIS) Suffix() string { return g.suffix }
+
+// AddProvider registers an information provider.
+func (g *GRIS) AddProvider(p Provider) error {
+	if p == nil {
+		return errors.New("mds: nil provider")
+	}
+	if p.RDN() == "" {
+		return errors.New("mds: provider needs an RDN")
+	}
+	for _, q := range g.providers {
+		if q.RDN() == p.RDN() {
+			return fmt.Errorf("mds: duplicate provider %q", p.RDN())
+		}
+	}
+	g.providers = append(g.providers, p)
+	g.haveCache = false // force refresh with the new provider
+	return nil
+}
+
+// Collects reports how many times providers were invoked (for cache tests).
+func (g *GRIS) Collects() int { return g.collects }
+
+// Search runs the filter over this host's entries, refreshing the provider
+// cache if it is stale.
+func (g *GRIS) Search(f Filter) ([]Entry, error) {
+	if f == nil {
+		f = MatchAll
+	}
+	now := g.engine.Now()
+	if !g.haveCache || now-g.cachedAt > g.ttl {
+		entries := make([]Entry, 0, len(g.providers))
+		for _, p := range g.providers {
+			attrs, err := p.Collect()
+			if err != nil {
+				// Provider failure drops its entry, as a crashed
+				// information-provider script would in MDS.
+				continue
+			}
+			entries = append(entries, Entry{DN: p.RDN() + "," + g.suffix, Attrs: attrs.clone()})
+		}
+		g.collects++
+		g.cache = entries
+		g.cachedAt = now
+		g.haveCache = true
+	}
+	var out []Entry
+	for _, e := range g.cache {
+		if f.Matches(e.Attrs) {
+			out = append(out, Entry{DN: e.DN, Attrs: e.Attrs.clone()})
+		}
+	}
+	return out, nil
+}
+
+// GIIS is a Grid Index Information Service: it aggregates registered
+// children (GRIS servers or lower-level GIIS) and answers searches over
+// the union of their entries, with its own TTL cache.
+type GIIS struct {
+	engine   *simulation.Engine
+	suffix   string
+	ttl      time.Duration
+	children []giisChild
+
+	cache     []Entry
+	cachedAt  time.Duration
+	haveCache bool
+	queries   int
+}
+
+// giisChild is one registered downstream server with its soft-state
+// expiry (zero expiresAt = never expires).
+type giisChild struct {
+	s         Searcher
+	expiresAt time.Duration
+}
+
+func (c giisChild) expired(now time.Duration) bool {
+	return c.expiresAt > 0 && now > c.expiresAt
+}
+
+// NewGIIS creates an index server for the given suffix with cache ttl.
+func NewGIIS(engine *simulation.Engine, suffix string, ttl time.Duration) (*GIIS, error) {
+	if engine == nil {
+		return nil, errors.New("mds: GIIS needs an engine")
+	}
+	if suffix == "" {
+		return nil, errors.New("mds: GIIS needs a suffix")
+	}
+	if ttl < 0 {
+		return nil, fmt.Errorf("mds: negative TTL %v", ttl)
+	}
+	return &GIIS{engine: engine, suffix: suffix, ttl: ttl}, nil
+}
+
+// Suffix returns the DN suffix of this server.
+func (g *GIIS) Suffix() string { return g.suffix }
+
+// Register adds a child server (GRIS or GIIS) permanently, as a static
+// MDS configuration would.
+func (g *GIIS) Register(s Searcher) error {
+	return g.RegisterTTL(s, 0)
+}
+
+// RegisterTTL adds (or renews) a child server with MDS-style soft state:
+// the registration expires after ttl of virtual time unless renewed by
+// calling RegisterTTL again, after which the child's entries silently
+// vanish from search results — how GRRP keeps a GIIS from serving
+// information about departed resources. ttl <= 0 registers permanently.
+func (g *GIIS) RegisterTTL(s Searcher, ttl time.Duration) error {
+	if s == nil {
+		return errors.New("mds: nil child")
+	}
+	var expires time.Duration
+	if ttl > 0 {
+		expires = g.engine.Now() + ttl
+	}
+	for i, c := range g.children {
+		if c.s.Suffix() == s.Suffix() {
+			// Renewal refreshes the deadline (and the searcher pointer).
+			g.children[i] = giisChild{s: s, expiresAt: expires}
+			g.haveCache = false
+			return nil
+		}
+	}
+	g.children = append(g.children, giisChild{s: s, expiresAt: expires})
+	g.haveCache = false
+	return nil
+}
+
+// Children returns the suffixes of live (unexpired) children, sorted.
+func (g *GIIS) Children() []string {
+	now := g.engine.Now()
+	out := make([]string, 0, len(g.children))
+	for _, c := range g.children {
+		if !c.expired(now) {
+			out = append(out, c.s.Suffix())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Queries reports how many child fan-outs happened (for cache tests).
+func (g *GIIS) Queries() int { return g.queries }
+
+// Search fans the query out to all children (subject to the TTL cache) and
+// filters the union. A failing child is skipped — one down site must not
+// take out the whole index, which is the point of the hierarchy.
+func (g *GIIS) Search(f Filter) ([]Entry, error) {
+	if f == nil {
+		f = MatchAll
+	}
+	now := g.engine.Now()
+	if !g.haveCache || now-g.cachedAt > g.ttl {
+		var all []Entry
+		for _, c := range g.children {
+			if c.expired(now) {
+				continue
+			}
+			es, err := c.s.Search(MatchAll)
+			if err != nil {
+				continue
+			}
+			all = append(all, es...)
+		}
+		g.queries++
+		g.cache = all
+		g.cachedAt = now
+		g.haveCache = true
+	}
+	var out []Entry
+	for _, e := range g.cache {
+		if f.Matches(e.Attrs) {
+			out = append(out, Entry{DN: e.DN, Attrs: e.Attrs.clone()})
+		}
+	}
+	return out, nil
+}
+
+// Host is the minimal host surface the standard providers read. Both
+// *cluster.Host and test fakes satisfy it.
+type Host interface {
+	Name() string
+	CPUIdle() float64
+	IOIdle() float64
+}
+
+// Attribute names used by the standard providers; the X100 suffix follows
+// the real MDS convention of scaling percentages by 100 into integers.
+const (
+	AttrHostName     = "Mds-Host-hn"
+	AttrSite         = "Mds-Vo-name"
+	AttrDevice       = "Mds-Device-name"
+	AttrCPUFreeX100  = "Mds-Cpu-Free-1minX100"
+	AttrCPUModel     = "Mds-Cpu-model"
+	AttrCPUCount     = "Mds-Cpu-Total-count"
+	AttrCPUMHz       = "Mds-Cpu-speedMHz"
+	AttrMemTotalMB   = "Mds-Memory-Ram-Total-sizeMB"
+	AttrDiskTotalGB  = "Mds-Fs-Total-sizeGB"
+	AttrIOFreeX100   = "Mds-Io-Free-percentX100"
+	AttrDiskReadBps  = "Mds-Fs-readBps"
+	AttrDiskWriteBps = "Mds-Fs-writeBps"
+)
+
+// HostStatic describes the unchanging attributes of a host entry.
+type HostStatic struct {
+	Site       string
+	CPUModel   string
+	CPUCount   int
+	CPUMHz     float64
+	MemMB      int
+	DiskGB     float64
+	DiskReadB  float64
+	DiskWriteB float64
+}
+
+// NewCPUProvider returns the provider emitting the CPU device entry for a
+// host — the "measurement of CPU status … through the Globus Toolkit/MDS"
+// of paper §3.2.
+func NewCPUProvider(h Host, st HostStatic) Provider {
+	return ProviderFunc{
+		Rdn: AttrDevice + "=cpu," + AttrHostName + "=" + h.Name(),
+		Fn: func() (Attributes, error) {
+			return Attributes{
+				AttrHostName:    h.Name(),
+				AttrSite:        st.Site,
+				AttrDevice:      "cpu",
+				AttrCPUModel:    st.CPUModel,
+				AttrCPUCount:    strconv.Itoa(st.CPUCount),
+				AttrCPUMHz:      strconv.FormatFloat(st.CPUMHz, 'f', 0, 64),
+				AttrCPUFreeX100: strconv.Itoa(int(h.CPUIdle() * 100 * 100)),
+			}, nil
+		},
+	}
+}
+
+// NewStorageProvider returns the provider emitting the filesystem/disk
+// entry for a host.
+func NewStorageProvider(h Host, st HostStatic) Provider {
+	return ProviderFunc{
+		Rdn: AttrDevice + "=disk," + AttrHostName + "=" + h.Name(),
+		Fn: func() (Attributes, error) {
+			return Attributes{
+				AttrHostName:     h.Name(),
+				AttrSite:         st.Site,
+				AttrDevice:       "disk",
+				AttrMemTotalMB:   strconv.Itoa(st.MemMB),
+				AttrDiskTotalGB:  strconv.FormatFloat(st.DiskGB, 'f', 0, 64),
+				AttrDiskReadBps:  strconv.FormatFloat(st.DiskReadB, 'f', 0, 64),
+				AttrDiskWriteBps: strconv.FormatFloat(st.DiskWriteB, 'f', 0, 64),
+				AttrIOFreeX100:   strconv.Itoa(int(h.IOIdle() * 100 * 100)),
+			}, nil
+		},
+	}
+}

@@ -1,0 +1,383 @@
+package mds
+
+import (
+	"errors"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/simulation"
+)
+
+type fakeTarget struct {
+	name    string
+	cpuIdle float64
+	ioIdle  float64
+}
+
+func (f *fakeTarget) Name() string     { return f.name }
+func (f *fakeTarget) CPUIdle() float64 { return f.cpuIdle }
+func (f *fakeTarget) IOIdle() float64  { return f.ioIdle }
+
+func newGRIS(t *testing.T, eng *simulation.Engine, ttl time.Duration) *GRIS {
+	t.Helper()
+	g, err := NewGRIS(eng, "Mds-Host-hn=alpha1,Mds-Vo-name=THU,o=grid", ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGRISProvidersAndSearch(t *testing.T) {
+	eng := simulation.NewEngine()
+	g := newGRIS(t, eng, time.Minute)
+	h := &fakeTarget{name: "alpha1", cpuIdle: 0.75, ioIdle: 0.9}
+	st := HostStatic{Site: "THU", CPUModel: "AthlonMP", CPUCount: 2, CPUMHz: 2000, MemMB: 1024, DiskGB: 60, DiskReadB: 4e8, DiskWriteB: 3e8}
+	if err := g.AddProvider(NewCPUProvider(h, st)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddProvider(NewStorageProvider(h, st)); err != nil {
+		t.Fatal(err)
+	}
+	all, err := g.Search(nil)
+	if err != nil || len(all) != 2 {
+		t.Fatalf("Search(nil) = %v, %v", all, err)
+	}
+	cpu, err := g.Search(mustParse(t, "(Mds-Device-name=cpu)"))
+	if err != nil || len(cpu) != 1 {
+		t.Fatalf("cpu search = %v, %v", cpu, err)
+	}
+	if got := cpu[0].Attrs[AttrCPUFreeX100]; got != "7500" {
+		t.Fatalf("CPU free = %q, want 7500", got)
+	}
+	if cpu[0].DN != "Mds-Device-name=cpu,Mds-Host-hn=alpha1,Mds-Host-hn=alpha1,Mds-Vo-name=THU,o=grid" {
+		// provider RDN includes host; suffix includes host too — verify shape
+		t.Logf("DN = %s", cpu[0].DN)
+	}
+	disk, err := g.Search(mustParse(t, "(Mds-Io-Free-percentX100>=8000)"))
+	if err != nil || len(disk) != 1 {
+		t.Fatalf("disk idle search = %v, %v", disk, err)
+	}
+}
+
+func TestGRISCacheTTL(t *testing.T) {
+	eng := simulation.NewEngine()
+	g := newGRIS(t, eng, 10*time.Second)
+	h := &fakeTarget{name: "alpha1", cpuIdle: 1.0}
+	if err := g.AddProvider(NewCPUProvider(h, HostStatic{Site: "THU", CPUCount: 1, CPUModel: "x", CPUMHz: 1})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Search(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Search(nil); err != nil {
+		t.Fatal(err)
+	}
+	if g.Collects() != 1 {
+		t.Fatalf("collects = %d, want 1 (second search cached)", g.Collects())
+	}
+	// Change the live value: a cached search must NOT see it.
+	h.cpuIdle = 0.5
+	es, _ := g.Search(nil)
+	if es[0].Attrs[AttrCPUFreeX100] != "10000" {
+		t.Fatalf("cached value should be stale: %v", es[0].Attrs[AttrCPUFreeX100])
+	}
+	// After TTL expiry the fresh value must appear.
+	if _, err := eng.Schedule(11*time.Second, func(time.Duration) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	es, _ = g.Search(nil)
+	if es[0].Attrs[AttrCPUFreeX100] != "5000" {
+		t.Fatalf("post-TTL value = %v, want 5000", es[0].Attrs[AttrCPUFreeX100])
+	}
+	if g.Collects() != 2 {
+		t.Fatalf("collects = %d, want 2", g.Collects())
+	}
+}
+
+func TestGRISFailingProviderSkipped(t *testing.T) {
+	eng := simulation.NewEngine()
+	g := newGRIS(t, eng, 0)
+	if err := g.AddProvider(ProviderFunc{Rdn: "a=1", Fn: func() (Attributes, error) { return Attributes{"k": "v"}, nil }}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddProvider(ProviderFunc{Rdn: "a=2", Fn: func() (Attributes, error) { return nil, errors.New("crashed") }}); err != nil {
+		t.Fatal(err)
+	}
+	es, err := g.Search(nil)
+	if err != nil || len(es) != 1 {
+		t.Fatalf("search = %v, %v; want only healthy provider", es, err)
+	}
+}
+
+func TestGRISValidation(t *testing.T) {
+	eng := simulation.NewEngine()
+	if _, err := NewGRIS(nil, "s", 0); err == nil {
+		t.Fatal("nil engine should be rejected")
+	}
+	if _, err := NewGRIS(eng, "", 0); err == nil {
+		t.Fatal("empty suffix should be rejected")
+	}
+	if _, err := NewGRIS(eng, "s", -1); err == nil {
+		t.Fatal("negative ttl should be rejected")
+	}
+	g := newGRIS(t, eng, 0)
+	if err := g.AddProvider(nil); err == nil {
+		t.Fatal("nil provider should be rejected")
+	}
+	if err := g.AddProvider(ProviderFunc{Rdn: "", Fn: func() (Attributes, error) { return nil, nil }}); err == nil {
+		t.Fatal("empty RDN should be rejected")
+	}
+	p := ProviderFunc{Rdn: "a=1", Fn: func() (Attributes, error) { return nil, nil }}
+	if err := g.AddProvider(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddProvider(p); err == nil {
+		t.Fatal("duplicate RDN should be rejected")
+	}
+}
+
+func TestSearchResultsAreCopies(t *testing.T) {
+	eng := simulation.NewEngine()
+	g := newGRIS(t, eng, time.Hour)
+	if err := g.AddProvider(ProviderFunc{Rdn: "a=1", Fn: func() (Attributes, error) {
+		return Attributes{"k": "original"}, nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	first, _ := g.Search(nil)
+	first[0].Attrs["k"] = "mutated"
+	second, _ := g.Search(nil)
+	if second[0].Attrs["k"] != "original" {
+		t.Fatal("caller mutation leaked into the cache")
+	}
+}
+
+// buildHierarchy assembles host GRIS -> site GIIS -> top GIIS, the MDS
+// deployment of the paper's testbed.
+func buildHierarchy(t *testing.T, eng *simulation.Engine) (*GIIS, map[string]*fakeTarget) {
+	t.Helper()
+	top, err := NewGIIS(eng, "Mds-Vo-name=grid,o=grid", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := map[string]*fakeTarget{}
+	for site, names := range map[string][]string{
+		"THU": {"alpha1", "alpha4"},
+		"HIT": {"hit0"},
+	} {
+		siteGIIS, err := NewGIIS(eng, "Mds-Vo-name="+site+",o=grid", time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range names {
+			h := &fakeTarget{name: n, cpuIdle: 0.5, ioIdle: 0.5}
+			hosts[n] = h
+			gris, err := NewGRIS(eng, "Mds-Host-hn="+n+",Mds-Vo-name="+site+",o=grid", time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := gris.AddProvider(NewCPUProvider(h, HostStatic{Site: site, CPUModel: "m", CPUCount: 1, CPUMHz: 1000})); err != nil {
+				t.Fatal(err)
+			}
+			if err := siteGIIS.Register(gris); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := top.Register(siteGIIS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return top, hosts
+}
+
+func TestGIISHierarchicalSearch(t *testing.T) {
+	eng := simulation.NewEngine()
+	top, _ := buildHierarchy(t, eng)
+	all, err := top.Search(nil)
+	if err != nil || len(all) != 3 {
+		t.Fatalf("top search = %d entries, %v; want 3", len(all), err)
+	}
+	thu, err := top.Search(mustParse(t, "(Mds-Vo-name=THU)"))
+	if err != nil || len(thu) != 2 {
+		t.Fatalf("THU search = %d, %v; want 2", len(thu), err)
+	}
+	one, err := top.Search(mustParse(t, "(Mds-Host-hn=hit0)"))
+	if err != nil || len(one) != 1 || one[0].Attrs[AttrHostName] != "hit0" {
+		t.Fatalf("hit0 search = %v, %v", one, err)
+	}
+	if got := len(top.Children()); got != 2 {
+		t.Fatalf("children = %d", got)
+	}
+}
+
+func TestGIISCacheTTL(t *testing.T) {
+	eng := simulation.NewEngine()
+	top, hosts := buildHierarchy(t, eng)
+	if _, err := top.Search(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := top.Search(nil); err != nil {
+		t.Fatal(err)
+	}
+	if top.Queries() != 1 {
+		t.Fatalf("queries = %d, want 1", top.Queries())
+	}
+	hosts["alpha1"].cpuIdle = 0.1
+	// Advance past every TTL in the hierarchy.
+	if _, err := eng.Schedule(3*time.Second, func(time.Duration) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	es, err := top.Search(mustParse(t, "(Mds-Host-hn=alpha1)"))
+	if err != nil || len(es) != 1 {
+		t.Fatal(err)
+	}
+	want := strconv.Itoa(int(0.1 * 100 * 100))
+	if es[0].Attrs[AttrCPUFreeX100] != want {
+		t.Fatalf("post-TTL cpu free = %v, want %v", es[0].Attrs[AttrCPUFreeX100], want)
+	}
+}
+
+type failingSearcher struct{}
+
+func (failingSearcher) Search(Filter) ([]Entry, error) { return nil, errors.New("site down") }
+func (failingSearcher) Suffix() string                 { return "down" }
+
+func TestGIISFailingChildSkipped(t *testing.T) {
+	eng := simulation.NewEngine()
+	top, _ := buildHierarchy(t, eng)
+	if err := top.Register(failingSearcher{}); err != nil {
+		t.Fatal(err)
+	}
+	es, err := top.Search(nil)
+	if err != nil || len(es) != 3 {
+		t.Fatalf("search with failing child = %d, %v; want 3", len(es), err)
+	}
+}
+
+func TestGIISValidation(t *testing.T) {
+	eng := simulation.NewEngine()
+	if _, err := NewGIIS(nil, "s", 0); err == nil {
+		t.Fatal("nil engine should be rejected")
+	}
+	if _, err := NewGIIS(eng, "", 0); err == nil {
+		t.Fatal("empty suffix should be rejected")
+	}
+	if _, err := NewGIIS(eng, "s", -1); err == nil {
+		t.Fatal("negative ttl should be rejected")
+	}
+	g, err := NewGIIS(eng, "s", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Register(nil); err == nil {
+		t.Fatal("nil child should be rejected")
+	}
+	child, _ := NewGRIS(eng, "c", 0)
+	if err := g.Register(child); err != nil {
+		t.Fatal(err)
+	}
+	// Re-registration is a soft-state renewal, not an error.
+	if err := g.Register(child); err != nil {
+		t.Fatalf("renewal should succeed: %v", err)
+	}
+	if got := g.Children(); len(got) != 1 {
+		t.Fatalf("renewal must not duplicate the child: %v", got)
+	}
+}
+
+func TestProviderPercentScaling(t *testing.T) {
+	h := &fakeTarget{name: "h", cpuIdle: 0.333, ioIdle: 0.666}
+	cpu := NewCPUProvider(h, HostStatic{Site: "s", CPUModel: "m", CPUCount: 1, CPUMHz: 1})
+	attrs, err := cpu.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attrs[AttrCPUFreeX100] != "3330" {
+		t.Fatalf("cpu free x100 = %q, want 3330", attrs[AttrCPUFreeX100])
+	}
+	disk := NewStorageProvider(h, HostStatic{Site: "s"})
+	attrs, err = disk.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attrs[AttrIOFreeX100] != "6660" {
+		t.Fatalf("io free x100 = %q, want 6660", attrs[AttrIOFreeX100])
+	}
+}
+
+func TestGIISSoftStateExpiry(t *testing.T) {
+	eng := simulation.NewEngine()
+	top, err := NewGIIS(eng, "o=grid", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gris := newGRIS(t, eng, 0)
+	h := &fakeTarget{name: "alpha1", cpuIdle: 1}
+	if err := gris.AddProvider(NewCPUProvider(h, HostStatic{Site: "THU", CPUModel: "m", CPUCount: 1, CPUMHz: 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.RegisterTTL(gris, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	es, err := top.Search(nil)
+	if err != nil || len(es) != 1 {
+		t.Fatalf("fresh registration search = %d, %v", len(es), err)
+	}
+	// Renewed at t=20s: alive through t=50s.
+	advance := func(to time.Duration) {
+		t.Helper()
+		if _, err := eng.Schedule(to, func(time.Duration) {}); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	advance(20 * time.Second)
+	if err := top.RegisterTTL(gris, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	advance(45 * time.Second)
+	es, err = top.Search(nil)
+	if err != nil || len(es) != 1 {
+		t.Fatalf("renewed registration search = %d, %v", len(es), err)
+	}
+	// Past the renewed deadline (and the GIIS cache TTL): entries vanish.
+	advance(60 * time.Second)
+	es, err = top.Search(nil)
+	if err != nil || len(es) != 0 {
+		t.Fatalf("expired registration search = %d, %v", len(es), err)
+	}
+	if got := top.Children(); len(got) != 0 {
+		t.Fatalf("expired child still listed: %v", got)
+	}
+	// A permanent sibling is unaffected.
+	forever := newGRISWithSuffix(t, eng, "Mds-Host-hn=hit0,o=grid")
+	if err := forever.AddProvider(NewCPUProvider(&fakeTarget{name: "hit0", cpuIdle: 1}, HostStatic{Site: "HIT", CPUModel: "m", CPUCount: 1, CPUMHz: 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Register(forever); err != nil {
+		t.Fatal(err)
+	}
+	advance(2 * time.Minute)
+	es, err = top.Search(nil)
+	if err != nil || len(es) != 1 {
+		t.Fatalf("permanent sibling search = %d, %v", len(es), err)
+	}
+}
+
+func newGRISWithSuffix(t *testing.T, eng *simulation.Engine, suffix string) *GRIS {
+	t.Helper()
+	g, err := NewGRIS(eng, suffix, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

@@ -1,0 +1,278 @@
+// Package metrics provides the small statistics and reporting toolkit used
+// across the experiment harness: summary statistics, sliding windows,
+// correlation measures for validating the cost model, and plain-text table
+// and series rendering in the style of the paper's figures.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by statistics that are undefined on empty input.
+var ErrEmpty = errors.New("metrics: empty input")
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)), nil
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Median returns the median of xs. For even-length input it averages the
+// two middle values.
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2], nil
+	}
+	return (s[n/2-1] + s[n/2]) / 2, nil
+}
+
+// Percentile returns the p-th percentile of xs (0 <= p <= 100) using linear
+// interpolation between closest ranks.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("metrics: percentile %v out of range [0,100]", p)
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// MinMax returns the smallest and largest elements of xs.
+func MinMax(xs []float64) (min, max float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, nil
+}
+
+// Summary bundles the common descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Median float64
+	P95    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	m, _ := Mean(xs)
+	sd, _ := StdDev(xs)
+	med, _ := Median(xs)
+	p95, _ := Percentile(xs, 95)
+	min, max, _ := MinMax(xs)
+	return Summary{N: len(xs), Mean: m, StdDev: sd, Min: min, Median: med, P95: p95, Max: max}, nil
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f med=%.3f p95=%.3f max=%.3f",
+		s.N, s.Mean, s.StdDev, s.Min, s.Median, s.P95, s.Max)
+}
+
+// Pearson returns the Pearson correlation coefficient between xs and ys.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("metrics: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, errors.New("metrics: need at least 2 points for correlation")
+	}
+	mx, _ := Mean(xs)
+	my, _ := Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("metrics: zero variance input")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// ranks assigns fractional ranks (average of tied ranks) to xs.
+func ranks(xs []float64) []float64 {
+	type iv struct {
+		i int
+		v float64
+	}
+	s := make([]iv, len(xs))
+	for i, v := range xs {
+		s[i] = iv{i, v}
+	}
+	sort.Slice(s, func(a, b int) bool { return s[a].v < s[b].v })
+	r := make([]float64, len(xs))
+	for i := 0; i < len(s); {
+		j := i
+		for j < len(s) && s[j].v == s[i].v {
+			j++
+		}
+		// average rank for the tie group [i, j)
+		avg := float64(i+j-1)/2 + 1
+		for k := i; k < j; k++ {
+			r[s[k].i] = avg
+		}
+		i = j
+	}
+	return r
+}
+
+// Spearman returns the Spearman rank correlation between xs and ys. It is
+// the statistic used in EXPERIMENTS.md to check that cost-model scores
+// order replicas the same way measured transfer times do.
+func Spearman(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("metrics: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, errors.New("metrics: need at least 2 points for correlation")
+	}
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+// SameOrder reports whether sorting keys ascending induces the same
+// permutation as sorting values ascending (i.e. the two metrics agree on
+// the ranking). Ties in either slice are allowed to match any order within
+// the tie group.
+func SameOrder(keys, values []float64) (bool, error) {
+	if len(keys) != len(values) {
+		return false, fmt.Errorf("metrics: length mismatch %d vs %d", len(keys), len(values))
+	}
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	for i := 1; i < len(idx); i++ {
+		if values[idx[i]] < values[idx[i-1]] && keys[idx[i]] != keys[idx[i-1]] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Window is a fixed-capacity sliding window of float64 samples, used by the
+// cost display (paper Fig. 5) for the adjustable time-scale average and by
+// the NWS memory for bounded history.
+type Window struct {
+	buf   []float64
+	size  int
+	next  int
+	count int
+}
+
+// NewWindow returns a window holding at most size samples. size must be
+// positive.
+func NewWindow(size int) (*Window, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("metrics: window size must be positive, got %d", size)
+	}
+	return &Window{buf: make([]float64, size), size: size}, nil
+}
+
+// Push appends a sample, evicting the oldest if the window is full.
+func (w *Window) Push(x float64) {
+	w.buf[w.next] = x
+	w.next = (w.next + 1) % w.size
+	if w.count < w.size {
+		w.count++
+	}
+}
+
+// Len returns the number of samples currently held.
+func (w *Window) Len() int { return w.count }
+
+// Values returns the samples oldest-first.
+func (w *Window) Values() []float64 {
+	out := make([]float64, 0, w.count)
+	start := w.next - w.count
+	if start < 0 {
+		start += w.size
+	}
+	for i := 0; i < w.count; i++ {
+		out = append(out, w.buf[(start+i)%w.size])
+	}
+	return out
+}
+
+// Mean returns the mean of the samples in the window.
+func (w *Window) Mean() (float64, error) { return Mean(w.Values()) }
+
+// Last returns the most recent sample.
+func (w *Window) Last() (float64, error) {
+	if w.count == 0 {
+		return 0, ErrEmpty
+	}
+	i := w.next - 1
+	if i < 0 {
+		i += w.size
+	}
+	return w.buf[i], nil
+}

@@ -1,0 +1,389 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	m, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil || m != 2.5 {
+		t.Fatalf("Mean = %v, %v; want 2.5", m, err)
+	}
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Fatalf("Mean(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	v, err := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil || v != 4 {
+		t.Fatalf("Variance = %v, %v; want 4", v, err)
+	}
+	sd, err := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil || sd != 2 {
+		t.Fatalf("StdDev = %v, %v; want 2", sd, err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{5}, 5},
+	}
+	for _, c := range cases {
+		got, err := Median(c.in)
+		if err != nil || got != c.want {
+			t.Fatalf("Median(%v) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := Median(nil); err != ErrEmpty {
+		t.Fatal("Median(nil) should be ErrEmpty")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	p50, err := Percentile(xs, 50)
+	if err != nil || p50 != 5.5 {
+		t.Fatalf("P50 = %v, %v; want 5.5", p50, err)
+	}
+	p0, _ := Percentile(xs, 0)
+	p100, _ := Percentile(xs, 100)
+	if p0 != 1 || p100 != 10 {
+		t.Fatalf("P0=%v P100=%v, want 1 and 10", p0, p100)
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Fatal("negative percentile should error")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Fatal("percentile > 100 should error")
+	}
+	one, err := Percentile([]float64{42}, 75)
+	if err != nil || one != 42 {
+		t.Fatalf("single-element percentile = %v, %v", one, err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || min != -1 || max != 7 {
+		t.Fatalf("MinMax = %v,%v,%v", min, max, err)
+	}
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Fatal("MinMax(nil) should be ErrEmpty")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty Summary string")
+	}
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Fatal("Summarize(nil) should be ErrEmpty")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil || !almostEqual(r, 1, 1e-12) {
+		t.Fatalf("Pearson = %v, %v; want 1", r, err)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(xs, neg)
+	if !almostEqual(r, -1, 1e-12) {
+		t.Fatalf("Pearson = %v, want -1", r)
+	}
+	if _, err := Pearson(xs, ys[:3]); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("too-short input should error")
+	}
+	if _, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("zero variance should error")
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	// Monotone but non-linear relation: Spearman is exactly 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 4, 9, 16, 25}
+	r, err := Spearman(xs, ys)
+	if err != nil || !almostEqual(r, 1, 1e-12) {
+		t.Fatalf("Spearman = %v, %v; want 1", r, err)
+	}
+	rev := []float64{25, 16, 9, 4, 1}
+	r, _ = Spearman(xs, rev)
+	if !almostEqual(r, -1, 1e-12) {
+		t.Fatalf("Spearman = %v, want -1", r)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	ys := []float64{10, 20, 20, 30}
+	r, err := Spearman(xs, ys)
+	if err != nil || !almostEqual(r, 1, 1e-12) {
+		t.Fatalf("Spearman with ties = %v, %v; want 1", r, err)
+	}
+}
+
+func TestSameOrder(t *testing.T) {
+	ok, err := SameOrder([]float64{1, 2, 3}, []float64{10, 20, 30})
+	if err != nil || !ok {
+		t.Fatalf("SameOrder aligned = %v, %v", ok, err)
+	}
+	ok, _ = SameOrder([]float64{1, 2, 3}, []float64{10, 30, 20})
+	if ok {
+		t.Fatal("SameOrder should detect inversion")
+	}
+	// Ties in keys permit any value order within the group.
+	ok, _ = SameOrder([]float64{1, 1, 2}, []float64{20, 10, 30})
+	if !ok {
+		t.Fatal("tied keys should allow any order")
+	}
+	if _, err := SameOrder([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	w, err := NewWindow(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Last(); err != ErrEmpty {
+		t.Fatal("Last on empty window should be ErrEmpty")
+	}
+	w.Push(1)
+	w.Push(2)
+	if got := w.Values(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Values = %v", got)
+	}
+	w.Push(3)
+	w.Push(4) // evicts 1
+	got := w.Values()
+	if len(got) != 3 || got[0] != 2 || got[1] != 3 || got[2] != 4 {
+		t.Fatalf("Values after wrap = %v", got)
+	}
+	last, err := w.Last()
+	if err != nil || last != 4 {
+		t.Fatalf("Last = %v, %v", last, err)
+	}
+	m, err := w.Mean()
+	if err != nil || m != 3 {
+		t.Fatalf("window Mean = %v, %v", m, err)
+	}
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+}
+
+func TestWindowInvalidSize(t *testing.T) {
+	if _, err := NewWindow(0); err == nil {
+		t.Fatal("zero window should be rejected")
+	}
+	if _, err := NewWindow(-2); err == nil {
+		t.Fatal("negative window should be rejected")
+	}
+}
+
+func TestPropertyWindowKeepsLastK(t *testing.T) {
+	f := func(seed int64, size uint8, n uint8) bool {
+		k := int(size%16) + 1
+		w, err := NewWindow(k)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var all []float64
+		for i := 0; i < int(n); i++ {
+			x := rng.Float64()
+			all = append(all, x)
+			w.Push(x)
+		}
+		want := all
+		if len(want) > k {
+			want = want[len(want)-k:]
+		}
+		got := w.Values()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPercentileWithinRange(t *testing.T) {
+	f := func(seed int64, n uint8, p uint8) bool {
+		if n == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		pct := float64(p % 101)
+		v, err := Percentile(xs, pct)
+		if err != nil {
+			return false
+		}
+		min, max, _ := MinMax(xs)
+		return v >= min && v <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySpearmanMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 3
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 1000
+		}
+		// Ensure distinct xs so correlation is defined.
+		sort.Float64s(xs)
+		for i := 1; i < n; i++ {
+			if xs[i] <= xs[i-1] {
+				xs[i] = xs[i-1] + 1
+			}
+		}
+		ys := make([]float64, n)
+		for i := range ys {
+			ys[i] = math.Exp(xs[i] / 500) // strictly increasing transform
+		}
+		r, err := Spearman(xs, ys)
+		return err == nil && almostEqual(r, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table 1", "host", "score", "time")
+	tb.AddRow("alpha4", "95.1", "12.3")
+	tb.AddRow("hit0", "72.0", "45.6")
+	out := tb.String()
+	if out == "" {
+		t.Fatal("empty table output")
+	}
+	for _, want := range []string{"Table 1", "host", "alpha4", "45.6", "---"} {
+		if !contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only-one")
+	tb.AddRow("x", "y", "extra-dropped")
+	out := tb.String()
+	if contains(out, "extra-dropped") {
+		t.Fatalf("extra cell should be dropped:\n%s", out)
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("", "host", "score")
+	if err := tb.AddRowf("%s", "alpha1", "%.2f", 3.14159); err != nil {
+		t.Fatal(err)
+	}
+	if !contains(tb.String(), "3.14") {
+		t.Fatalf("formatted cell missing:\n%s", tb.String())
+	}
+	if err := tb.AddRowf("%s"); err == nil {
+		t.Fatal("odd arg count should error")
+	}
+	if err := tb.AddRowf(1, 2); err == nil {
+		t.Fatal("non-string verb should error")
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	s1 := Series{Name: "FTP"}
+	s2 := Series{Name: "GridFTP"}
+	for _, x := range []float64{256, 512, 1024, 2048} {
+		s1.AddPoint(x, x/10)
+		s2.AddPoint(x, x/11)
+	}
+	out, err := RenderSeries("Figure 3", "MB", "sec", []Series{s1, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 3", "FTP", "GridFTP", "256", "2048"} {
+		if !contains(out, want) {
+			t.Fatalf("series output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderSeriesErrors(t *testing.T) {
+	if _, err := RenderSeries("t", "x", "y", nil); err != ErrEmpty {
+		t.Fatal("empty series should be ErrEmpty")
+	}
+	a := Series{Name: "a", X: []float64{1, 2}, Y: []float64{1, 2}}
+	b := Series{Name: "b", X: []float64{1}, Y: []float64{1}}
+	if _, err := RenderSeries("t", "x", "y", []Series{a, b}); err == nil {
+		t.Fatal("mismatched point counts should error")
+	}
+	c := Series{Name: "c", X: []float64{1, 3}, Y: []float64{1, 2}}
+	if _, err := RenderSeries("t", "x", "y", []Series{a, c}); err == nil {
+		t.Fatal("mismatched xs should error")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(256) != "256" {
+		t.Fatalf("trimFloat(256) = %q", trimFloat(256))
+	}
+	if trimFloat(0.5) != "0.5" {
+		t.Fatalf("trimFloat(0.5) = %q", trimFloat(0.5))
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}

@@ -1,0 +1,818 @@
+// Package netsim is a flow-level wide-area network simulator. It models the
+// Data Grid testbed's WAN behaviour at the granularity the paper measures:
+// per-TCP-stream throughput limited by receive window and random loss
+// (the Mathis steady-state model), slow-start ramp-up, max-min fair sharing
+// of link capacity among concurrent flows, and time-varying background
+// traffic. It deliberately does not simulate packets: a 2 GB GridFTP
+// transfer is a handful of flow events, not a billion packet events.
+//
+// The simulator is driven by a simulation.Engine; all API calls must happen
+// on the engine goroutine (from event callbacks or between Run calls).
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/simulation"
+)
+
+// mathisC is the constant of the Mathis et al. TCP throughput model:
+// rate <= MSS/RTT * C/sqrt(p).
+const mathisC = 1.22
+
+// DefaultMSS is the TCP maximum segment size assumed when a link does not
+// specify one (standard Ethernet MTU minus headers).
+const DefaultMSS = 1460
+
+// initialCwnd is the slow-start initial congestion window in segments.
+const initialCwnd = 2
+
+// LinkConfig describes one direction of a network link.
+type LinkConfig struct {
+	// CapacityBps is the raw line rate in bits per second.
+	CapacityBps float64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// LossRate is the steady-state packet loss probability (0..1). On a
+	// lossy path this, not the line rate, is what limits a single TCP
+	// stream — the effect the paper's parallel-stream experiment exploits.
+	LossRate float64
+	// MSS is the maximum segment size in bytes; DefaultMSS if zero.
+	MSS int
+}
+
+func (c LinkConfig) validate() error {
+	if c.CapacityBps <= 0 {
+		return fmt.Errorf("netsim: link capacity must be positive, got %v", c.CapacityBps)
+	}
+	if c.Delay < 0 {
+		return fmt.Errorf("netsim: negative link delay %v", c.Delay)
+	}
+	if c.LossRate < 0 || c.LossRate >= 1 {
+		return fmt.Errorf("netsim: loss rate %v out of [0,1)", c.LossRate)
+	}
+	if c.MSS < 0 {
+		return fmt.Errorf("netsim: negative MSS %d", c.MSS)
+	}
+	return nil
+}
+
+// Link is one direction of a physical link.
+type Link struct {
+	from, to string
+	cfg      LinkConfig
+	// bgLoad is the fraction of capacity consumed by background (non-grid)
+	// traffic, in [0,1).
+	bgLoad float64
+	// down marks a failed link: zero effective capacity, so flows across
+	// it stall (they do not abort — TCP would retry forever too).
+	down bool
+	// usedBps is the total rate currently allocated to simulated flows.
+	usedBps float64
+	flows   map[int64]*Flow
+}
+
+// Down reports whether the link is failed.
+func (l *Link) Down() bool { return l.down }
+
+// From returns the name of the transmitting node.
+func (l *Link) From() string { return l.from }
+
+// To returns the name of the receiving node.
+func (l *Link) To() string { return l.to }
+
+// Capacity returns the raw line rate in bits per second.
+func (l *Link) Capacity() float64 { return l.cfg.CapacityBps }
+
+// EffectiveCapacity returns line rate minus background traffic, or zero
+// when the link is down.
+func (l *Link) EffectiveCapacity() float64 {
+	if l.down {
+		return 0
+	}
+	return l.cfg.CapacityBps * (1 - l.bgLoad)
+}
+
+// BackgroundLoad returns the current background traffic fraction.
+func (l *Link) BackgroundLoad() float64 { return l.bgLoad }
+
+// UsedBps returns the rate currently allocated to simulated flows.
+func (l *Link) UsedBps() float64 { return l.usedBps }
+
+// Utilization returns (background + allocated)/capacity in [0,1].
+func (l *Link) Utilization() float64 {
+	u := (l.cfg.CapacityBps*l.bgLoad + l.usedBps) / l.cfg.CapacityBps
+	return math.Min(u, 1)
+}
+
+type linkKey struct{ from, to string }
+
+// FlowOptions tunes a single simulated TCP connection.
+type FlowOptions struct {
+	// WindowBytes is the effective TCP window (min of send/receive buffer).
+	// It caps throughput at WindowBytes/RTT. Defaults to 64 KiB, the
+	// classic un-tuned TCP buffer of the paper's era.
+	WindowBytes int
+	// RateCapBps imposes an additional application-level cap (e.g. the
+	// sending host's disk read rate). Zero means no cap.
+	RateCapBps float64
+	// OverheadFraction inflates the payload to account for protocol
+	// framing (e.g. GridFTP MODE E block headers). 0.01 means 1% extra
+	// bytes on the wire.
+	OverheadFraction float64
+}
+
+// DefaultWindowBytes is the TCP window used when FlowOptions does not set
+// one.
+const DefaultWindowBytes = 64 * 1024
+
+// FlowState enumerates the lifecycle of a flow.
+type FlowState int
+
+const (
+	// FlowActive means the flow is transferring.
+	FlowActive FlowState = iota
+	// FlowDone means all bytes were delivered.
+	FlowDone
+	// FlowCanceled means the flow was aborted before completion.
+	FlowCanceled
+)
+
+func (s FlowState) String() string {
+	switch s {
+	case FlowActive:
+		return "active"
+	case FlowDone:
+		return "done"
+	case FlowCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("FlowState(%d)", int(s))
+	}
+}
+
+// Flow is one simulated TCP connection transferring a fixed number of bytes.
+type Flow struct {
+	id        int64
+	src, dst  string
+	path      []*Link
+	wireBytes float64 // total bytes on the wire including overhead
+	remaining float64
+	opts      FlowOptions
+	state     FlowState
+
+	rtt  time.Duration
+	loss float64
+	mss  int
+
+	// cwndBps is the slow-start limited rate; it doubles every RTT until
+	// it stops binding.
+	cwndBps  float64
+	ramping  bool
+	rampEv   *simulation.Event
+	rateBps  float64 // current allocated rate
+	started  time.Duration
+	finished time.Duration
+	done     func(*Flow)
+}
+
+// ID returns the unique flow identifier.
+func (f *Flow) ID() int64 { return f.id }
+
+// Src returns the sending node name.
+func (f *Flow) Src() string { return f.src }
+
+// Dst returns the receiving node name.
+func (f *Flow) Dst() string { return f.dst }
+
+// State returns the flow lifecycle state.
+func (f *Flow) State() FlowState { return f.state }
+
+// RateBps returns the currently allocated rate in bits per second.
+func (f *Flow) RateBps() float64 { return f.rateBps }
+
+// RTT returns the round-trip time of the flow's path.
+func (f *Flow) RTT() time.Duration { return f.rtt }
+
+// Started returns the virtual time the flow began.
+func (f *Flow) Started() time.Duration { return f.started }
+
+// Finished returns the virtual time the flow completed (zero until done).
+func (f *Flow) Finished() time.Duration { return f.finished }
+
+// Duration returns transfer time for completed flows.
+func (f *Flow) Duration() time.Duration { return f.finished - f.started }
+
+// RemainingBytes returns wire bytes not yet delivered.
+func (f *Flow) RemainingBytes() float64 { return f.remaining }
+
+// capBps returns the flow's intrinsic rate limit: the minimum of the
+// window/RTT bound, the Mathis loss bound, the slow-start window, and any
+// application cap. Link sharing is applied separately.
+func (f *Flow) capBps() float64 {
+	cap := f.windowBps()
+	if m := f.mathisBps(); m < cap {
+		cap = m
+	}
+	if f.ramping && f.cwndBps < cap {
+		cap = f.cwndBps
+	}
+	if f.opts.RateCapBps > 0 && f.opts.RateCapBps < cap {
+		cap = f.opts.RateCapBps
+	}
+	return cap
+}
+
+func (f *Flow) windowBps() float64 {
+	if f.rtt <= 0 {
+		return math.Inf(1)
+	}
+	return float64(f.opts.WindowBytes) * 8 / f.rtt.Seconds()
+}
+
+func (f *Flow) mathisBps() float64 {
+	if f.loss <= 0 || f.rtt <= 0 {
+		return math.Inf(1)
+	}
+	return float64(f.mss) * 8 / f.rtt.Seconds() * mathisC / math.Sqrt(f.loss)
+}
+
+// Network is the simulated WAN.
+type Network struct {
+	engine  *simulation.Engine
+	rng     *rand.Rand
+	nodes   map[string]bool
+	links   map[linkKey]*Link
+	flows   map[int64]*Flow
+	nextID  int64
+	routes  map[linkKey][]*Link
+	settled time.Duration
+	nextEv  *simulation.Event
+}
+
+// New creates an empty network driven by engine. The seed feeds the
+// network's private random source (used only by helpers like jittered
+// background processes).
+func New(engine *simulation.Engine, seed int64) *Network {
+	return &Network{
+		engine: engine,
+		rng:    rand.New(rand.NewSource(seed)),
+		nodes:  make(map[string]bool),
+		links:  make(map[linkKey]*Link),
+		flows:  make(map[int64]*Flow),
+		routes: make(map[linkKey][]*Link),
+	}
+}
+
+// Engine returns the driving simulation engine.
+func (n *Network) Engine() *simulation.Engine { return n.engine }
+
+// AddNode registers a host or router by name.
+func (n *Network) AddNode(name string) error {
+	if name == "" {
+		return errors.New("netsim: empty node name")
+	}
+	if n.nodes[name] {
+		return fmt.Errorf("netsim: duplicate node %q", name)
+	}
+	n.nodes[name] = true
+	return nil
+}
+
+// HasNode reports whether the node exists.
+func (n *Network) HasNode(name string) bool { return n.nodes[name] }
+
+// Nodes returns all node names, sorted.
+func (n *Network) Nodes() []string {
+	out := make([]string, 0, len(n.nodes))
+	for name := range n.nodes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddLink adds a full-duplex link between a and b with identical
+// characteristics in both directions.
+func (n *Network) AddLink(a, b string, cfg LinkConfig) error {
+	if err := n.addDirected(a, b, cfg); err != nil {
+		return err
+	}
+	return n.addDirected(b, a, cfg)
+}
+
+// AddDirectedLink adds a one-direction link (useful for asymmetric paths).
+func (n *Network) AddDirectedLink(from, to string, cfg LinkConfig) error {
+	return n.addDirected(from, to, cfg)
+}
+
+func (n *Network) addDirected(from, to string, cfg LinkConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if !n.nodes[from] {
+		return fmt.Errorf("netsim: unknown node %q", from)
+	}
+	if !n.nodes[to] {
+		return fmt.Errorf("netsim: unknown node %q", to)
+	}
+	if from == to {
+		return fmt.Errorf("netsim: self-link on %q", from)
+	}
+	k := linkKey{from, to}
+	if _, ok := n.links[k]; ok {
+		return fmt.Errorf("netsim: duplicate link %s->%s", from, to)
+	}
+	if cfg.MSS == 0 {
+		cfg.MSS = DefaultMSS
+	}
+	n.links[k] = &Link{from: from, to: to, cfg: cfg, flows: make(map[int64]*Flow)}
+	n.routes = make(map[linkKey][]*Link) // invalidate route cache
+	return nil
+}
+
+// GetLink returns the directed link from->to.
+func (n *Network) GetLink(from, to string) (*Link, error) {
+	l, ok := n.links[linkKey{from, to}]
+	if !ok {
+		return nil, fmt.Errorf("netsim: no link %s->%s", from, to)
+	}
+	return l, nil
+}
+
+// SetBackgroundLoad sets the background traffic fraction on the directed
+// link from->to and reallocates flow rates.
+func (n *Network) SetBackgroundLoad(from, to string, frac float64) error {
+	if frac < 0 || frac >= 1 {
+		return fmt.Errorf("netsim: background load %v out of [0,1)", frac)
+	}
+	l, err := n.GetLink(from, to)
+	if err != nil {
+		return err
+	}
+	n.settle()
+	l.bgLoad = frac
+	n.reallocate()
+	return nil
+}
+
+// SetLinkDown fails (or restores) the directed link from->to. Flows
+// crossing a down link stall at zero rate until the link comes back;
+// routing is not recomputed (the testbed's routes are static, as the
+// paper's were).
+func (n *Network) SetLinkDown(from, to string, down bool) error {
+	l, err := n.GetLink(from, to)
+	if err != nil {
+		return err
+	}
+	n.settle()
+	l.down = down
+	n.reallocate()
+	return nil
+}
+
+// ErrNoRoute is returned when no path exists between two nodes.
+var ErrNoRoute = errors.New("netsim: no route")
+
+// Route returns the directed links on the lowest-latency path src->dst
+// (Dijkstra on propagation delay, hop count as tie-break via tiny epsilon).
+func (n *Network) Route(src, dst string) ([]*Link, error) {
+	if !n.nodes[src] {
+		return nil, fmt.Errorf("netsim: unknown node %q", src)
+	}
+	if !n.nodes[dst] {
+		return nil, fmt.Errorf("netsim: unknown node %q", dst)
+	}
+	if src == dst {
+		return nil, fmt.Errorf("netsim: src == dst (%q)", src)
+	}
+	if r, ok := n.routes[linkKey{src, dst}]; ok {
+		return r, nil
+	}
+	const hopPenalty = time.Microsecond
+	dist := map[string]time.Duration{src: 0}
+	prev := map[string]*Link{}
+	visited := map[string]bool{}
+	for {
+		// pick the unvisited node with smallest distance (deterministic
+		// tie-break on name).
+		var cur string
+		best := time.Duration(math.MaxInt64)
+		for name, d := range dist {
+			if visited[name] {
+				continue
+			}
+			if d < best || (d == best && (cur == "" || name < cur)) {
+				best, cur = d, name
+			}
+		}
+		if cur == "" {
+			break
+		}
+		if cur == dst {
+			break
+		}
+		visited[cur] = true
+		for k, l := range n.links {
+			if k.from != cur {
+				continue
+			}
+			nd := dist[cur] + l.cfg.Delay + hopPenalty
+			if d, ok := dist[k.to]; !ok || nd < d {
+				dist[k.to] = nd
+				prev[k.to] = l
+			}
+		}
+	}
+	if _, ok := dist[dst]; !ok {
+		return nil, fmt.Errorf("%w: %s->%s", ErrNoRoute, src, dst)
+	}
+	var path []*Link
+	for at := dst; at != src; {
+		l := prev[at]
+		path = append(path, l)
+		at = l.from
+	}
+	// reverse
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	n.routes[linkKey{src, dst}] = path
+	return path, nil
+}
+
+// PathRTT returns the round-trip time between two nodes (sum of one-way
+// delays both directions; assumes the reverse path mirrors the forward one).
+func (n *Network) PathRTT(src, dst string) (time.Duration, error) {
+	path, err := n.Route(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	var oneWay time.Duration
+	for _, l := range path {
+		oneWay += l.cfg.Delay
+	}
+	return 2 * oneWay, nil
+}
+
+// queueingDelay approximates the extra per-link delay a packet sees when
+// the link runs hot: an M/M/1-flavoured u/(1-u) growth on top of the
+// propagation delay, capped at 10x so a saturated link degrades rather
+// than diverges. This is what a ping (and hence the NWS latency sensor)
+// experiences under load.
+func (l *Link) queueingDelay() time.Duration {
+	u := l.Utilization()
+	if u <= 0 {
+		return 0
+	}
+	if u > 0.99 {
+		u = 0.99
+	}
+	factor := 0.5 * u / (1 - u)
+	if factor > 10 {
+		factor = 10
+	}
+	return time.Duration(float64(l.cfg.Delay) * factor)
+}
+
+// PathRTTLoaded returns the round-trip time including current queueing
+// delay on every link of the (forward) path, both directions.
+func (n *Network) PathRTTLoaded(src, dst string) (time.Duration, error) {
+	path, err := n.Route(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	n.settle()
+	var oneWay time.Duration
+	for _, l := range path {
+		oneWay += l.cfg.Delay + l.queueingDelay()
+	}
+	return 2 * oneWay, nil
+}
+
+// PathLossRate returns the end-to-end loss probability of the path.
+func (n *Network) PathLossRate(src, dst string) (float64, error) {
+	path, err := n.Route(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	keep := 1.0
+	for _, l := range path {
+		keep *= 1 - l.cfg.LossRate
+	}
+	return 1 - keep, nil
+}
+
+// BottleneckBps returns the raw capacity of the narrowest link on the path.
+func (n *Network) BottleneckBps(src, dst string) (float64, error) {
+	path, err := n.Route(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	min := math.Inf(1)
+	for _, l := range path {
+		if l.cfg.CapacityBps < min {
+			min = l.cfg.CapacityBps
+		}
+	}
+	return min, nil
+}
+
+// AvailableBps returns the current unallocated capacity of the path's
+// tightest link: effective capacity minus rate already granted to flows.
+// This is what an NWS bandwidth sensor estimates with a probe.
+func (n *Network) AvailableBps(src, dst string) (float64, error) {
+	path, err := n.Route(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	n.settle()
+	min := math.Inf(1)
+	for _, l := range path {
+		avail := l.EffectiveCapacity() - l.usedBps
+		if avail < 0 {
+			avail = 0
+		}
+		if avail < min {
+			min = avail
+		}
+	}
+	return min, nil
+}
+
+// pathMSS returns the smallest MSS along the path.
+func pathMSS(path []*Link) int {
+	mss := path[0].cfg.MSS
+	for _, l := range path[1:] {
+		if l.cfg.MSS < mss {
+			mss = l.cfg.MSS
+		}
+	}
+	return mss
+}
+
+// StartFlow begins a simulated TCP transfer of bytes payload bytes from src
+// to dst. done, if non-nil, is invoked on the engine goroutine when the
+// flow completes. The returned flow is live; its fields update as the
+// simulation advances.
+func (n *Network) StartFlow(src, dst string, bytes int64, opts FlowOptions, done func(*Flow)) (*Flow, error) {
+	if bytes <= 0 {
+		return nil, fmt.Errorf("netsim: flow size must be positive, got %d", bytes)
+	}
+	if opts.WindowBytes < 0 || opts.RateCapBps < 0 || opts.OverheadFraction < 0 {
+		return nil, errors.New("netsim: negative flow option")
+	}
+	if opts.WindowBytes == 0 {
+		opts.WindowBytes = DefaultWindowBytes
+	}
+	path, err := n.Route(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	loss, _ := n.PathLossRate(src, dst)
+	rtt, _ := n.PathRTT(src, dst)
+	n.settle()
+	f := &Flow{
+		id:        n.nextID,
+		src:       src,
+		dst:       dst,
+		path:      path,
+		wireBytes: float64(bytes) * (1 + opts.OverheadFraction),
+		opts:      opts,
+		state:     FlowActive,
+		rtt:       rtt,
+		loss:      loss,
+		mss:       pathMSS(path),
+		started:   n.engine.Now(),
+		done:      done,
+	}
+	f.remaining = f.wireBytes
+	n.nextID++
+	// Slow start: rate begins at initialCwnd segments per RTT and doubles
+	// each RTT until it no longer binds.
+	if f.rtt > 0 {
+		f.ramping = true
+		f.cwndBps = float64(initialCwnd*f.mss) * 8 / f.rtt.Seconds()
+		n.scheduleRamp(f)
+	}
+	n.flows[f.id] = f
+	for _, l := range path {
+		l.flows[f.id] = f
+	}
+	n.reallocate()
+	return f, nil
+}
+
+// CancelFlow aborts an active flow.
+func (n *Network) CancelFlow(f *Flow) error {
+	if f == nil {
+		return errors.New("netsim: nil flow")
+	}
+	if f.state != FlowActive {
+		return fmt.Errorf("netsim: flow %d is %v, not active", f.id, f.state)
+	}
+	n.settle()
+	n.removeFlow(f, FlowCanceled)
+	n.reallocate()
+	return nil
+}
+
+// ActiveFlows returns the number of in-progress flows.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+func (n *Network) scheduleRamp(f *Flow) {
+	ev, err := n.engine.After(f.rtt, func(time.Duration) {
+		if f.state != FlowActive || !f.ramping {
+			return
+		}
+		n.settle()
+		f.cwndBps *= 2
+		// Stop ramping once the congestion window exceeds every other
+		// bound — it can no longer be the binding constraint.
+		other := f.windowBps()
+		if m := f.mathisBps(); m < other {
+			other = m
+		}
+		if f.cwndBps >= other {
+			f.ramping = false
+		} else {
+			n.scheduleRamp(f)
+		}
+		n.reallocate()
+	})
+	if err == nil {
+		f.rampEv = ev
+	}
+}
+
+// settle advances every active flow's remaining byte count to the current
+// virtual time using the rates fixed at the last reallocation.
+func (n *Network) settle() {
+	now := n.engine.Now()
+	dt := (now - n.settled).Seconds()
+	if dt > 0 {
+		for _, f := range n.flows {
+			f.remaining -= f.rateBps / 8 * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+	}
+	n.settled = now
+}
+
+// reallocate recomputes max-min fair rates with per-flow caps, then
+// schedules the next completion event.
+func (n *Network) reallocate() {
+	// Water-filling with caps: repeatedly compute each unfixed flow's
+	// limit (its own cap or its tightest link's equal share) and fix all
+	// flows at the global minimum.
+	remainingCap := make(map[*Link]float64, len(n.links))
+	unfixedCount := make(map[*Link]int, len(n.links))
+	for _, l := range n.links {
+		remainingCap[l] = l.EffectiveCapacity()
+		unfixedCount[l] = len(l.flows)
+		l.usedBps = 0
+	}
+	unfixed := make(map[int64]*Flow, len(n.flows))
+	for id, f := range n.flows {
+		unfixed[id] = f
+		f.rateBps = 0
+	}
+	for len(unfixed) > 0 {
+		minLimit := math.Inf(1)
+		for _, f := range unfixed {
+			lim := f.capBps()
+			for _, l := range f.path {
+				share := remainingCap[l] / float64(unfixedCount[l])
+				if share < lim {
+					lim = share
+				}
+			}
+			if lim < minLimit {
+				minLimit = lim
+			}
+		}
+		if math.IsInf(minLimit, 1) {
+			// No binding constraint anywhere (e.g. zero-RTT loss-free
+			// path). Grant each flow its link share.
+			minLimit = math.MaxFloat64
+		}
+		if minLimit < 0 {
+			minLimit = 0
+		}
+		// Fix every flow whose limit equals the minimum (within epsilon).
+		fixedAny := false
+		const eps = 1e-9
+		ids := make([]int64, 0, len(unfixed))
+		for id := range unfixed {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			f := unfixed[id]
+			lim := f.capBps()
+			for _, l := range f.path {
+				share := remainingCap[l] / float64(unfixedCount[l])
+				if share < lim {
+					lim = share
+				}
+			}
+			if lim <= minLimit*(1+eps) {
+				f.rateBps = minLimit
+				if f.rateBps == math.MaxFloat64 {
+					f.rateBps = lim
+				}
+				for _, l := range f.path {
+					remainingCap[l] -= f.rateBps
+					if remainingCap[l] < 0 {
+						remainingCap[l] = 0
+					}
+					unfixedCount[l]--
+					l.usedBps += f.rateBps
+				}
+				delete(unfixed, id)
+				fixedAny = true
+			}
+		}
+		if !fixedAny {
+			// Defensive: should be impossible, but never loop forever.
+			for _, id := range ids {
+				f := unfixed[id]
+				f.rateBps = minLimit
+				delete(unfixed, id)
+			}
+			break
+		}
+	}
+	n.scheduleNextCompletion()
+}
+
+func (n *Network) scheduleNextCompletion() {
+	if n.nextEv != nil {
+		n.engine.Cancel(n.nextEv)
+		n.nextEv = nil
+	}
+	var next *Flow
+	nextAt := time.Duration(math.MaxInt64)
+	for _, f := range n.flows {
+		if f.rateBps <= 0 {
+			continue
+		}
+		secs := f.remaining * 8 / f.rateBps
+		d := time.Duration(secs * float64(time.Second))
+		if d <= 0 {
+			d = 1 // guarantee forward progress despite rounding
+		}
+		at := n.engine.Now() + d
+		if at < nextAt {
+			nextAt, next = at, f
+		}
+	}
+	if next == nil {
+		return
+	}
+	ev, err := n.engine.Schedule(nextAt, func(time.Duration) {
+		n.nextEv = nil
+		n.settle()
+		// Complete every flow that has drained (ties complete together).
+		var doneFlows []*Flow
+		for _, f := range n.flows {
+			// Sub-byte residues are float rounding, not real payload.
+			if f.remaining <= 0.5 {
+				doneFlows = append(doneFlows, f)
+			}
+		}
+		sort.Slice(doneFlows, func(i, j int) bool { return doneFlows[i].id < doneFlows[j].id })
+		for _, f := range doneFlows {
+			n.removeFlow(f, FlowDone)
+		}
+		n.reallocate()
+		for _, f := range doneFlows {
+			if f.done != nil {
+				f.done(f)
+			}
+		}
+	})
+	if err == nil {
+		n.nextEv = ev
+	}
+}
+
+func (n *Network) removeFlow(f *Flow, final FlowState) {
+	delete(n.flows, f.id)
+	for _, l := range f.path {
+		delete(l.flows, f.id)
+	}
+	if f.rampEv != nil {
+		n.engine.Cancel(f.rampEv)
+	}
+	f.state = final
+	f.finished = n.engine.Now()
+	f.rateBps = 0
+}

@@ -1,0 +1,315 @@
+// Package nws reimplements the Network Weather Service (§2.2 of the paper):
+// a distributed monitoring system producing short-term performance
+// forecasts from historical measurements. It provides the three NWS
+// component processes — nws_nameserver (naming/discovery), nws_memory
+// (measurement storage) and nws_sensor (periodic measurement) — plus the
+// NWS forecasting engine: a bank of simple predictors raced against each
+// other, where the predictor with the lowest accumulated error wins the
+// right to make the next forecast (Wolski's "mixture of experts").
+package nws
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Forecaster is one predictive model in the bank. Update feeds it a new
+// measurement; Predict returns its estimate of the next value.
+type Forecaster interface {
+	// Name identifies the model, e.g. "sw_median(21)".
+	Name() string
+	// Update incorporates the latest measurement.
+	Update(v float64)
+	// Predict returns the model's next-value estimate. ok is false until
+	// the model has enough history.
+	Predict() (value float64, ok bool)
+}
+
+// lastValue predicts the most recent measurement.
+type lastValue struct {
+	v   float64
+	has bool
+}
+
+func (f *lastValue) Name() string { return "last" }
+func (f *lastValue) Update(v float64) {
+	f.v, f.has = v, true
+}
+func (f *lastValue) Predict() (float64, bool) { return f.v, f.has }
+
+// runningMean predicts the mean of the whole history.
+type runningMean struct {
+	sum float64
+	n   int
+}
+
+func (f *runningMean) Name() string { return "run_mean" }
+func (f *runningMean) Update(v float64) {
+	f.sum += v
+	f.n++
+}
+func (f *runningMean) Predict() (float64, bool) {
+	if f.n == 0 {
+		return 0, false
+	}
+	return f.sum / float64(f.n), true
+}
+
+// slidingWindow is shared storage for the windowed models.
+type slidingWindow struct {
+	buf  []float64
+	size int
+}
+
+func (w *slidingWindow) push(v float64) {
+	w.buf = append(w.buf, v)
+	if len(w.buf) > w.size {
+		w.buf = w.buf[len(w.buf)-w.size:]
+	}
+}
+
+// slidingMean predicts the mean of the last k measurements.
+type slidingMean struct{ slidingWindow }
+
+func newSlidingMean(k int) *slidingMean { return &slidingMean{slidingWindow{size: k}} }
+
+func (f *slidingMean) Name() string     { return fmt.Sprintf("sw_mean(%d)", f.size) }
+func (f *slidingMean) Update(v float64) { f.push(v) }
+func (f *slidingMean) Predict() (float64, bool) {
+	if len(f.buf) == 0 {
+		return 0, false
+	}
+	sum := 0.0
+	for _, v := range f.buf {
+		sum += v
+	}
+	return sum / float64(len(f.buf)), true
+}
+
+// slidingMedian predicts the median of the last k measurements.
+type slidingMedian struct{ slidingWindow }
+
+func newSlidingMedian(k int) *slidingMedian { return &slidingMedian{slidingWindow{size: k}} }
+
+func (f *slidingMedian) Name() string     { return fmt.Sprintf("sw_median(%d)", f.size) }
+func (f *slidingMedian) Update(v float64) { f.push(v) }
+func (f *slidingMedian) Predict() (float64, bool) {
+	if len(f.buf) == 0 {
+		return 0, false
+	}
+	s := append([]float64(nil), f.buf...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2], true
+	}
+	return (s[n/2-1] + s[n/2]) / 2, true
+}
+
+// trimmedMean predicts the mean of the last k measurements after dropping
+// the top and bottom trim fraction.
+type trimmedMean struct {
+	slidingWindow
+	trim float64
+}
+
+func newTrimmedMean(k int, trim float64) *trimmedMean {
+	return &trimmedMean{slidingWindow{size: k}, trim}
+}
+
+func (f *trimmedMean) Name() string     { return fmt.Sprintf("trim_mean(%d,%.2f)", f.size, f.trim) }
+func (f *trimmedMean) Update(v float64) { f.push(v) }
+func (f *trimmedMean) Predict() (float64, bool) {
+	if len(f.buf) == 0 {
+		return 0, false
+	}
+	s := append([]float64(nil), f.buf...)
+	sort.Float64s(s)
+	drop := int(float64(len(s)) * f.trim)
+	s = s[drop : len(s)-drop]
+	if len(s) == 0 {
+		return 0, false
+	}
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s)), true
+}
+
+// ewma predicts an exponentially weighted moving average with gain g.
+type ewma struct {
+	g    float64
+	v    float64
+	has  bool
+	name string
+}
+
+func newEWMA(g float64) *ewma { return &ewma{g: g, name: fmt.Sprintf("ewma(%.2f)", g)} }
+
+func (f *ewma) Name() string { return f.name }
+func (f *ewma) Update(v float64) {
+	if !f.has {
+		f.v, f.has = v, true
+		return
+	}
+	f.v = f.g*v + (1-f.g)*f.v
+}
+func (f *ewma) Predict() (float64, bool) { return f.v, f.has }
+
+// DefaultForecasters returns the standard NWS-style expert bank.
+func DefaultForecasters() []Forecaster {
+	fs := []Forecaster{
+		&lastValue{},
+		&runningMean{},
+	}
+	for _, k := range []int{5, 11, 21, 51} {
+		fs = append(fs, newSlidingMean(k))
+	}
+	for _, k := range []int{5, 11, 21, 51} {
+		fs = append(fs, newSlidingMedian(k))
+	}
+	for _, k := range []int{11, 31} {
+		fs = append(fs, newTrimmedMean(k, 0.2))
+	}
+	for _, g := range []float64{0.05, 0.1, 0.25, 0.5, 0.75, 0.9} {
+		fs = append(fs, newEWMA(g))
+	}
+	return fs
+}
+
+// Forecast is the bank's combined output.
+type Forecast struct {
+	// Value is the winning expert's prediction (lowest cumulative MSE).
+	Value float64
+	// MAEValue is the prediction of the lowest-cumulative-MAE expert.
+	MAEValue float64
+	// Expert and MAEExpert name the winning models.
+	Expert    string
+	MAEExpert string
+	// MSE and MAE are the winners' mean errors so far, a measure of how
+	// trustworthy the forecast is.
+	MSE float64
+	MAE float64
+	// N is the number of measurements the bank has seen.
+	N int
+}
+
+// Bank races a set of forecasters: every new measurement first scores each
+// expert's standing prediction against reality, then updates the experts.
+type Bank struct {
+	experts []Forecaster
+	sqErr   []float64
+	absErr  []float64
+	scored  []int
+	n       int
+}
+
+// NewBank builds a bank from the given experts; nil means
+// DefaultForecasters.
+func NewBank(experts []Forecaster) (*Bank, error) {
+	if experts == nil {
+		experts = DefaultForecasters()
+	}
+	if len(experts) == 0 {
+		return nil, errors.New("nws: bank needs at least one forecaster")
+	}
+	seen := map[string]bool{}
+	for _, e := range experts {
+		if e == nil {
+			return nil, errors.New("nws: nil forecaster")
+		}
+		if seen[e.Name()] {
+			return nil, fmt.Errorf("nws: duplicate forecaster %q", e.Name())
+		}
+		seen[e.Name()] = true
+	}
+	return &Bank{
+		experts: experts,
+		sqErr:   make([]float64, len(experts)),
+		absErr:  make([]float64, len(experts)),
+		scored:  make([]int, len(experts)),
+	}, nil
+}
+
+// Update scores every expert against the observed value v, then feeds v to
+// all experts.
+func (b *Bank) Update(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return // refuse to poison the history
+	}
+	for i, e := range b.experts {
+		if p, ok := e.Predict(); ok {
+			d := p - v
+			b.sqErr[i] += d * d
+			b.absErr[i] += math.Abs(d)
+			b.scored[i]++
+		}
+	}
+	for _, e := range b.experts {
+		e.Update(v)
+	}
+	b.n++
+}
+
+// N returns the number of measurements seen.
+func (b *Bank) N() int { return b.n }
+
+// ErrNoForecast is returned before the bank has any usable prediction.
+var ErrNoForecast = errors.New("nws: no forecast available yet")
+
+// Forecast returns the current winning predictions.
+func (b *Bank) Forecast() (Forecast, error) {
+	bestMSE, bestMAE := -1, -1
+	for i, e := range b.experts {
+		if _, ok := e.Predict(); !ok {
+			continue
+		}
+		if bestMSE == -1 {
+			bestMSE, bestMAE = i, i
+			continue
+		}
+		if b.meanErr(b.sqErr, i) < b.meanErr(b.sqErr, bestMSE) {
+			bestMSE = i
+		}
+		if b.meanErr(b.absErr, i) < b.meanErr(b.absErr, bestMAE) {
+			bestMAE = i
+		}
+	}
+	if bestMSE == -1 {
+		return Forecast{}, ErrNoForecast
+	}
+	v, _ := b.experts[bestMSE].Predict()
+	mv, _ := b.experts[bestMAE].Predict()
+	return Forecast{
+		Value:     v,
+		MAEValue:  mv,
+		Expert:    b.experts[bestMSE].Name(),
+		MAEExpert: b.experts[bestMAE].Name(),
+		MSE:       b.meanErr(b.sqErr, bestMSE),
+		MAE:       b.meanErr(b.absErr, bestMAE),
+		N:         b.n,
+	}, nil
+}
+
+// meanErr returns an expert's error normalized by how many times it was
+// scored, so late-starting windowed models compete fairly.
+func (b *Bank) meanErr(errs []float64, i int) float64 {
+	if b.scored[i] == 0 {
+		return math.Inf(1)
+	}
+	return errs[i] / float64(b.scored[i])
+}
+
+// ExpertErrors reports each expert's mean squared error so far (for the
+// forecaster ablation experiment). Experts that never predicted report
+// +Inf.
+func (b *Bank) ExpertErrors() map[string]float64 {
+	out := make(map[string]float64, len(b.experts))
+	for i, e := range b.experts {
+		out[e.Name()] = b.meanErr(b.sqErr, i)
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+package nws
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLastValue(t *testing.T) {
+	f := &lastValue{}
+	if _, ok := f.Predict(); ok {
+		t.Fatal("empty last should not predict")
+	}
+	f.Update(3)
+	f.Update(7)
+	v, ok := f.Predict()
+	if !ok || v != 7 {
+		t.Fatalf("last = %v, %v", v, ok)
+	}
+	if f.Name() != "last" {
+		t.Fatalf("name = %q", f.Name())
+	}
+}
+
+func TestRunningMean(t *testing.T) {
+	f := &runningMean{}
+	if _, ok := f.Predict(); ok {
+		t.Fatal("empty mean should not predict")
+	}
+	for _, v := range []float64{1, 2, 3, 4} {
+		f.Update(v)
+	}
+	v, ok := f.Predict()
+	if !ok || v != 2.5 {
+		t.Fatalf("run_mean = %v, %v", v, ok)
+	}
+}
+
+func TestSlidingMean(t *testing.T) {
+	f := newSlidingMean(3)
+	for _, v := range []float64{100, 1, 2, 3} { // 100 evicted
+		f.Update(v)
+	}
+	v, ok := f.Predict()
+	if !ok || v != 2 {
+		t.Fatalf("sw_mean = %v, %v", v, ok)
+	}
+	if f.Name() != "sw_mean(3)" {
+		t.Fatalf("name = %q", f.Name())
+	}
+}
+
+func TestSlidingMedian(t *testing.T) {
+	f := newSlidingMedian(5)
+	for _, v := range []float64{1, 100, 2, 3, 2} {
+		f.Update(v)
+	}
+	v, ok := f.Predict()
+	if !ok || v != 2 {
+		t.Fatalf("sw_median = %v, %v (robust to the 100 outlier)", v, ok)
+	}
+	g := newSlidingMedian(4)
+	for _, v := range []float64{1, 2, 3, 4} {
+		g.Update(v)
+	}
+	v, _ = g.Predict()
+	if v != 2.5 {
+		t.Fatalf("even median = %v", v)
+	}
+}
+
+func TestTrimmedMean(t *testing.T) {
+	f := newTrimmedMean(5, 0.2)
+	for _, v := range []float64{1000, 10, 10, 10, -1000} {
+		f.Update(v)
+	}
+	v, ok := f.Predict()
+	if !ok || v != 10 {
+		t.Fatalf("trim_mean = %v, %v (should drop both outliers)", v, ok)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	f := newEWMA(0.5)
+	if _, ok := f.Predict(); ok {
+		t.Fatal("empty ewma should not predict")
+	}
+	f.Update(10)
+	f.Update(20)
+	v, ok := f.Predict()
+	if !ok || v != 15 {
+		t.Fatalf("ewma = %v, %v", v, ok)
+	}
+	if f.Name() != "ewma(0.50)" {
+		t.Fatalf("name = %q", f.Name())
+	}
+}
+
+func TestDefaultForecastersDistinctNames(t *testing.T) {
+	fs := DefaultForecasters()
+	if len(fs) < 10 {
+		t.Fatalf("only %d default forecasters", len(fs))
+	}
+	seen := map[string]bool{}
+	for _, f := range fs {
+		if seen[f.Name()] {
+			t.Fatalf("duplicate forecaster name %q", f.Name())
+		}
+		seen[f.Name()] = true
+	}
+}
+
+func TestBankValidation(t *testing.T) {
+	if _, err := NewBank([]Forecaster{}); err == nil {
+		t.Fatal("empty bank should be rejected")
+	}
+	if _, err := NewBank([]Forecaster{nil}); err == nil {
+		t.Fatal("nil forecaster should be rejected")
+	}
+	if _, err := NewBank([]Forecaster{&lastValue{}, &lastValue{}}); err == nil {
+		t.Fatal("duplicate names should be rejected")
+	}
+	b, err := NewBank(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N() != 0 {
+		t.Fatal("fresh bank should have N=0")
+	}
+}
+
+func TestBankNoForecastBeforeData(t *testing.T) {
+	b, _ := NewBank(nil)
+	if _, err := b.Forecast(); err != ErrNoForecast {
+		t.Fatalf("err = %v, want ErrNoForecast", err)
+	}
+}
+
+func TestBankConstantSeries(t *testing.T) {
+	b, _ := NewBank(nil)
+	for i := 0; i < 100; i++ {
+		b.Update(42)
+	}
+	f, err := b.Forecast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Value != 42 || f.MAEValue != 42 {
+		t.Fatalf("constant forecast = %+v", f)
+	}
+	if f.MSE != 0 || f.MAE != 0 {
+		t.Fatalf("constant series should have zero error: %+v", f)
+	}
+	if f.N != 100 {
+		t.Fatalf("N = %d", f.N)
+	}
+}
+
+func TestBankPrefersSmootherOnNoisySeries(t *testing.T) {
+	// Alternating values around a fixed mean: "last" is maximally wrong,
+	// any averaging model is better; the bank must not pick "last".
+	b, _ := NewBank(nil)
+	for i := 0; i < 200; i++ {
+		v := 10.0
+		if i%2 == 0 {
+			v = 20.0
+		}
+		b.Update(v)
+	}
+	f, err := b.Forecast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Expert == "last" {
+		t.Fatalf("bank picked 'last' on an alternating series: %+v", f)
+	}
+	errs := b.ExpertErrors()
+	if errs["last"] <= errs[f.Expert] {
+		t.Fatalf("winner %q (mse %.3f) not better than last (mse %.3f)", f.Expert, errs[f.Expert], errs["last"])
+	}
+	if f.Value < 10 || f.Value > 20 {
+		t.Fatalf("forecast %v outside observed range", f.Value)
+	}
+}
+
+func TestBankAdaptsToLevelShift(t *testing.T) {
+	// After a persistent level shift, responsive experts (last/high-gain
+	// EWMA/short windows) should beat the all-history mean.
+	b, _ := NewBank(nil)
+	for i := 0; i < 100; i++ {
+		b.Update(10)
+	}
+	for i := 0; i < 100; i++ {
+		b.Update(100)
+	}
+	f, err := b.Forecast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Value-100) > 5 {
+		t.Fatalf("post-shift forecast = %v, want near 100 (expert %s)", f.Value, f.Expert)
+	}
+	errs := b.ExpertErrors()
+	if errs[f.Expert] >= errs["run_mean"] {
+		t.Fatal("winner should beat the all-history mean after a level shift")
+	}
+}
+
+func TestBankRejectsNaNAndInf(t *testing.T) {
+	b, _ := NewBank(nil)
+	b.Update(10)
+	b.Update(math.NaN())
+	b.Update(math.Inf(1))
+	if b.N() != 1 {
+		t.Fatalf("N = %d, want 1 (NaN/Inf dropped)", b.N())
+	}
+	f, err := b.Forecast()
+	if err != nil || f.Value != 10 {
+		t.Fatalf("forecast = %+v, %v", f, err)
+	}
+}
+
+func TestExpertErrorsUnscored(t *testing.T) {
+	b, _ := NewBank(nil)
+	b.Update(5)
+	errs := b.ExpertErrors()
+	// After one sample, no expert has been scored (predictions are scored
+	// against the *next* value), so all errors are +Inf.
+	for name, e := range errs {
+		if !math.IsInf(e, 1) {
+			t.Fatalf("expert %q error = %v, want +Inf before scoring", name, e)
+		}
+	}
+}
+
+// Property: every bank forecast lies within [min, max] of the observed
+// series — all default experts are interpolating statistics.
+func TestPropertyForecastWithinObservedRange(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		if n < 2 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		b, err := NewBank(nil)
+		if err != nil {
+			return false
+		}
+		min, max := math.Inf(1), math.Inf(-1)
+		for i := 0; i < int(n); i++ {
+			v := rng.Float64()*1000 - 500
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+			b.Update(v)
+		}
+		fc, err := b.Forecast()
+		if err != nil {
+			return false
+		}
+		const eps = 1e-9
+		return fc.Value >= min-eps && fc.Value <= max+eps &&
+			fc.MAEValue >= min-eps && fc.MAEValue <= max+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the bank's chosen expert never has a worse mean squared error
+// than any other scored expert.
+func TestPropertyBankPicksMinimumError(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b, err := NewBank(nil)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 100; i++ {
+			b.Update(50 + rng.NormFloat64()*10)
+		}
+		fc, err := b.Forecast()
+		if err != nil {
+			return false
+		}
+		errs := b.ExpertErrors()
+		for _, e := range errs {
+			if e < errs[fc.Expert] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package nws
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Kind classifies a registered NWS process.
+type Kind string
+
+// The NWS process kinds.
+const (
+	KindSensor Kind = "sensor"
+	KindMemory Kind = "memory"
+)
+
+// Registration describes one NWS process known to the nameserver.
+type Registration struct {
+	// Name is the unique process name, e.g. "bw.alpha1->lz02".
+	Name string
+	// Kind is the process type.
+	Kind Kind
+	// Host is where the process runs.
+	Host string
+	// Attrs carries free-form attributes (resource, endpoints, period).
+	Attrs map[string]string
+	// At is the virtual registration time.
+	At time.Duration
+}
+
+// NameServer is the nws_nameserver process: a naming and discovery
+// service that sensors and memories register with.
+type NameServer struct {
+	byName map[string]Registration
+}
+
+// NewNameServer returns an empty nameserver.
+func NewNameServer() *NameServer {
+	return &NameServer{byName: make(map[string]Registration)}
+}
+
+// Register adds or refreshes a process registration.
+func (ns *NameServer) Register(r Registration) error {
+	if r.Name == "" {
+		return errors.New("nws: registration needs a name")
+	}
+	if r.Kind != KindSensor && r.Kind != KindMemory {
+		return fmt.Errorf("nws: unknown registration kind %q", r.Kind)
+	}
+	if r.Host == "" {
+		return errors.New("nws: registration needs a host")
+	}
+	ns.byName[r.Name] = r
+	return nil
+}
+
+// ErrNotRegistered is returned by Lookup for unknown names.
+var ErrNotRegistered = errors.New("nws: not registered")
+
+// Lookup finds a registration by name.
+func (ns *NameServer) Lookup(name string) (Registration, error) {
+	r, ok := ns.byName[name]
+	if !ok {
+		return Registration{}, fmt.Errorf("%w: %q", ErrNotRegistered, name)
+	}
+	return r, nil
+}
+
+// Unregister removes a registration; it reports whether it existed.
+func (ns *NameServer) Unregister(name string) bool {
+	_, ok := ns.byName[name]
+	delete(ns.byName, name)
+	return ok
+}
+
+// List returns registrations of the given kind (all kinds if empty),
+// sorted by name.
+func (ns *NameServer) List(kind Kind) []Registration {
+	var out []Registration
+	for _, r := range ns.byName {
+		if kind == "" || r.Kind == kind {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,385 @@
+package nws
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/netsim"
+	"github.com/hpclab/datagrid/internal/simulation"
+)
+
+func TestSeriesKeyString(t *testing.T) {
+	k := SeriesKey{Resource: ResourceCPU, Source: "alpha1"}
+	if k.String() != "availableCPU@alpha1" {
+		t.Fatalf("key = %q", k.String())
+	}
+	k2 := SeriesKey{Resource: ResourceBandwidth, Source: "a", Target: "b"}
+	if k2.String() != "bandwidth.tcp:a->b" {
+		t.Fatalf("key = %q", k2.String())
+	}
+}
+
+func TestMemoryStoreAndQuery(t *testing.T) {
+	m := NewMemory(0, nil)
+	k := SeriesKey{Resource: ResourceCPU, Source: "h1"}
+	for i := 0; i < 5; i++ {
+		if err := m.Store(k, Measurement{At: time.Duration(i) * time.Second, Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hist, err := m.History(k)
+	if err != nil || len(hist) != 5 {
+		t.Fatalf("history = %v, %v", hist, err)
+	}
+	last, err := m.Latest(k)
+	if err != nil || last.Value != 4 {
+		t.Fatalf("latest = %v, %v", last, err)
+	}
+	if m.Len(k) != 5 {
+		t.Fatalf("Len = %d", m.Len(k))
+	}
+	fc, err := m.Forecast(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Value < 0 || fc.Value > 4 {
+		t.Fatalf("forecast %v outside range", fc.Value)
+	}
+}
+
+func TestMemoryUnknownSeries(t *testing.T) {
+	m := NewMemory(0, nil)
+	k := SeriesKey{Resource: "x", Source: "y"}
+	if _, err := m.History(k); !errors.Is(err, ErrUnknownSeries) {
+		t.Fatalf("History err = %v", err)
+	}
+	if _, err := m.Latest(k); !errors.Is(err, ErrUnknownSeries) {
+		t.Fatalf("Latest err = %v", err)
+	}
+	if _, err := m.Forecast(k); !errors.Is(err, ErrUnknownSeries) {
+		t.Fatalf("Forecast err = %v", err)
+	}
+	if m.Len(k) != 0 {
+		t.Fatal("Len of unknown series should be 0")
+	}
+}
+
+func TestMemoryBoundedCapacity(t *testing.T) {
+	m := NewMemory(3, nil)
+	k := SeriesKey{Resource: "r", Source: "s"}
+	for i := 0; i < 10; i++ {
+		if err := m.Store(k, Measurement{Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hist, _ := m.History(k)
+	if len(hist) != 3 || hist[0].Value != 7 {
+		t.Fatalf("bounded history = %v", hist)
+	}
+}
+
+func TestMemoryKeyValidation(t *testing.T) {
+	m := NewMemory(0, nil)
+	if err := m.Store(SeriesKey{Source: "s"}, Measurement{}); err == nil {
+		t.Fatal("empty resource should be rejected")
+	}
+	if err := m.Store(SeriesKey{Resource: "r"}, Measurement{}); err == nil {
+		t.Fatal("empty source should be rejected")
+	}
+}
+
+func TestMemoryKeysSorted(t *testing.T) {
+	m := NewMemory(0, nil)
+	keys := []SeriesKey{
+		{Resource: "z", Source: "s"},
+		{Resource: "a", Source: "s"},
+		{Resource: "m", Source: "s", Target: "t"},
+	}
+	for _, k := range keys {
+		if err := m.Store(k, Measurement{Value: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := m.Keys()
+	if len(got) != 3 {
+		t.Fatalf("Keys = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].String() > got[i].String() {
+			t.Fatalf("keys not sorted: %v", got)
+		}
+	}
+}
+
+func TestMemoryCustomExperts(t *testing.T) {
+	m := NewMemory(0, func() []Forecaster { return []Forecaster{&lastValue{}} })
+	k := SeriesKey{Resource: "r", Source: "s"}
+	for _, v := range []float64{1, 2, 3} {
+		if err := m.Store(k, Measurement{Value: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fc, err := m.Forecast(k)
+	if err != nil || fc.Expert != "last" || fc.Value != 3 {
+		t.Fatalf("forecast = %+v, %v", fc, err)
+	}
+}
+
+func TestNameServer(t *testing.T) {
+	ns := NewNameServer()
+	if err := ns.Register(Registration{Name: "m1", Kind: KindMemory, Host: "alpha1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Register(Registration{Name: "s1", Kind: KindSensor, Host: "alpha1"}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ns.Lookup("m1")
+	if err != nil || r.Kind != KindMemory {
+		t.Fatalf("Lookup = %+v, %v", r, err)
+	}
+	if _, err := ns.Lookup("ghost"); !errors.Is(err, ErrNotRegistered) {
+		t.Fatalf("Lookup ghost err = %v", err)
+	}
+	if got := ns.List(KindSensor); len(got) != 1 || got[0].Name != "s1" {
+		t.Fatalf("List sensors = %v", got)
+	}
+	if got := ns.List(""); len(got) != 2 {
+		t.Fatalf("List all = %v", got)
+	}
+	if !ns.Unregister("s1") {
+		t.Fatal("Unregister should report true")
+	}
+	if ns.Unregister("s1") {
+		t.Fatal("double Unregister should report false")
+	}
+}
+
+func TestNameServerValidation(t *testing.T) {
+	ns := NewNameServer()
+	if err := ns.Register(Registration{Kind: KindSensor, Host: "h"}); err == nil {
+		t.Fatal("empty name should be rejected")
+	}
+	if err := ns.Register(Registration{Name: "x", Kind: "weird", Host: "h"}); err == nil {
+		t.Fatal("bad kind should be rejected")
+	}
+	if err := ns.Register(Registration{Name: "x", Kind: KindSensor}); err == nil {
+		t.Fatal("empty host should be rejected")
+	}
+}
+
+// deployment builds engine + 2-node network + nameserver + memory.
+func deployment(t *testing.T) (*simulation.Engine, *netsim.Network, *NameServer, *Memory) {
+	t.Helper()
+	eng := simulation.NewEngine()
+	net := netsim.New(eng, 1)
+	for _, n := range []string{"a", "b"} {
+		if err := net.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.AddLink("a", "b", netsim.LinkConfig{CapacityBps: 100e6, Delay: 5 * time.Millisecond, LossRate: 0.001}); err != nil {
+		t.Fatal(err)
+	}
+	return eng, net, NewNameServer(), NewMemory(0, nil)
+}
+
+func TestGaugeSensor(t *testing.T) {
+	eng, _, ns, mem := deployment(t)
+	val := 0.8
+	key := SeriesKey{Resource: ResourceCPU, Source: "a"}
+	s, err := NewGaugeSensor(eng, ns, mem, key, time.Second, func() (float64, error) { return val, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Len(key) != 6 { // immediate + 5
+		t.Fatalf("samples = %d, want 6", mem.Len(key))
+	}
+	last, err := mem.Latest(key)
+	if err != nil || last.Value != 0.8 {
+		t.Fatalf("latest = %v, %v", last, err)
+	}
+	if s.Probes() != 6 || s.Stores() != 6 {
+		t.Fatalf("probes/stores = %d/%d", s.Probes(), s.Stores())
+	}
+	// The sensor must be discoverable via the nameserver.
+	if _, err := ns.Lookup("gauge." + key.String()); err != nil {
+		t.Fatalf("sensor not registered: %v", err)
+	}
+	s.Stop()
+	if err := eng.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Len(key) != 6 {
+		t.Fatal("sensor kept sampling after Stop")
+	}
+}
+
+func TestGaugeSensorSkipsFailedReads(t *testing.T) {
+	eng, _, ns, mem := deployment(t)
+	key := SeriesKey{Resource: ResourceCPU, Source: "a"}
+	fail := false
+	s, err := NewGaugeSensor(eng, ns, mem, key, time.Second, func() (float64, error) {
+		if fail {
+			return 0, errors.New("boom")
+		}
+		return 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	fail = true
+	if err := eng.RunUntil(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stores() != 3 { // t=0,1,2
+		t.Fatalf("stores = %d, want 3", s.Stores())
+	}
+	if s.Probes() != 6 {
+		t.Fatalf("probes = %d, want 6 (failures still count as attempts)", s.Probes())
+	}
+}
+
+func TestGaugeSensorValidation(t *testing.T) {
+	eng, _, ns, mem := deployment(t)
+	key := SeriesKey{Resource: "r", Source: "s"}
+	if _, err := NewGaugeSensor(nil, ns, mem, key, time.Second, func() (float64, error) { return 0, nil }); err == nil {
+		t.Fatal("nil engine should be rejected")
+	}
+	if _, err := NewGaugeSensor(eng, ns, mem, key, time.Second, nil); err == nil {
+		t.Fatal("nil read fn should be rejected")
+	}
+	if _, err := NewGaugeSensor(eng, ns, mem, SeriesKey{}, time.Second, func() (float64, error) { return 0, nil }); err == nil {
+		t.Fatal("bad key should be rejected")
+	}
+	if _, err := NewGaugeSensor(eng, ns, mem, key, 0, func() (float64, error) { return 0, nil }); err == nil {
+		t.Fatal("zero period should be rejected")
+	}
+}
+
+func TestBandwidthSensorProbes(t *testing.T) {
+	eng, net, ns, mem := deployment(t)
+	s, err := NewBandwidthSensor(eng, ns, mem, net, "a", "b", BandwidthSensorConfig{Period: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	key := SeriesKey{Resource: ResourceBandwidth, Source: "a", Target: "b"}
+	if mem.Len(key) < 5 {
+		t.Fatalf("bandwidth samples = %d, want >= 5", mem.Len(key))
+	}
+	last, err := mem.Latest(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 512 KiB probe with a 64 KiB window on a 10 ms RTT path cannot
+	// exceed window/RTT = 52 Mb/s nor the 100 Mb/s line rate, and should
+	// achieve at least a few Mb/s.
+	if last.Value <= 1 || last.Value > 100 {
+		t.Fatalf("probe measured %v Mb/s", last.Value)
+	}
+	fc, err := mem.Forecast(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Value <= 0 {
+		t.Fatalf("bandwidth forecast = %+v", fc)
+	}
+	if s.Stores() < 5 {
+		t.Fatalf("stores = %d", s.Stores())
+	}
+	if _, err := ns.Lookup("bw.a->b"); err != nil {
+		t.Fatalf("bandwidth sensor not registered: %v", err)
+	}
+}
+
+func TestBandwidthSensorMeasuresContention(t *testing.T) {
+	eng, net, ns, mem := deployment(t)
+	if _, err := NewBandwidthSensor(eng, ns, mem, net, "a", "b", BandwidthSensorConfig{Period: 5 * time.Second, WindowBytes: 1 << 22}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	key := SeriesKey{Resource: ResourceBandwidth, Source: "a", Target: "b"}
+	quiet, err := mem.Latest(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate the link with several long competing transfers so the
+	// probe's fair share drops below even its Mathis loss cap.
+	for i := 0; i < 8; i++ {
+		if _, err := net.StartFlow("a", "b", 1<<32, netsim.FlowOptions{WindowBytes: 1 << 30}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.RunUntil(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	busy, err := mem.Latest(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy.Value >= quiet.Value {
+		t.Fatalf("probe under contention (%v) should be slower than quiet (%v)", busy.Value, quiet.Value)
+	}
+}
+
+func TestBandwidthSensorValidation(t *testing.T) {
+	eng, net, ns, mem := deployment(t)
+	if _, err := NewBandwidthSensor(eng, ns, mem, net, "a", "ghost", BandwidthSensorConfig{Period: time.Second}); err == nil {
+		t.Fatal("unroutable pair should be rejected")
+	}
+	if _, err := NewBandwidthSensor(eng, ns, mem, net, "a", "b", BandwidthSensorConfig{}); err == nil {
+		t.Fatal("zero period should be rejected")
+	}
+	if _, err := NewBandwidthSensor(eng, ns, mem, net, "a", "b", BandwidthSensorConfig{Period: time.Second, ProbeBytes: -1}); err == nil {
+		t.Fatal("negative probe size should be rejected")
+	}
+	if _, err := NewBandwidthSensor(eng, ns, mem, nil, "a", "b", BandwidthSensorConfig{Period: time.Second}); err == nil {
+		t.Fatal("nil network should be rejected")
+	}
+}
+
+func TestLatencySensor(t *testing.T) {
+	eng, net, ns, mem := deployment(t)
+	s, err := NewLatencySensor(eng, ns, mem, net, "a", "b", time.Second, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	key := SeriesKey{Resource: ResourceLatency, Source: "a", Target: "b"}
+	hist, err := mem.History(key)
+	if err != nil || len(hist) != 11 {
+		t.Fatalf("latency history = %d, %v", len(hist), err)
+	}
+	for _, m := range hist {
+		// RTT is 10 ms; jitter adds up to 10%.
+		if m.Value < 10 || m.Value > 11 {
+			t.Fatalf("latency sample %v ms out of expected [10, 11]", m.Value)
+		}
+	}
+	if s.Key().Resource != ResourceLatency {
+		t.Fatalf("sensor key = %v", s.Key())
+	}
+}
+
+func TestLatencySensorValidation(t *testing.T) {
+	eng, net, ns, mem := deployment(t)
+	if _, err := NewLatencySensor(eng, ns, mem, net, "a", "nope", time.Second, 1); err == nil {
+		t.Fatal("unroutable pair should be rejected")
+	}
+	if _, err := NewLatencySensor(nil, ns, mem, net, "a", "b", time.Second, 1); err == nil {
+		t.Fatal("nil engine should be rejected")
+	}
+}

@@ -1,0 +1,81 @@
+package nws
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// persistLine is one measurement in the on-disk format: JSON lines, one
+// measurement per line, carrying its series key. This is the analogue of
+// nws_memory's circular journal files — "persistent storage for the
+// measurement data collected by the NWS deployment" (paper §2.2).
+type persistLine struct {
+	Resource string  `json:"resource"`
+	Source   string  `json:"source"`
+	Target   string  `json:"target,omitempty"`
+	AtNanos  int64   `json:"at"`
+	Value    float64 `json:"value"`
+}
+
+// Save dumps every stored series as JSON lines, oldest first within
+// each series, series ordered by key. It returns the number of
+// measurements written.
+func (m *Memory) Save(w io.Writer) (int, error) {
+	enc := json.NewEncoder(w)
+	n := 0
+	for _, key := range m.Keys() {
+		hist, err := m.History(key)
+		if err != nil {
+			return n, err
+		}
+		for _, meas := range hist {
+			if err := enc.Encode(persistLine{
+				Resource: key.Resource,
+				Source:   key.Source,
+				Target:   key.Target,
+				AtNanos:  int64(meas.At),
+				Value:    meas.Value,
+			}); err != nil {
+				return n, fmt.Errorf("nws: persisting memory: %w", err)
+			}
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Load reads measurements previously written by Save into the memory,
+// replaying them through Store so forecasting banks are rebuilt. It
+// returns the number of measurements loaded.
+func (m *Memory) Load(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	n := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var pl persistLine
+		if err := json.Unmarshal([]byte(line), &pl); err != nil {
+			return n, fmt.Errorf("nws: corrupt memory journal: %w", err)
+		}
+		if pl.Resource == "" || pl.Source == "" {
+			return n, errors.New("nws: journal line missing series key")
+		}
+		key := SeriesKey{Resource: pl.Resource, Source: pl.Source, Target: pl.Target}
+		if err := m.Store(key, Measurement{At: time.Duration(pl.AtNanos), Value: pl.Value}); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, fmt.Errorf("nws: reading memory journal: %w", err)
+	}
+	return n, nil
+}

@@ -1,0 +1,219 @@
+package nws
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/netsim"
+	"github.com/hpclab/datagrid/internal/simulation"
+)
+
+// Sensor is the nws_sensor process: it periodically takes one measurement
+// and stores it in a Memory.
+type Sensor struct {
+	name   string
+	key    SeriesKey
+	mem    *Memory
+	ticker *simulation.Ticker
+	// probes counts measurement attempts; stores counts successes.
+	probes int
+	stores int
+}
+
+// Name returns the sensor's registered name.
+func (s *Sensor) Name() string { return s.name }
+
+// Key returns the series the sensor feeds.
+func (s *Sensor) Key() SeriesKey { return s.key }
+
+// Probes returns the number of measurement attempts so far.
+func (s *Sensor) Probes() int { return s.probes }
+
+// Stores returns the number of measurements successfully recorded.
+func (s *Sensor) Stores() int { return s.stores }
+
+// Stop halts the sensor.
+func (s *Sensor) Stop() { s.ticker.Stop() }
+
+func registerSensor(ns *NameServer, engine *simulation.Engine, name, host string, key SeriesKey, period time.Duration) error {
+	return ns.Register(Registration{
+		Name: name,
+		Kind: KindSensor,
+		Host: host,
+		Attrs: map[string]string{
+			"resource": key.Resource,
+			"source":   key.Source,
+			"target":   key.Target,
+			"period":   period.String(),
+		},
+		At: engine.Now(),
+	})
+}
+
+// NewGaugeSensor creates a sensor that samples read() every period and
+// stores the result under key. It backs the CPU-availability, free-memory
+// and I/O-availability sensors, whose values are locally readable.
+func NewGaugeSensor(engine *simulation.Engine, ns *NameServer, mem *Memory, key SeriesKey, period time.Duration, read func() (float64, error)) (*Sensor, error) {
+	if engine == nil || ns == nil || mem == nil {
+		return nil, errors.New("nws: gauge sensor needs engine, nameserver and memory")
+	}
+	if read == nil {
+		return nil, errors.New("nws: nil gauge read function")
+	}
+	if err := key.validate(); err != nil {
+		return nil, err
+	}
+	name := "gauge." + key.String()
+	s := &Sensor{name: name, key: key, mem: mem}
+	tk, err := engine.NewTicker(period, true, func(now time.Duration) {
+		s.probes++
+		v, err := read()
+		if err != nil {
+			return // transient failure: skip this sample, keep ticking
+		}
+		if mem.Store(key, Measurement{At: now, Value: v}) == nil {
+			s.stores++
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.ticker = tk
+	if err := registerSensor(ns, engine, name, key.Source, key, period); err != nil {
+		s.Stop()
+		return nil, err
+	}
+	return s, nil
+}
+
+// BandwidthSensorConfig tunes an end-to-end TCP bandwidth sensor.
+type BandwidthSensorConfig struct {
+	// Period between probes.
+	Period time.Duration
+	// ProbeBytes is the probe transfer size; NWS defaults to 64 KiB–1 MiB.
+	// Default 512 KiB.
+	ProbeBytes int64
+	// WindowBytes is the probe's TCP window; default netsim's 64 KiB.
+	WindowBytes int
+	// Timeout abandons a probe still in flight after this long (a stalled
+	// path); default 3x Period. While a probe is in flight, new probes
+	// are skipped.
+	Timeout time.Duration
+}
+
+func (c *BandwidthSensorConfig) fillDefaults() error {
+	if c.Period <= 0 {
+		return fmt.Errorf("nws: sensor period must be positive, got %v", c.Period)
+	}
+	if c.ProbeBytes == 0 {
+		c.ProbeBytes = 512 * 1024
+	}
+	if c.ProbeBytes < 0 || c.WindowBytes < 0 || c.Timeout < 0 {
+		return errors.New("nws: negative bandwidth sensor option")
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 3 * c.Period
+	}
+	return nil
+}
+
+// NewBandwidthSensor creates the NWS end-to-end TCP bandwidth sensor: every
+// period it pushes a real probe flow through the simulated network from src
+// to dst and records the achieved throughput in Mb/s. Probes share the
+// network with grid transfers, so — exactly as with real NWS — measurements
+// are noisy and reflect current conditions. A new probe is skipped while
+// the previous one is still in flight.
+func NewBandwidthSensor(engine *simulation.Engine, ns *NameServer, mem *Memory, net *netsim.Network, src, dst string, cfg BandwidthSensorConfig) (*Sensor, error) {
+	if engine == nil || ns == nil || mem == nil || net == nil {
+		return nil, errors.New("nws: bandwidth sensor needs engine, nameserver, memory and network")
+	}
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if _, err := net.Route(src, dst); err != nil {
+		return nil, err
+	}
+	key := SeriesKey{Resource: ResourceBandwidth, Source: src, Target: dst}
+	name := "bw." + src + "->" + dst
+	s := &Sensor{name: name, key: key, mem: mem}
+	var probe *netsim.Flow
+	var probeStart time.Duration
+	tk, err := engine.NewTicker(cfg.Period, true, func(now time.Duration) {
+		if probe != nil {
+			// A slow probe (long path) is simply left to finish; one that
+			// outlives the timeout means the path is stalled (congested
+			// or down). Abandon it, as real NWS sensors time their probes
+			// out, and record nothing: the series goes stale, which
+			// consumers can detect.
+			if now-probeStart > cfg.Timeout {
+				_ = net.CancelFlow(probe)
+				probe = nil
+			}
+			return
+		}
+		s.probes++
+		probeStart = now
+		f, err := net.StartFlow(src, dst, cfg.ProbeBytes, netsim.FlowOptions{WindowBytes: cfg.WindowBytes}, func(f *netsim.Flow) {
+			probe = nil
+			d := f.Duration().Seconds()
+			if d <= 0 {
+				return
+			}
+			mbpsv := float64(cfg.ProbeBytes) * 8 / d / 1e6
+			if mem.Store(key, Measurement{At: f.Finished(), Value: mbpsv}) == nil {
+				s.stores++
+			}
+		})
+		if err == nil {
+			probe = f
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.ticker = tk
+	if err := registerSensor(ns, engine, name, src, key, cfg.Period); err != nil {
+		s.Stop()
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewLatencySensor creates a sensor recording the path round-trip time in
+// milliseconds with a small multiplicative jitter (queueing noise a real
+// ping would see).
+func NewLatencySensor(engine *simulation.Engine, ns *NameServer, mem *Memory, net *netsim.Network, src, dst string, period time.Duration, seed int64) (*Sensor, error) {
+	if engine == nil || ns == nil || mem == nil || net == nil {
+		return nil, errors.New("nws: latency sensor needs engine, nameserver, memory and network")
+	}
+	if _, err := net.Route(src, dst); err != nil {
+		return nil, err
+	}
+	key := SeriesKey{Resource: ResourceLatency, Source: src, Target: dst}
+	name := "lat." + src + "->" + dst
+	rng := rand.New(rand.NewSource(seed))
+	s := &Sensor{name: name, key: key, mem: mem}
+	tk, err := engine.NewTicker(period, true, func(now time.Duration) {
+		s.probes++
+		// Pings see queueing delay on loaded links, not just propagation.
+		rtt, err := net.PathRTTLoaded(src, dst)
+		if err != nil {
+			return
+		}
+		ms := rtt.Seconds() * 1e3 * (1 + rng.Float64()*0.1)
+		if mem.Store(key, Measurement{At: now, Value: ms}) == nil {
+			s.stores++
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.ticker = tk
+	if err := registerSensor(ns, engine, name, src, key, period); err != nil {
+		s.Stop()
+		return nil, err
+	}
+	return s, nil
+}

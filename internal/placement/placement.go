@@ -1,0 +1,245 @@
+// Package placement adds dynamic replica placement on top of the replica
+// manager: strategies that watch access patterns and create (or evict)
+// replicas so data migrates toward its consumers. The paper treats the
+// replica set as given; this package implements the natural next step the
+// data-grid literature of the era explored (threshold/popularity-based
+// "cascading" replication with LRU eviction), and the repository's
+// extension experiments quantify its effect.
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/cluster"
+	"github.com/hpclab/datagrid/internal/replica"
+)
+
+// SiteMapper resolves hosts to sites and picks the storage host new
+// replicas land on within a site.
+type SiteMapper interface {
+	// SiteOf returns the site a host belongs to.
+	SiteOf(host string) (string, error)
+	// StorageHost returns the host of a site that stores new replicas.
+	StorageHost(site string) (string, error)
+}
+
+// ClusterMapper adapts a cluster.Testbed to SiteMapper, using each site's
+// first declared host as its storage node.
+type ClusterMapper struct {
+	Testbed *cluster.Testbed
+}
+
+// SiteOf returns the owning site of host.
+func (m ClusterMapper) SiteOf(host string) (string, error) {
+	h, err := m.Testbed.Host(host)
+	if err != nil {
+		return "", err
+	}
+	return h.Site(), nil
+}
+
+// StorageHost returns the site's first host.
+func (m ClusterMapper) StorageHost(site string) (string, error) {
+	hs, err := m.Testbed.SiteHosts(site)
+	if err != nil {
+		return "", err
+	}
+	if len(hs) == 0 {
+		return "", fmt.Errorf("placement: site %q has no hosts", site)
+	}
+	return hs[0].Name(), nil
+}
+
+// Config tunes the threshold replicator.
+type Config struct {
+	// Threshold is the number of accesses from one site after which the
+	// file is replicated there. Must be positive.
+	Threshold int
+	// DestDir is the path prefix for created replicas; default "/replicas".
+	DestDir string
+	// Evict enables LRU eviction on the destination when its quota is
+	// full.
+	Evict bool
+}
+
+// Access is one observed fetch, fed to the strategy by the application
+// layer (typically from core.Application's fetch callback).
+type Access struct {
+	// Logical is the fetched file.
+	Logical string
+	// ServedFrom is the replica host that supplied the data.
+	ServedFrom string
+	// Client is the host that requested the data.
+	Client string
+	// At is the virtual time of the access.
+	At time.Duration
+}
+
+// Replicator implements threshold-based dynamic replication: when a site
+// keeps pulling a file it does not hold, the file is replicated to that
+// site; when the destination is full (and eviction is enabled), its least
+// recently used replica makes room.
+type Replicator struct {
+	manager *replica.Manager
+	mapper  SiteMapper
+	cfg     Config
+
+	// counts tracks accesses per (logical, client site) since the last
+	// replication decision.
+	counts map[string]int
+	// lastAccess tracks per-(logical, host) recency for LRU eviction.
+	lastAccess map[string]time.Duration
+	// inFlight guards against duplicate replications of the same key.
+	inFlight map[string]bool
+
+	// Replications counts successfully completed placements.
+	replications int
+	evictions    int
+}
+
+// NewReplicator wires a threshold replicator.
+func NewReplicator(manager *replica.Manager, mapper SiteMapper, cfg Config) (*Replicator, error) {
+	if manager == nil {
+		return nil, errors.New("placement: nil manager")
+	}
+	if mapper == nil {
+		return nil, errors.New("placement: nil mapper")
+	}
+	if cfg.Threshold <= 0 {
+		return nil, fmt.Errorf("placement: threshold must be positive, got %d", cfg.Threshold)
+	}
+	if cfg.DestDir == "" {
+		cfg.DestDir = "/replicas"
+	}
+	return &Replicator{
+		manager:    manager,
+		mapper:     mapper,
+		cfg:        cfg,
+		counts:     make(map[string]int),
+		lastAccess: make(map[string]time.Duration),
+		inFlight:   make(map[string]bool),
+	}, nil
+}
+
+// Replications returns the number of completed dynamic replications.
+func (r *Replicator) Replications() int { return r.replications }
+
+// Evictions returns the number of LRU evictions performed.
+func (r *Replicator) Evictions() int { return r.evictions }
+
+func key2(a, b string) string { return a + "|" + b }
+
+// OnAccess records a fetch and, past the threshold, replicates the file to
+// the client's site. Errors are returned for observability but the
+// replicator stays consistent regardless; callers may log and continue.
+func (r *Replicator) OnAccess(a Access) error {
+	if a.Logical == "" || a.Client == "" {
+		return errors.New("placement: access needs logical and client")
+	}
+	r.lastAccess[key2(a.Logical, a.ServedFrom)] = a.At
+	site, err := r.mapper.SiteOf(a.Client)
+	if err != nil {
+		return err
+	}
+	ck := key2(a.Logical, site)
+	r.counts[ck]++
+	if r.counts[ck] < r.cfg.Threshold {
+		return nil
+	}
+	// Already replicated to this site?
+	hosts, err := r.manager.Catalog().HostsWith(a.Logical)
+	if err != nil {
+		return err
+	}
+	for _, h := range hosts {
+		hs, err := r.mapper.SiteOf(h)
+		if err != nil {
+			continue // hosts outside the testbed (e.g. archival) are ignored
+		}
+		if hs == site {
+			r.counts[ck] = 0
+			return nil
+		}
+	}
+	dst, err := r.mapper.StorageHost(site)
+	if err != nil {
+		return err
+	}
+	return r.replicate(a.Logical, hosts[0], dst, ck)
+}
+
+func (r *Replicator) replicate(logical, src, dst, countKey string) error {
+	ik := key2(logical, dst)
+	if r.inFlight[ik] {
+		return nil
+	}
+	dstPath := r.cfg.DestDir + "/" + logical
+	start := func() error {
+		r.inFlight[ik] = true
+		return r.manager.Replicate(logical, src, dst, dstPath, func(err error) {
+			delete(r.inFlight, ik)
+			if err == nil {
+				r.replications++
+				r.counts[countKey] = 0
+			}
+		})
+	}
+	err := start()
+	if errors.Is(err, replica.ErrQuotaExceeded) && r.cfg.Evict {
+		if everr := r.evictLRU(dst); everr != nil {
+			delete(r.inFlight, ik)
+			return fmt.Errorf("placement: eviction for %s on %s: %w", logical, dst, everr)
+		}
+		err = start()
+	}
+	if err != nil {
+		delete(r.inFlight, ik)
+		return err
+	}
+	return nil
+}
+
+// evictLRU removes the least recently used replica held by host. Replicas
+// that are the last copy of their file are skipped (the manager refuses to
+// orphan a logical name).
+func (r *Replicator) evictLRU(host string) error {
+	cat := r.manager.Catalog()
+	var victim replica.Location
+	victimLogical := ""
+	victimAt := time.Duration(1<<62 - 1)
+	for _, name := range cat.LogicalNames() {
+		locs, err := cat.Locations(name)
+		if err != nil {
+			continue
+		}
+		if len(locs) < 2 {
+			continue // last copy, not evictable
+		}
+		for _, l := range locs {
+			if l.Host != host {
+				continue
+			}
+			at := r.lastAccess[key2(name, host)]
+			if at < victimAt {
+				victim, victimLogical, victimAt = l, name, at
+			}
+		}
+	}
+	if victimLogical == "" {
+		return errors.New("placement: nothing evictable")
+	}
+	if err := r.manager.Delete(victimLogical, victim.Host, victim.Path); err != nil {
+		return err
+	}
+	r.evictions++
+	return nil
+}
+
+// NoReplication is the baseline strategy: it observes accesses (so recency
+// statistics stay comparable) and never replicates.
+type NoReplication struct{}
+
+// OnAccess does nothing.
+func (NoReplication) OnAccess(Access) error { return nil }

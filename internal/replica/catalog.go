@@ -1,0 +1,206 @@
+// Package replica implements the Data Grid replica management service of
+// paper §1–§3: a replica catalog mapping logical file names to registered
+// physical copies, and a replica manager handling creation, registration,
+// location and deletion of replicas (the Globus "replica management
+// service" built from the replica catalog plus GridFTP transfers).
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Location is one physical copy of a logical file.
+type Location struct {
+	// Host is the storage host holding the copy.
+	Host string
+	// Path is the file path on that host.
+	Path string
+	// RegisteredAt is the virtual time of registration.
+	RegisteredAt time.Duration
+}
+
+func (l Location) String() string { return l.Host + ":" + l.Path }
+
+// LogicalFile is a catalog entry: a location-independent name plus
+// metadata, as in the Globus replica catalog.
+type LogicalFile struct {
+	// Name is the logical file name, e.g. "file-a" or "lfn:ncbi-nr".
+	Name string
+	// SizeBytes is the file size (identical across replicas).
+	SizeBytes int64
+	// Attributes carries free-form metadata used for discovery
+	// ("the characteristics of the desired data", §4.3).
+	Attributes map[string]string
+}
+
+// Catalog is the replica catalog server. It is purely a name service: it
+// stores no file data and performs no transfers.
+type Catalog struct {
+	files       map[string]*LogicalFile
+	locations   map[string][]Location
+	collections map[string]map[string]bool
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		files:       make(map[string]*LogicalFile),
+		locations:   make(map[string][]Location),
+		collections: make(map[string]map[string]bool),
+	}
+}
+
+// Catalog errors.
+var (
+	ErrUnknownLogical = errors.New("replica: unknown logical file")
+	ErrDuplicate      = errors.New("replica: already registered")
+	ErrNoReplicas     = errors.New("replica: no replicas registered")
+	ErrUnknownReplica = errors.New("replica: unknown replica")
+)
+
+// CreateLogical registers a new logical file name.
+func (c *Catalog) CreateLogical(f LogicalFile) error {
+	if f.Name == "" {
+		return errors.New("replica: empty logical file name")
+	}
+	if f.SizeBytes <= 0 {
+		return fmt.Errorf("replica: logical file %q needs positive size, got %d", f.Name, f.SizeBytes)
+	}
+	if _, ok := c.files[f.Name]; ok {
+		return fmt.Errorf("%w: logical file %q", ErrDuplicate, f.Name)
+	}
+	cp := f
+	cp.Attributes = make(map[string]string, len(f.Attributes))
+	for k, v := range f.Attributes {
+		cp.Attributes[k] = v
+	}
+	c.files[f.Name] = &cp
+	return nil
+}
+
+// DeleteLogical removes a logical file, all its location records, and its
+// collection memberships.
+func (c *Catalog) DeleteLogical(name string) error {
+	if _, ok := c.files[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownLogical, name)
+	}
+	delete(c.files, name)
+	delete(c.locations, name)
+	for _, members := range c.collections {
+		delete(members, name)
+	}
+	return nil
+}
+
+// Logical returns the logical file record.
+func (c *Catalog) Logical(name string) (LogicalFile, error) {
+	f, ok := c.files[name]
+	if !ok {
+		return LogicalFile{}, fmt.Errorf("%w: %q", ErrUnknownLogical, name)
+	}
+	cp := *f
+	cp.Attributes = make(map[string]string, len(f.Attributes))
+	for k, v := range f.Attributes {
+		cp.Attributes[k] = v
+	}
+	return cp, nil
+}
+
+// LogicalNames lists all logical files, sorted.
+func (c *Catalog) LogicalNames() []string {
+	out := make([]string, 0, len(c.files))
+	for n := range c.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FindByAttributes returns the names of logical files whose metadata
+// contains every key/value pair in want (the "specified characteristics"
+// lookup of §4.3).
+func (c *Catalog) FindByAttributes(want map[string]string) []string {
+	var out []string
+	for name, f := range c.files {
+		ok := true
+		for k, v := range want {
+			if f.Attributes[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Register adds a physical location for a logical file.
+func (c *Catalog) Register(name string, loc Location) error {
+	if _, ok := c.files[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownLogical, name)
+	}
+	if loc.Host == "" || loc.Path == "" {
+		return fmt.Errorf("replica: location needs host and path, got %q:%q", loc.Host, loc.Path)
+	}
+	for _, l := range c.locations[name] {
+		if l.Host == loc.Host && l.Path == loc.Path {
+			return fmt.Errorf("%w: %s for %q", ErrDuplicate, loc, name)
+		}
+	}
+	c.locations[name] = append(c.locations[name], loc)
+	return nil
+}
+
+// Unregister removes a physical location record. It does not delete data.
+func (c *Catalog) Unregister(name string, host, path string) error {
+	if _, ok := c.files[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownLogical, name)
+	}
+	locs := c.locations[name]
+	for i, l := range locs {
+		if l.Host == host && l.Path == path {
+			c.locations[name] = append(locs[:i], locs[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s:%s for %q", ErrUnknownReplica, host, path, name)
+}
+
+// Locations returns all registered physical copies of a logical file —
+// "a list of physical locations for all registered copies" (§3.1).
+func (c *Catalog) Locations(name string) ([]Location, error) {
+	if _, ok := c.files[name]; !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownLogical, name)
+	}
+	locs := c.locations[name]
+	if len(locs) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNoReplicas, name)
+	}
+	out := append([]Location(nil), locs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out, nil
+}
+
+// HostsWith returns the hosts holding a copy of the logical file, sorted.
+func (c *Catalog) HostsWith(name string) ([]string, error) {
+	locs, err := c.Locations(name)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, l := range locs {
+		if !seen[l.Host] {
+			seen[l.Host] = true
+			out = append(out, l.Host)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func seedCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c := NewCatalog()
+	for _, f := range []LogicalFile{
+		{Name: "run-001.dat", SizeBytes: 100, Attributes: map[string]string{"exp": "cms"}},
+		{Name: "run-002.dat", SizeBytes: 200, Attributes: map[string]string{"exp": "cms"}},
+		{Name: "calib.db", SizeBytes: 50},
+	} {
+		if err := c.CreateLogical(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Register("run-001.dat", Location{Host: "alpha4", Path: "/data/run-001.dat"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register("run-001.dat", Location{Host: "hit0", Path: "/data/run-001.dat"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register("run-002.dat", Location{Host: "hit0", Path: "/data/run-002.dat"}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCollectionsLifecycle(t *testing.T) {
+	c := seedCatalog(t)
+	if err := c.CreateCollection("cms-2005"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateCollection("cms-2005"); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate collection err = %v", err)
+	}
+	if err := c.CreateCollection(""); err == nil {
+		t.Fatal("empty name should be rejected")
+	}
+	for _, f := range []string{"run-001.dat", "run-002.dat"} {
+		if err := c.AddToCollection("cms-2005", f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.AddToCollection("cms-2005", "run-001.dat"); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate member err = %v", err)
+	}
+	if err := c.AddToCollection("cms-2005", "ghost"); !errors.Is(err, ErrUnknownLogical) {
+		t.Fatalf("unknown member err = %v", err)
+	}
+	if err := c.AddToCollection("nope", "calib.db"); !errors.Is(err, ErrUnknownCollection) {
+		t.Fatalf("unknown collection err = %v", err)
+	}
+	members, err := c.CollectionFiles("cms-2005")
+	if err != nil || len(members) != 2 || members[0] != "run-001.dat" {
+		t.Fatalf("members = %v, %v", members, err)
+	}
+	size, err := c.CollectionSize("cms-2005")
+	if err != nil || size != 300 {
+		t.Fatalf("size = %d, %v", size, err)
+	}
+	if got := c.Collections(); len(got) != 1 || got[0] != "cms-2005" {
+		t.Fatalf("Collections = %v", got)
+	}
+	if err := c.RemoveFromCollection("cms-2005", "run-002.dat"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveFromCollection("cms-2005", "run-002.dat"); !errors.Is(err, ErrUnknownLogical) {
+		t.Fatalf("double remove err = %v", err)
+	}
+	if err := c.DeleteCollection("cms-2005"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteCollection("cms-2005"); !errors.Is(err, ErrUnknownCollection) {
+		t.Fatalf("double delete err = %v", err)
+	}
+	// Member files survive collection deletion.
+	if _, err := c.Logical("run-001.dat"); err != nil {
+		t.Fatal("member file should survive collection deletion")
+	}
+}
+
+func TestDeleteLogicalPrunesCollections(t *testing.T) {
+	c := seedCatalog(t)
+	if err := c.CreateCollection("all"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddToCollection("all", "calib.db"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteLogical("calib.db"); err != nil {
+		t.Fatal(err)
+	}
+	members, err := c.CollectionFiles("all")
+	if err != nil || len(members) != 0 {
+		t.Fatalf("members after file deletion = %v, %v", members, err)
+	}
+}
+
+func TestCatalogSaveLoadRoundTrip(t *testing.T) {
+	c := seedCatalog(t)
+	if err := c.CreateCollection("cms-2005"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddToCollection("cms-2005", "run-001.dat"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadCatalog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.LogicalNames(); len(got) != 3 {
+		t.Fatalf("restored names = %v", got)
+	}
+	f, err := restored.Logical("run-002.dat")
+	if err != nil || f.SizeBytes != 200 || f.Attributes["exp"] != "cms" {
+		t.Fatalf("restored file = %+v, %v", f, err)
+	}
+	locs, err := restored.Locations("run-001.dat")
+	if err != nil || len(locs) != 2 {
+		t.Fatalf("restored locations = %v, %v", locs, err)
+	}
+	members, err := restored.CollectionFiles("cms-2005")
+	if err != nil || len(members) != 1 || members[0] != "run-001.dat" {
+		t.Fatalf("restored members = %v, %v", members, err)
+	}
+	// calib.db had no replicas: still present, still empty.
+	if _, err := restored.Locations("calib.db"); !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("calib.db locations err = %v", err)
+	}
+}
+
+func TestLoadCatalogErrors(t *testing.T) {
+	if _, err := LoadCatalog(strings.NewReader("{nope")); err == nil {
+		t.Fatal("corrupt JSON should error")
+	}
+	// A document referencing an unknown member fails cleanly.
+	bad := `{"files":[],"locations":{},"collections":{"c":["ghost"]}}`
+	if _, err := LoadCatalog(strings.NewReader(bad)); err == nil {
+		t.Fatal("dangling member should error")
+	}
+}

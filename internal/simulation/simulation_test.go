@@ -1,0 +1,362 @@
+package simulation
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i, d := range []time.Duration{30, 10, 20} {
+		i := i
+		if _, err := e.Schedule(d, func(time.Duration) { got = append(got, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := e.Schedule(5, func(time.Duration) { got = append(got, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("same-time events not FIFO: %v", got)
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Schedule(10, func(time.Duration) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Schedule(5, func(time.Duration) {}); err == nil {
+		t.Fatal("scheduling in the past should fail")
+	}
+}
+
+func TestNilFunctionRejected(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Schedule(0, nil); err == nil {
+		t.Fatal("nil event function should be rejected")
+	}
+}
+
+func TestAfterNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	if _, err := e.After(-5, func(time.Duration) { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("event with negative delay never fired")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev, err := e.Schedule(10, func(time.Duration) { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("double Cancel should report false")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("event not marked canceled")
+	}
+}
+
+func TestCancelNil(t *testing.T) {
+	e := NewEngine()
+	if e.Cancel(nil) {
+		t.Fatal("Cancel(nil) should be a no-op returning false")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	for _, d := range []time.Duration{10, 20, 30, 40} {
+		d := d
+		if _, err := e.Schedule(d, func(now time.Duration) { fired = append(fired, now) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.RunUntil(25); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events before deadline, want 2", len(fired))
+	}
+	if e.Now() != 25 {
+		t.Fatalf("clock = %v after RunUntil(25)", e.Now())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events total, want 4", len(fired))
+	}
+}
+
+func TestStopInsideEvent(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	if _, err := e.Schedule(1, func(time.Duration) { count++; e.Stop() }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Schedule(2, func(time.Duration) { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("count = %d after Stop, want 1", count)
+	}
+	// The second event is still pending and can be resumed.
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("count = %d after resume, want 2", count)
+	}
+}
+
+func TestReentrantRunRejected(t *testing.T) {
+	e := NewEngine()
+	var inner error
+	if _, err := e.Schedule(1, func(time.Duration) { inner = e.Run() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if inner != ErrReentrantRun {
+		t.Fatalf("reentrant Run error = %v, want ErrReentrantRun", inner)
+	}
+}
+
+func TestScheduleFromWithinEvent(t *testing.T) {
+	e := NewEngine()
+	var times []time.Duration
+	if _, err := e.Schedule(5, func(now time.Duration) {
+		times = append(times, now)
+		if _, err := e.After(5, func(now time.Duration) { times = append(times, now) }); err != nil {
+			t.Errorf("nested schedule: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 || times[0] != 5 || times[1] != 10 {
+		t.Fatalf("times = %v, want [5 10]", times)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var ticks []time.Duration
+	tk, err := e.NewTicker(10, false, func(now time.Duration) { ticks = append(ticks, now) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Schedule(35, func(time.Duration) { tk.Stop() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 3 || ticks[0] != 10 || ticks[1] != 20 || ticks[2] != 30 {
+		t.Fatalf("ticks = %v, want [10 20 30]", ticks)
+	}
+}
+
+func TestTickerImmediate(t *testing.T) {
+	e := NewEngine()
+	var ticks []time.Duration
+	tk, err := e.NewTicker(10, true, func(now time.Duration) { ticks = append(ticks, now) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Schedule(15, func(time.Duration) { tk.Stop() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 2 || ticks[0] != 0 || ticks[1] != 10 {
+		t.Fatalf("ticks = %v, want [0 10]", ticks)
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tk *Ticker
+	tk, err := e.NewTicker(1, false, func(time.Duration) {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tk
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestTickerInvalidPeriod(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.NewTicker(0, false, func(time.Duration) {}); err == nil {
+		t.Fatal("zero period should be rejected")
+	}
+	if _, err := e.NewTicker(-1, false, func(time.Duration) {}); err == nil {
+		t.Fatal("negative period should be rejected")
+	}
+	if _, err := e.NewTicker(1, false, nil); err == nil {
+		t.Fatal("nil ticker fn should be rejected")
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		if _, err := e.Schedule(time.Duration(i), func(time.Duration) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Fired() != 7 {
+		t.Fatalf("Fired = %d, want 7", e.Fired())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+}
+
+// Property: events always fire in non-decreasing time order regardless of
+// insertion order, and the number fired equals the number scheduled minus
+// the number canceled.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		count := int(n%64) + 1
+		var fired []time.Duration
+		canceled := 0
+		var evs []*Event
+		for i := 0; i < count; i++ {
+			at := time.Duration(rng.Intn(1000))
+			ev, err := e.Schedule(at, func(now time.Duration) { fired = append(fired, now) })
+			if err != nil {
+				return false
+			}
+			evs = append(evs, ev)
+		}
+		for _, ev := range evs {
+			if rng.Intn(4) == 0 {
+				if e.Cancel(ev) {
+					canceled++
+				}
+			}
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if len(fired) != count-canceled {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RunUntil never advances the clock past its deadline when events
+// beyond the deadline exist, and never fires those events.
+func TestPropertyRunUntilDeadline(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		deadline := time.Duration(rng.Intn(500) + 100)
+		beyond := 0
+		firedBeyond := false
+		for i := 0; i < 50; i++ {
+			at := time.Duration(rng.Intn(1000))
+			if at > deadline {
+				beyond++
+			}
+			if _, err := e.Schedule(at, func(now time.Duration) {
+				if now > deadline {
+					firedBeyond = true
+				}
+			}); err != nil {
+				return false
+			}
+		}
+		if err := e.RunUntil(deadline); err != nil {
+			return false
+		}
+		return !firedBeyond && e.Now() == deadline && e.Pending() == beyond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,257 @@
+package simxfer
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/gridftp"
+	"github.com/hpclab/datagrid/internal/netsim"
+)
+
+// Scheme selects how a multi-source (co-allocated) transfer divides the
+// file among the replica servers.
+type Scheme int
+
+const (
+	// SchemeStatic splits the file into equal parts up front (Vazhkudai's
+	// "brute force" co-allocation): the slowest server dictates the
+	// finish time.
+	SchemeStatic Scheme = iota
+	// SchemeDynamic cuts the file into chunks served from a shared work
+	// queue: each server pulls its next chunk when the previous one
+	// lands, so fast servers carry more of the file.
+	SchemeDynamic
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeStatic:
+		return "static-split"
+	case SchemeDynamic:
+		return "dynamic-chunks"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// DefaultChunkBytes is the dynamic scheme's work-queue granularity.
+const DefaultChunkBytes = 4 << 20
+
+// MultiSourceResult describes a completed co-allocated transfer.
+type MultiSourceResult struct {
+	Sources  []string
+	Dst      string
+	Bytes    int64
+	Scheme   Scheme
+	Started  time.Duration
+	Finished time.Duration
+	// BytesBySource records each server's contribution.
+	BytesBySource map[string]int64
+}
+
+// Duration returns the end-to-end transfer time.
+func (r MultiSourceResult) Duration() time.Duration { return r.Finished - r.Started }
+
+// StartMultiSource begins a co-allocated download of bytes from several
+// replica servers to dstHost. Each source pays its own protocol setup
+// (they are independent GridFTP sessions), then serves its share — a
+// static slice or dynamically scheduled chunks. done fires when the last
+// byte lands.
+func (t *Transferrer) StartMultiSource(sources []string, dstHost string, bytes int64, o Options, scheme Scheme, chunkBytes int64, done func(MultiSourceResult)) error {
+	if len(sources) == 0 {
+		return errors.New("simxfer: no sources")
+	}
+	if bytes <= 0 {
+		return fmt.Errorf("simxfer: transfer size must be positive, got %d", bytes)
+	}
+	if err := o.fillDefaults(); err != nil {
+		return err
+	}
+	if o.Stripes > 1 {
+		return errors.New("simxfer: striping and co-allocation do not compose")
+	}
+	if chunkBytes == 0 {
+		chunkBytes = DefaultChunkBytes
+	}
+	if chunkBytes < 0 {
+		return fmt.Errorf("simxfer: negative chunk size %d", chunkBytes)
+	}
+	seen := map[string]bool{}
+	for _, s := range sources {
+		if s == dstHost {
+			return fmt.Errorf("simxfer: source %q equals destination", s)
+		}
+		if seen[s] {
+			return fmt.Errorf("simxfer: duplicate source %q", s)
+		}
+		seen[s] = true
+		if _, err := t.tb.Host(s); err != nil {
+			return err
+		}
+	}
+	if _, err := t.tb.Host(dstHost); err != nil {
+		return err
+	}
+
+	engine := t.tb.Engine()
+	res := MultiSourceResult{
+		Sources: append([]string(nil), sources...),
+		Dst:     dstHost,
+		Bytes:   bytes,
+		Scheme:  scheme,
+		Started: engine.Now(),
+		BytesBySource: func() map[string]int64 {
+			m := make(map[string]int64, len(sources))
+			for _, s := range sources {
+				m[s] = 0
+			}
+			return m
+		}(),
+	}
+
+	switch scheme {
+	case SchemeStatic:
+		return t.startStatic(sources, dstHost, bytes, o, &res, done)
+	case SchemeDynamic:
+		return t.startDynamic(sources, dstHost, bytes, o, chunkBytes, &res, done)
+	default:
+		return fmt.Errorf("simxfer: unknown scheme %v", scheme)
+	}
+}
+
+func (t *Transferrer) startStatic(sources []string, dstHost string, bytes int64, o Options, res *MultiSourceResult, done func(MultiSourceResult)) error {
+	per := bytes / int64(len(sources))
+	remaining := len(sources)
+	for i, src := range sources {
+		sz := per
+		if i == 0 {
+			sz += bytes % int64(len(sources))
+		}
+		src := src
+		if err := t.Start(src, dstHost, sz, o, func(r Result) {
+			res.BytesBySource[src] += r.Bytes
+			if r.Finished > res.Finished {
+				res.Finished = r.Finished
+			}
+			remaining--
+			if remaining == 0 {
+				done(*res)
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Transferrer) startDynamic(sources []string, dstHost string, bytes int64, o Options, chunkBytes int64, res *MultiSourceResult, done func(MultiSourceResult)) error {
+	engine := t.tb.Engine()
+	net := t.tb.Network()
+	nchunks := (bytes + chunkBytes - 1) / chunkBytes
+	nextChunk := int64(0)
+	pending := nchunks
+	finished := false
+
+	overhead := 0.0
+	if o.Protocol == ProtoGridFTPModeE {
+		overhead = float64(gridftp.HeaderLen) / float64(o.BlockSize)
+	}
+
+	// Each source runs a sequential chunk loop after its one-time session
+	// setup; endpoint caps are re-read per chunk so load changes matter.
+	var pull func(src string)
+	pull = func(src string) {
+		if finished || nextChunk >= nchunks {
+			return
+		}
+		chunk := nextChunk
+		nextChunk++
+		sz := chunkBytes
+		if chunk == nchunks-1 {
+			sz = bytes - chunk*chunkBytes
+		}
+		h, err := t.tb.Host(src)
+		if err != nil {
+			return
+		}
+		dst, err := t.tb.Host(dstHost)
+		if err != nil {
+			return
+		}
+		srcCap := h.EffectiveDiskReadBps() * (cpuFloor + (1-cpuFloor)*h.CPUIdle()) / float64(o.Streams)
+		dstCap := dst.EffectiveDiskWriteBps() * (cpuFloor + (1-cpuFloor)*dst.CPUIdle()) / float64(o.Streams*len(sources))
+		cap := srcCap
+		if dstCap < cap {
+			cap = dstCap
+		}
+		remaining := o.Streams
+		for k := 0; k < o.Streams; k++ {
+			flowSz := sz / int64(o.Streams)
+			if k == 0 {
+				flowSz += sz % int64(o.Streams)
+			}
+			if flowSz <= 0 {
+				remaining--
+				continue
+			}
+			_, ferr := net.StartFlow(src, dstHost, flowSz, netsim.FlowOptions{
+				WindowBytes:      o.TCPBufferBytes,
+				RateCapBps:       cap,
+				OverheadFraction: overhead,
+			}, func(f *netsim.Flow) {
+				remaining--
+				if remaining > 0 {
+					return
+				}
+				res.BytesBySource[src] += sz
+				pending--
+				if f.Finished() > res.Finished {
+					res.Finished = f.Finished()
+				}
+				if pending == 0 && !finished {
+					finished = true
+					done(*res)
+					return
+				}
+				pull(src)
+			})
+			if ferr != nil {
+				remaining--
+			}
+		}
+		if remaining == 0 {
+			// Nothing started (degenerate sizes); account and continue.
+			res.BytesBySource[src] += sz
+			pending--
+			if pending == 0 && !finished {
+				finished = true
+				res.Finished = engine.Now()
+				done(*res)
+				return
+			}
+			pull(src)
+		}
+	}
+
+	rtt := func(src string) time.Duration {
+		d, err := net.PathRTT(src, dstHost)
+		if err != nil {
+			return 0
+		}
+		return d
+	}
+	setupRTTs := ftpSetupRoundTrips
+	if o.Protocol != ProtoFTP {
+		setupRTTs += gridftpExtraRoundTrips
+	}
+	for _, src := range sources {
+		src := src
+		if _, err := engine.After(time.Duration(setupRTTs)*rtt(src), func(time.Duration) {
+			pull(src)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

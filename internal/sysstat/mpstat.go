@@ -1,0 +1,79 @@
+package sysstat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PerCPU is one processor's utilization in an mpstat report.
+type PerCPU struct {
+	CPU    int
+	User   float64
+	System float64
+	IOWait float64
+	Idle   float64
+}
+
+// MPStat synthesizes an mpstat-style per-processor breakdown from the
+// latest aggregate sample (the sysstat package's third tool in the paper's
+// §2.3 list: "sar, mpstat, and iostat"). Aggregate load is spread unevenly
+// across cores the way a mostly-single-threaded 2005 workload would: the
+// first cores run hot, later ones stay idle, and the average equals the
+// aggregate sample.
+func (c *Collector) MPStat(cores int) ([]PerCPU, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("sysstat: mpstat needs a positive core count, got %d", cores)
+	}
+	last, err := c.LatestCPU()
+	if err != nil {
+		return nil, err
+	}
+	busy := last.User + last.System + last.IOWait
+	out := make([]PerCPU, cores)
+	remaining := busy * float64(cores)
+	for i := range out {
+		// Each earlier core absorbs as much of the remaining busy share
+		// as a single core can hold.
+		coreBusy := remaining
+		if coreBusy > 100 {
+			coreBusy = 100
+		}
+		if coreBusy < 0 {
+			coreBusy = 0
+		}
+		remaining -= coreBusy
+		scale := 0.0
+		if busy > 0 {
+			scale = coreBusy / busy
+		}
+		out[i] = PerCPU{
+			CPU:    i,
+			User:   last.User * scale,
+			System: last.System * scale,
+			IOWait: last.IOWait * scale,
+			Idle:   100 - coreBusy,
+		}
+	}
+	return out, nil
+}
+
+// RenderMPStat renders the per-CPU table like `mpstat -P ALL`.
+func (c *Collector) RenderMPStat(cores int) (string, error) {
+	rows, err := c.MPStat(cores)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %8s %8s %8s %8s   (%s)\n", "CPU", "%usr", "%sys", "%iowait", "%idle", c.host)
+	var aU, aS, aW, aI float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6d %8.2f %8.2f %8.2f %8.2f\n", r.CPU, r.User, r.System, r.IOWait, r.Idle)
+		aU += r.User
+		aS += r.System
+		aW += r.IOWait
+		aI += r.Idle
+	}
+	n := float64(len(rows))
+	fmt.Fprintf(&b, "%-6s %8.2f %8.2f %8.2f %8.2f\n", "all", aU/n, aS/n, aW/n, aI/n)
+	return b.String(), nil
+}

@@ -1,0 +1,155 @@
+package sysstat
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/simulation"
+)
+
+func TestMPStatSpreadsLoadUnevenly(t *testing.T) {
+	eng, c := newCollector(t, &fakeHost{cpu: 0.5, io: 0.1}, Config{Period: time.Second})
+	if err := eng.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.MPStat(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// ~50% aggregate on 2 cores: core 0 hot (~100% busy), core 1 idle.
+	if rows[0].Idle > 20 {
+		t.Fatalf("core 0 should be hot: %+v", rows[0])
+	}
+	if rows[1].Idle < 80 {
+		t.Fatalf("core 1 should be mostly idle: %+v", rows[1])
+	}
+}
+
+func TestMPStatValidation(t *testing.T) {
+	eng, c := newCollector(t, &fakeHost{}, Config{Period: time.Second})
+	if _, err := c.MPStat(0); err == nil {
+		t.Fatal("zero cores should be rejected")
+	}
+	// No samples yet.
+	if _, err := c.MPStat(2); err != ErrNoSamples {
+		t.Fatalf("err = %v, want ErrNoSamples", err)
+	}
+	_ = eng
+}
+
+func TestRenderMPStat(t *testing.T) {
+	eng, c := newCollector(t, &fakeHost{cpu: 0.25}, Config{Period: time.Second})
+	if err := eng.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.RenderMPStat(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CPU", "%usr", "%iowait", "all", "alpha1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("mpstat output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Property: per-core idle values stay in [0,100] and the per-core busy
+// average matches the aggregate sample.
+func TestPropertyMPStatConsistent(t *testing.T) {
+	f := func(loadRaw, coresRaw uint8) bool {
+		cores := int(coresRaw)%8 + 1
+		load := float64(loadRaw) / 255
+		eng := simulation.NewEngine()
+		c, err := NewCollector(eng, "h", &fakeHost{cpu: load}, Config{Period: time.Second}, 5)
+		if err != nil {
+			return false
+		}
+		if err := eng.RunUntil(time.Second); err != nil {
+			return false
+		}
+		rows, err := c.MPStat(cores)
+		if err != nil {
+			return false
+		}
+		last, _ := c.LatestCPU()
+		aggBusy := last.User + last.System + last.IOWait
+		sumBusy := 0.0
+		for _, r := range rows {
+			busy := 100 - r.Idle
+			if r.Idle < -1e-9 || r.Idle > 100+1e-9 || busy < -1e-9 {
+				return false
+			}
+			sumBusy += busy
+		}
+		// Average per-core busy equals the aggregate (unless it clips at
+		// 100% on every core, impossible here since aggregate <= 100).
+		return math.Abs(sumBusy/float64(cores)-aggBusy) < 1e-6 || aggBusy > 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetCollectorValidation(t *testing.T) {
+	eng := simulation.NewEngine()
+	read := func() (float64, float64, error) { return 0, 0, nil }
+	if _, err := NewNetCollector(nil, "h", read, time.Second, 0); err == nil {
+		t.Fatal("nil engine should be rejected")
+	}
+	if _, err := NewNetCollector(eng, "", read, time.Second, 0); err == nil {
+		t.Fatal("empty host should be rejected")
+	}
+	if _, err := NewNetCollector(eng, "h", nil, time.Second, 0); err == nil {
+		t.Fatal("nil reader should be rejected")
+	}
+	if _, err := NewNetCollector(eng, "h", read, 0, 0); err == nil {
+		t.Fatal("zero period should be rejected")
+	}
+	if _, err := NewNetCollector(eng, "h", read, time.Second, -1); err == nil {
+		t.Fatal("negative history should be rejected")
+	}
+}
+
+func TestNetCollectorSamples(t *testing.T) {
+	eng := simulation.NewEngine()
+	rx, tx := 8.0*1024*1024, 4.0*1024*1024 // 1 MiB/s rx, 0.5 MiB/s tx in bits
+	c, err := NewNetCollector(eng, "alpha1", func() (float64, float64, error) {
+		return rx, tx, nil
+	}, time.Second, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Latest(); err != ErrNoSamples {
+		t.Fatalf("empty Latest err = %v", err)
+	}
+	if err := eng.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.History()); got != 3 {
+		t.Fatalf("bounded history = %d, want 3", got)
+	}
+	last, err := c.Latest()
+	if err != nil || last.RxKBps != 1024 || last.TxKBps != 512 {
+		t.Fatalf("Latest = %+v, %v", last, err)
+	}
+	out := c.RenderSarNet(2)
+	for _, want := range []string{"rxkB/s", "txkB/s", "eth0", "1024.00", "alpha1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sar -n output missing %q:\n%s", want, out)
+		}
+	}
+	c.Stop()
+	n := len(c.History())
+	if err := eng.RunUntil(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.History()) != n {
+		t.Fatal("collector kept sampling after Stop")
+	}
+}
