@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench figures examples clean
+.PHONY: all build vet lint test race bench figures examples clean
 
 all: build vet test
 
@@ -9,12 +9,18 @@ build:
 
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/gridlint ./...
+
+# Domain-specific static analysis (wallclock, determinism,
+# lockedcallback, errcheck) — see docs/STATIC_ANALYSIS.md.
+lint:
+	$(GO) run ./cmd/gridlint ./...
 
 test:
 	$(GO) test ./... -timeout 600s
 
 race:
-	$(GO) test -race ./internal/ftp/ ./internal/gridftp/ ./internal/gsi/ ./internal/coalloc/ -timeout 600s
+	$(GO) test -race ./... -timeout 600s
 
 bench:
 	$(GO) test -bench=. -benchmem -timeout 1200s

@@ -1,0 +1,123 @@
+// Command gridlint runs the repo's domain-specific static analyzers
+// (internal/lint) over the module: wall-clock hygiene, determinism,
+// lock-safe engine scheduling and dropped-error checks. It is wired into
+// `make vet`, `make lint` and CI, and exits non-zero when any finding
+// survives suppression directives.
+//
+// Usage:
+//
+//	gridlint [-list] [-run name[,name...]] [packages]
+//
+// Package patterns are module-relative ("./...", "./internal/...",
+// "./cmd/gridlint"); the default is "./...". The module root is found by
+// walking up from the current directory to the nearest go.mod.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/hpclab/datagrid/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gridlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var selected []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				selected = append(selected, a)
+				delete(want, a.Name)
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(stderr, "gridlint: unknown analyzer %q\n", name)
+			return 2
+		}
+		analyzers = selected
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	modRoot, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(stderr, "gridlint: %v\n", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(modRoot)
+	if err != nil {
+		fmt.Fprintf(stderr, "gridlint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.LoadPatterns(patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "gridlint: %v\n", err)
+		return 2
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, err := range pkg.TypeErrors {
+			fmt.Fprintf(stderr, "gridlint: %s: type error: %v\n", pkg.Path, err)
+		}
+		for _, d := range lint.Run(pkg, analyzers) {
+			rel, err := filepath.Rel(modRoot, d.Pos.Filename)
+			if err != nil {
+				rel = d.Pos.Filename
+			}
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "gridlint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("gridlint -list exited %d: %s", code, errOut.String())
+	}
+	for _, name := range []string{"wallclock", "determinism", "lockedcallback", "errcheck"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-run", "nosuch", "./internal/simulation"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown analyzer: exit %d, want 2 (stderr: %s)", code, errOut.String())
+	}
+}
+
+// TestCleanPackages runs the full suite over packages that carry
+// fix-or-suppress state from this repo's history; they must stay clean.
+func TestCleanPackages(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"./internal/simulation", "./internal/netsim", "./internal/ftp", "./internal/gridftp"},
+		&out, &errOut)
+	if code != 0 {
+		t.Fatalf("gridlint exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+}

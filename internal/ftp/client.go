@@ -31,11 +31,11 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	c := &Client{conn: conn, r: bufio.NewReader(conn), timeout: timeout}
 	code, msg, err := c.ReadReply()
 	if err != nil {
-		conn.Close()
+		_ = conn.Close()
 		return nil, err
 	}
 	if code != 220 {
-		conn.Close()
+		_ = conn.Close()
 		return nil, fmt.Errorf("ftp: unexpected banner %d %s", code, msg)
 	}
 	return c, nil
@@ -55,6 +55,7 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // ReadReply reads one (possibly multi-line) server reply.
 func (c *Client) ReadReply() (int, string, error) {
+	//gridlint:wallclock-ok real socket read deadline on the live control connection
 	if err := c.conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
 		return 0, "", err
 	}
@@ -96,6 +97,7 @@ func (c *Client) ReadReply() (int, string, error) {
 
 // Cmd sends one command and reads the reply.
 func (c *Client) Cmd(format string, args ...any) (int, string, error) {
+	//gridlint:wallclock-ok real socket write deadline on the live control connection
 	if err := c.conn.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
 		return 0, "", err
 	}
@@ -194,7 +196,9 @@ func (c *Client) RetrFrom(path string, offset int64, w io.Writer) (int64, error)
 	if err != nil {
 		return n, fmt.Errorf("ftp: data transfer: %w", err)
 	}
-	data.Close()
+	if err := data.Close(); err != nil {
+		return n, fmt.Errorf("ftp: close data connection: %w", err)
+	}
 	if _, err := c.expectFinal(226); err != nil {
 		return n, err
 	}
@@ -247,7 +251,11 @@ func (c *Client) Stor(path string, r io.Reader) (int64, error) {
 	if err != nil {
 		return n, fmt.Errorf("ftp: data transfer: %w", err)
 	}
-	data.Close() // signal EOF to the server
+	// Close signals EOF to the server; a failed close means the upload
+	// never terminated cleanly, so surface it.
+	if err := data.Close(); err != nil {
+		return n, fmt.Errorf("ftp: close data connection: %w", err)
+	}
 	if _, err := c.expectFinal(226); err != nil {
 		return n, err
 	}
@@ -330,7 +338,9 @@ func (c *Client) Append(path string, r io.Reader) (int64, error) {
 	if err != nil {
 		return n, fmt.Errorf("ftp: data transfer: %w", err)
 	}
-	data.Close()
+	if err := data.Close(); err != nil {
+		return n, fmt.Errorf("ftp: close data connection: %w", err)
+	}
 	if _, err := c.expectFinal(226); err != nil {
 		return n, err
 	}

@@ -148,7 +148,7 @@ func (s *Server) acceptLoop() {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close() // server shutting down; nothing to report to
 			return
 		}
 		s.conns[conn] = true
@@ -169,7 +169,7 @@ func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	for c := range s.conns {
-		c.Close()
+		_ = c.Close() // best-effort teardown of live sessions
 	}
 	s.mu.Unlock()
 	var err error
@@ -242,6 +242,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		h(sess, arg)
 	}
 }
+
+// Now returns the server clock's current time. Extensions (gridftp's
+// MODE E handlers) must time transfers through it rather than time.Now
+// so an injected ServerConfig.Clock governs every xferlog line.
+func (s *Session) Now() time.Time { return s.srv.cfg.Clock() }
 
 // LogTransfer emits one xferlog-format line (wu-ftpd's transfer audit
 // format): date, duration, remote host, bytes, path, type, direction,
@@ -353,7 +358,7 @@ func (s *Session) SetupPasv() (net.Addr, error) {
 
 func (s *Session) closePasv() {
 	if s.pasv != nil {
-		s.pasv.Close()
+		_ = s.pasv.Close() // listener teardown; accept errors already surfaced
 		s.pasv = nil
 	}
 }
@@ -379,6 +384,7 @@ func (s *Session) AcceptData() (net.Conn, error) {
 	select {
 	case r := <-ch:
 		return r.c, r.err
+	//gridlint:wallclock-ok bounds a real Accept on a live socket, not simulated time
 	case <-time.After(s.srv.cfg.DataTimeout):
 		return nil, errors.New("ftp: timed out waiting for data connection")
 	}

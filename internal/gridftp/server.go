@@ -38,6 +38,9 @@ type ServerConfig struct {
 	// TransferLog receives wu-ftpd xferlog lines for completed transfers
 	// (stream and MODE E alike).
 	TransferLog io.Writer
+	// Clock supplies transfer timing and xferlog timestamps; defaults to
+	// time.Now. Override in tests or simulations for determinism.
+	Clock func() time.Time
 }
 
 // Server is a GridFTP server: an ftp.Server with the Grid extensions
@@ -71,6 +74,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		Welcome:     "datagrid GridFTP server ready",
 		DataTimeout: cfg.DataTimeout,
 		TransferLog: cfg.TransferLog,
+		Clock:       cfg.Clock,
 	})
 	if err != nil {
 		return nil, err
@@ -99,7 +103,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	base.OnSessionEnd(func(sess *ftp.Session) {
 		if lns, ok := sess.Extra[extraSpas].([]net.Listener); ok {
 			for _, ln := range lns {
-				ln.Close()
+				_ = ln.Close() // session is gone; nowhere to report
 			}
 		}
 	})
@@ -265,6 +269,7 @@ func acceptTimeout(ln net.Listener, d time.Duration) (net.Conn, error) {
 	select {
 	case r := <-ch:
 		return r.c, r.err
+	//gridlint:wallclock-ok bounds a real Accept on a live socket, not simulated time
 	case <-time.After(d):
 		return nil, errors.New("gridftp: timed out waiting for data connection")
 	}
@@ -272,7 +277,7 @@ func acceptTimeout(ln net.Listener, d time.Duration) (net.Conn, error) {
 
 func closeAll(conns []net.Conn) {
 	for _, c := range conns {
-		c.Close()
+		_ = c.Close() // best-effort teardown of the stripe set
 	}
 }
 
@@ -357,12 +362,12 @@ func (s *Server) sendRange(sess *ftp.Session, f ftp.File, offset, length int64, 
 	for i, c := range conns {
 		ws[i] = c
 	}
-	start := time.Now()
+	start := sess.Now()
 	if err := SendBlocks(ws, f, offset, length, DefaultBlockSize); err != nil {
 		sess.Reply(426, "transfer aborted: "+err.Error())
 		return
 	}
-	sess.LogTransfer(time.Since(start), length, name, 'o')
+	sess.LogTransfer(sess.Now().Sub(start), length, name, 'o')
 	sess.Reply(226, fmt.Sprintf("transfer complete (%d bytes on %d channels)", length, len(conns)))
 }
 
@@ -443,7 +448,7 @@ func (s *Server) receiveInto(sess *ftp.Session, path string, base int64, adjuste
 	if base != 0 {
 		dst = offsetWriterAt{f, base}
 	}
-	start := time.Now()
+	start := sess.Now()
 	total, announced, eods, err := ReceiveBlocks(rs, dst)
 	if err != nil {
 		sess.Reply(426, "transfer aborted: "+err.Error())
@@ -453,7 +458,7 @@ func (s *Server) receiveInto(sess *ftp.Session, path string, base int64, adjuste
 		sess.Reply(426, fmt.Sprintf("missing data channels: got %d EODs of %d", eods, announced))
 		return
 	}
-	sess.LogTransfer(time.Since(start), total, path, 'i')
+	sess.LogTransfer(sess.Now().Sub(start), total, path, 'i')
 	sess.Reply(226, fmt.Sprintf("transfer complete (%d bytes on %d channels)", total, len(conns)))
 }
 
@@ -473,7 +478,7 @@ func (s *Server) handleSPAS(sess *ftp.Session, _ string) {
 	// Close any previous stripe listeners.
 	if old, ok := sess.Extra[extraSpas].([]net.Listener); ok {
 		for _, ln := range old {
-			ln.Close()
+			_ = ln.Close() // superseded listeners; best-effort release
 		}
 	}
 	host, _, err := net.SplitHostPort(sess.Conn().LocalAddr().String())
@@ -487,16 +492,16 @@ func (s *Server) handleSPAS(sess *ftp.Session, _ string) {
 		ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
 		if err != nil {
 			for _, l := range lns {
-				l.Close()
+				_ = l.Close() // unwind partial stripe set
 			}
 			sess.Reply(425, "cannot open stripe listener: "+err.Error())
 			return
 		}
 		spec, err := ftp.FormatPasvAddr(ln.Addr())
 		if err != nil {
-			ln.Close()
+			_ = ln.Close()
 			for _, l := range lns {
-				l.Close()
+				_ = l.Close() // unwind partial stripe set
 			}
 			sess.Reply(425, err.Error())
 			return
@@ -530,7 +535,7 @@ func (s *Server) handleSPOR(sess *ftp.Session, arg string) {
 	sess.Extra[extraSpor] = addrs
 	if old, ok := sess.Extra[extraSpas].([]net.Listener); ok {
 		for _, ln := range old {
-			ln.Close()
+			_ = ln.Close() // SPOR supersedes SPAS; best-effort release
 		}
 		delete(sess.Extra, extraSpas)
 	}

@@ -1,0 +1,11 @@
+package lint
+
+// All returns the full gridlint analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Wallclock,
+		Determinism,
+		LockedCallback,
+		ErrcheckLite,
+	}
+}

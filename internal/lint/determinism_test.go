@@ -1,0 +1,33 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/hpclab/datagrid/internal/lint"
+	"github.com/hpclab/datagrid/internal/lint/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), lint.Determinism, "internal/netsim")
+}
+
+func TestDeterminismScope(t *testing.T) {
+	cases := []struct {
+		pkg  string
+		want bool
+	}{
+		{"github.com/hpclab/datagrid/internal/simulation", true},
+		{"github.com/hpclab/datagrid/internal/netsim", true},
+		{"github.com/hpclab/datagrid/internal/workload", true},
+		{"github.com/hpclab/datagrid/internal/experiments", true},
+		// The real FTP stack may use wall-clock-ish randomness (jitter,
+		// ephemeral ports) without perturbing experiment results.
+		{"github.com/hpclab/datagrid/internal/ftp", false},
+		{"github.com/hpclab/datagrid/internal/netsimulator", false},
+	}
+	for _, c := range cases {
+		if got := lint.Determinism.Applies(c.pkg); got != c.want {
+			t.Errorf("Determinism.Applies(%q) = %v, want %v", c.pkg, got, c.want)
+		}
+	}
+}

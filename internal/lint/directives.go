@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"strings"
+)
+
+// Suppression directives.
+//
+// A finding from analyzer <name> is suppressed when a comment of the form
+//
+//	//gridlint:<name>-ok [reason]
+//
+// appears on the same line as the finding or on the line immediately
+// above it. The reason is free text and strongly encouraged: directives
+// are meant to record *why* a site is exempt (e.g. "real socket
+// deadline, not simulated time"), not to silence the tool. A bare
+// //gridlint:ok suppresses every analyzer on that line and exists for
+// generated code only.
+
+const directivePrefix = "gridlint:"
+
+// suppressedLines maps analyzer name -> set of line numbers in one file
+// on which that analyzer is suppressed. The wildcard key "*" applies to
+// all analyzers.
+type suppressedLines map[string]map[int]bool
+
+func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
+	byFile := map[string]suppressedLines{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				sl := byFile[pos.Filename]
+				if sl == nil {
+					sl = suppressedLines{}
+					byFile[pos.Filename] = sl
+				}
+				if sl[name] == nil {
+					sl[name] = map[int]bool{}
+				}
+				sl[name][pos.Line] = true
+			}
+		}
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		sl := byFile[d.Pos.Filename]
+		if sl.matches(d.Analyzer, d.Pos.Line) || sl.matches(d.Analyzer, d.Pos.Line-1) ||
+			sl.matches("*", d.Pos.Line) || sl.matches("*", d.Pos.Line-1) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+func (sl suppressedLines) matches(name string, line int) bool {
+	if sl == nil {
+		return false
+	}
+	return sl[name][line]
+}
+
+// parseDirective extracts the analyzer name from a //gridlint:<name>-ok
+// comment. It returns "*" for the wildcard form //gridlint:ok.
+func parseDirective(text string) (string, bool) {
+	body, ok := strings.CutPrefix(text, "//"+directivePrefix)
+	if !ok {
+		return "", false
+	}
+	// First token is the directive; anything after whitespace is reason.
+	if i := strings.IndexAny(body, " \t"); i >= 0 {
+		body = body[:i]
+	}
+	if body == "ok" {
+		return "*", true
+	}
+	name, ok := strings.CutSuffix(body, "-ok")
+	if !ok || name == "" {
+		return "", false
+	}
+	return name, true
+}

@@ -1,0 +1,57 @@
+package lint
+
+import "testing"
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		comment string
+		name    string
+		ok      bool
+	}{
+		{"//gridlint:wallclock-ok real socket deadline", "wallclock", true},
+		{"//gridlint:determinism-ok", "determinism", true},
+		{"//gridlint:ok generated code", "*", true},
+		{"//gridlint:ok", "*", true},
+		{"// gridlint:wallclock-ok", "", false}, // directives are attached, no space
+		{"//gridlint:wallclock", "", false},     // missing -ok
+		{"//gridlint:-ok", "", false},           // empty analyzer name
+		{"// plain comment", "", false},
+	}
+	for _, c := range cases {
+		name, ok := parseDirective(c.comment)
+		if name != c.name || ok != c.ok {
+			t.Errorf("parseDirective(%q) = (%q, %v), want (%q, %v)",
+				c.comment, name, ok, c.name, c.ok)
+		}
+	}
+}
+
+func TestPathHasSuffix(t *testing.T) {
+	cases := []struct {
+		path, suffix string
+		want         bool
+	}{
+		{"github.com/hpclab/datagrid/internal/netsim", "internal/netsim", true},
+		{"internal/netsim", "internal/netsim", true},
+		{"github.com/hpclab/datagrid/internal/netsimx", "internal/netsim", false},
+		{"xinternal/netsim", "internal/netsim", false},
+	}
+	for _, c := range cases {
+		if got := PathHasSuffix(c.path, c.suffix); got != c.want {
+			t.Errorf("PathHasSuffix(%q, %q) = %v, want %v", c.path, c.suffix, got, c.want)
+		}
+	}
+}
+
+func TestAllAnalyzersHaveNamesAndDocs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

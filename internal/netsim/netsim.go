@@ -674,6 +674,7 @@ func (n *Network) reallocate() {
 	// flows at the global minimum.
 	remainingCap := make(map[*Link]float64, len(n.links))
 	unfixedCount := make(map[*Link]int, len(n.links))
+	//gridlint:determinism-ok writes per-link state under distinct keys; no cross-iteration dependence
 	for _, l := range n.links {
 		remainingCap[l] = l.EffectiveCapacity()
 		unfixedCount[l] = len(l.flows)
@@ -686,6 +687,7 @@ func (n *Network) reallocate() {
 	}
 	for len(unfixed) > 0 {
 		minLimit := math.Inf(1)
+		//gridlint:determinism-ok pure min-reduction; float min is order-independent
 		for _, f := range unfixed {
 			lim := f.capBps()
 			for _, l := range f.path {
@@ -759,7 +761,10 @@ func (n *Network) scheduleNextCompletion() {
 		n.nextEv = nil
 	}
 	var next *Flow
+	now := n.engine.Now()
 	nextAt := time.Duration(math.MaxInt64)
+	// Pure min-reduction with an id tie-break, so the pick is identical
+	// in any map iteration order.
 	for _, f := range n.flows {
 		if f.rateBps <= 0 {
 			continue
@@ -769,8 +774,8 @@ func (n *Network) scheduleNextCompletion() {
 		if d <= 0 {
 			d = 1 // guarantee forward progress despite rounding
 		}
-		at := n.engine.Now() + d
-		if at < nextAt {
+		at := now + d
+		if at < nextAt || (at == nextAt && (next == nil || f.id < next.id)) {
 			nextAt, next = at, f
 		}
 	}
