@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench figures examples clean
+# Label under which `make bench` / `make bench-netsim` records results in
+# BENCH_netsim.json (see docs/PERFORMANCE.md).
+BENCH_LABEL ?= local
+
+.PHONY: all build vet lint test race bench bench-netsim figures examples clean
 
 all: build vet test
 
@@ -22,8 +26,16 @@ test:
 race:
 	$(GO) test -race ./... -timeout 600s
 
-bench:
+bench: bench-netsim
 	$(GO) test -bench=. -benchmem -timeout 1200s
+
+# Record the simulation-core benchmarks into BENCH_netsim.json so future
+# changes have a perf trajectory to compare against. Same label replaces,
+# new labels append: run with BENCH_LABEL=<change-id> before and after an
+# optimization (docs/PERFORMANCE.md documents the workflow).
+bench-netsim:
+	$(GO) test -run='^$$' -bench='Netsim|Reallocate|RouteCold' -benchmem -timeout 600s . ./internal/netsim \
+		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -out BENCH_netsim.json
 
 # Regenerate every paper artifact (Fig. 3, Fig. 4, Table 1, ablations,
 # extensions) in the text form EXPERIMENTS.md quotes.

@@ -286,6 +286,74 @@ func BenchmarkNetsimFlowEvents(b *testing.B) {
 	}
 }
 
+// BenchmarkNetsimStressLargeGrid stresses the simulator core at a scale
+// well beyond the paper's 4-site testbed: 56 sites behind an 8-router
+// backbone ring, with 320 concurrent flows contending on the shared
+// backbone links. This is the workload shape of the ExtensionScale
+// "larger number of sites" study, and it tracks how the incremental
+// max-min allocator behaves when rounds × flows × path-length is large.
+func BenchmarkNetsimStressLargeGrid(b *testing.B) {
+	const (
+		routers  = 8
+		sitesPer = 7 // 8*7 = 56 sites
+		flows    = 320
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := simulation.NewEngine()
+		net := netsim.New(eng, 7)
+		var sites []string
+		for r := 0; r < routers; r++ {
+			router := fmt.Sprintf("r%d", r)
+			if err := net.AddNode(router); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for r := 0; r < routers; r++ {
+			router := fmt.Sprintf("r%d", r)
+			// Backbone ring: shared bottlenecks for cross-router flows.
+			next := fmt.Sprintf("r%d", (r+1)%routers)
+			if err := net.AddLink(router, next, netsim.LinkConfig{
+				CapacityBps: 1e9, Delay: 10 * time.Millisecond, LossRate: 1e-4,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			for s := 0; s < sitesPer; s++ {
+				site := fmt.Sprintf("s%d-%d", r, s)
+				if err := net.AddNode(site); err != nil {
+					b.Fatal(err)
+				}
+				if err := net.AddLink(site, router, netsim.LinkConfig{
+					CapacityBps: 155e6, Delay: 2 * time.Millisecond, LossRate: 1e-5,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				sites = append(sites, site)
+			}
+		}
+		rng := rand.New(rand.NewSource(11))
+		completed := 0
+		for f := 0; f < flows; f++ {
+			src := sites[rng.Intn(len(sites))]
+			dst := sites[rng.Intn(len(sites))]
+			for dst == src {
+				dst = sites[rng.Intn(len(sites))]
+			}
+			if _, err := net.StartFlow(src, dst, 5_000_000,
+				netsim.FlowOptions{WindowBytes: 1 << 20},
+				func(*netsim.Flow) { completed++ }); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if completed != flows {
+			b.Fatalf("completed %d of %d flows", completed, flows)
+		}
+	}
+}
+
 // BenchmarkForecasterBank measures the NWS expert bank's update+forecast
 // cost per measurement.
 func BenchmarkForecasterBank(b *testing.B) {

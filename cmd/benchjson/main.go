@@ -1,0 +1,175 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// benchmark record so the repo keeps a machine-readable perf trajectory.
+//
+// It reads benchmark output on stdin, parses every "BenchmarkXxx" result
+// line (including -benchmem columns and custom ReportMetric units), and
+// merges the run into the JSON file named by -out: an existing run with
+// the same label is replaced, anything else is preserved and new runs
+// append. The benchmark text is echoed to stdout so the tool can sit at
+// the end of a pipe without hiding results.
+//
+//	go test -run='^$' -bench='Netsim' -benchmem . ./internal/netsim |
+//	    go run ./cmd/benchjson -label after-foo -out BENCH_netsim.json
+//
+// See docs/PERFORMANCE.md for the recording/compare workflow.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name without the "Benchmark" prefix and
+	// without the -GOMAXPROCS suffix, so records compare across machines.
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps unit -> value, e.g. "ns/op", "B/op", "allocs/op" and
+	// any custom b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Run is one labeled benchmark session.
+type Run struct {
+	Label      string      `json:"label"`
+	GoVersion  string      `json:"go_version"`
+	Note       string      `json:"note,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// File is the on-disk record: a sequence of labeled runs, oldest first.
+type File struct {
+	Comment string `json:"comment"`
+	Runs    []Run  `json:"runs"`
+}
+
+const fileComment = "benchmark trajectory recorded by cmd/benchjson; see docs/PERFORMANCE.md"
+
+func main() {
+	out := flag.String("out", "BENCH_netsim.json", "JSON file to create or merge into")
+	label := flag.String("label", "local", "label identifying this run (same label replaces)")
+	note := flag.String("note", "", "optional free-form note stored with the run")
+	flag.Parse()
+
+	benches, err := parse(os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	run := Run{Label: *label, GoVersion: runtime.Version(), Note: *note, Benchmarks: benches}
+	if err := merge(*out, run); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: recorded %d benchmarks as %q in %s\n", len(benches), *label, *out)
+}
+
+// parse scans go test -bench output, echoing every line to echo and
+// collecting parsed results. Sub-benchmarks of the same parent merge their
+// metric columns under one name when go test splits them across lines.
+func parse(r io.Reader, echo io.Writer) ([]Benchmark, error) {
+	var out []Benchmark
+	byName := map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
+		b, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		if i, seen := byName[b.Name]; seen {
+			// go test prints one line per benchmark; duplicates mean a
+			// repeated run — last one wins.
+			out[i] = b
+			continue
+		}
+		byName[b.Name] = len(out)
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+// parseLine parses one result line of the form
+//
+//	BenchmarkName-8   	     100	  12345 ns/op	  64 B/op	  2 allocs/op
+//
+// with any number of trailing value/unit metric pairs.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the -GOMAXPROCS suffix, if present.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	if len(b.Metrics) == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+// merge loads path (if it exists), replaces the run with the same label or
+// appends, and writes the file back with stable formatting.
+func merge(path string, run Run) error {
+	f := File{Comment: fileComment}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			return fmt.Errorf("existing %s is not valid benchjson output: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	f.Comment = fileComment
+	replaced := false
+	for i := range f.Runs {
+		if f.Runs[i].Label == run.Label {
+			f.Runs[i] = run
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		f.Runs = append(f.Runs, run)
+	}
+	for _, r := range f.Runs {
+		sort.Slice(r.Benchmarks, func(i, j int) bool { return r.Benchmarks[i].Name < r.Benchmarks[j].Name })
+	}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

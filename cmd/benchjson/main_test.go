@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/hpclab/datagrid
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkNetsimFlowEvents 	      20	    635469 ns/op	   32464 B/op	     263 allocs/op
+BenchmarkNetsimStressLargeGrid-8 	       3	 137918883 ns/op	  306456 B/op	    2877 allocs/op
+BenchmarkExtensionScale 	       1	1925312875 ns/op	        27.29 sites12-improve-pct
+PASS
+ok  	github.com/hpclab/datagrid	5.584s
+`
+
+func TestParse(t *testing.T) {
+	var echo strings.Builder
+	benches, err := parse(strings.NewReader(sample), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(echo.String(), "BenchmarkNetsimFlowEvents") {
+		t.Fatal("input was not echoed")
+	}
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(benches))
+	}
+	fe := benches[0]
+	if fe.Name != "NetsimFlowEvents" || fe.Iterations != 20 {
+		t.Fatalf("unexpected first benchmark: %+v", fe)
+	}
+	if fe.Metrics["ns/op"] != 635469 || fe.Metrics["allocs/op"] != 263 {
+		t.Fatalf("unexpected metrics: %v", fe.Metrics)
+	}
+	if benches[1].Name != "NetsimStressLargeGrid" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", benches[1].Name)
+	}
+	if benches[2].Metrics["sites12-improve-pct"] != 27.29 {
+		t.Fatalf("custom metric lost: %v", benches[2].Metrics)
+	}
+}
+
+func TestParseRejectsNonBenchLines(t *testing.T) {
+	benches, err := parse(strings.NewReader("PASS\nok x 1s\nBenchmarkBroken abc\n"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 0 {
+		t.Fatalf("parsed %d benchmarks from junk, want 0", len(benches))
+	}
+}
+
+func TestMergeReplacesSameLabel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	run1 := Run{Label: "a", GoVersion: "go0", Benchmarks: []Benchmark{
+		{Name: "X", Iterations: 1, Metrics: map[string]float64{"ns/op": 100}},
+	}}
+	if err := merge(path, run1); err != nil {
+		t.Fatal(err)
+	}
+	run2 := Run{Label: "b", GoVersion: "go0", Benchmarks: []Benchmark{
+		{Name: "X", Iterations: 1, Metrics: map[string]float64{"ns/op": 50}},
+	}}
+	if err := merge(path, run2); err != nil {
+		t.Fatal(err)
+	}
+	// Re-recording label "a" must replace in place, not append.
+	run1b := run1
+	run1b.Benchmarks = []Benchmark{{Name: "X", Iterations: 2, Metrics: map[string]float64{"ns/op": 90}}}
+	if err := merge(path, run1b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Runs) != 2 {
+		t.Fatalf("runs = %d, want 2", len(f.Runs))
+	}
+	if f.Runs[0].Label != "a" || f.Runs[0].Benchmarks[0].Metrics["ns/op"] != 90 {
+		t.Fatalf("label a not replaced in place: %+v", f.Runs[0])
+	}
+	if f.Runs[1].Label != "b" {
+		t.Fatalf("label b lost: %+v", f.Runs[1])
+	}
+}

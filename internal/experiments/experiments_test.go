@@ -299,6 +299,33 @@ func TestExtensionScale(t *testing.T) {
 	}
 }
 
+// TestExtensionScaleDeterminismPin runs the scale study twice with the
+// same seed and requires bit-identical rows and rendering. This is the
+// regression net for the simulation core's determinism guarantee: the
+// incremental allocator, the slow-start fast path and the pooled event
+// plumbing must never let run-to-run jitter into experiment output.
+func TestExtensionScaleDeterminismPin(t *testing.T) {
+	res1, rendered1, err := ExtensionScale(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, rendered2, err := ExtensionScale(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rendered1 != rendered2 {
+		t.Fatalf("same-seed renderings differ:\n--- first\n%s\n--- second\n%s", rendered1, rendered2)
+	}
+	if len(res1) != len(res2) {
+		t.Fatalf("row counts differ: %d vs %d", len(res1), len(res2))
+	}
+	for i := range res1 {
+		if res1[i] != res2[i] {
+			t.Fatalf("row %d differs between same-seed runs:\n%+v\n%+v", i, res1[i], res2[i])
+		}
+	}
+}
+
 func TestExtensionReplication(t *testing.T) {
 	res, rendered, err := ExtensionReplication(seed)
 	if err != nil {

@@ -8,6 +8,11 @@
 //
 // The simulator is driven by a simulation.Engine; all API calls must happen
 // on the engine goroutine (from event callbacks or between Run calls).
+//
+// The hot paths (rate reallocation, routing, event plumbing) are written to
+// be allocation-free in steady state so that large grids simulate at memory
+// speed; see docs/PERFORMANCE.md for the data layout and the invariants the
+// incremental structures maintain.
 package netsim
 
 import (
@@ -31,6 +36,13 @@ const DefaultMSS = 1460
 
 // initialCwnd is the slow-start initial congestion window in segments.
 const initialCwnd = 2
+
+// allocEps is the relative tolerance the water-filling allocator uses when
+// deciding that a flow's limit equals the round's minimum. The slow-start
+// fast path reuses the same epsilon: a congestion window more than
+// (1+allocEps) above the flow's allocated rate provably cannot have been
+// the binding constraint.
+const allocEps = 1e-9
 
 // LinkConfig describes one direction of a network link.
 type LinkConfig struct {
@@ -66,6 +78,9 @@ func (c LinkConfig) validate() error {
 type Link struct {
 	from, to string
 	cfg      LinkConfig
+	// idx is the link's dense index into Network.linkList and the
+	// allocator's scratch arrays.
+	idx int
 	// bgLoad is the fraction of capacity consumed by background (non-grid)
 	// traffic, in [0,1).
 	bgLoad float64
@@ -74,7 +89,8 @@ type Link struct {
 	down bool
 	// usedBps is the total rate currently allocated to simulated flows.
 	usedBps float64
-	flows   map[int64]*Flow
+	// nflows is the number of active flows whose path crosses this link.
+	nflows int
 }
 
 // Down reports whether the link is failed.
@@ -172,10 +188,14 @@ type Flow struct {
 
 	// cwndBps is the slow-start limited rate; it doubles every RTT until
 	// it stops binding.
-	cwndBps  float64
-	ramping  bool
-	rampEv   *simulation.Event
+	cwndBps float64
+	ramping bool
+	rampEv  *simulation.Event
+	// rampFn is the slow-start tick callback, bound once at StartFlow so
+	// per-RTT rescheduling does not allocate a fresh closure.
+	rampFn   func(time.Duration)
 	rateBps  float64 // current allocated rate
+	fixed    bool    // water-filling scratch: rate fixed this reallocation
 	started  time.Duration
 	finished time.Duration
 	done     func(*Flow)
@@ -242,31 +262,74 @@ func (f *Flow) mathisBps() float64 {
 	return float64(f.mss) * 8 / f.rtt.Seconds() * mathisC / math.Sqrt(f.loss)
 }
 
+// halfEdge is one outgoing adjacency entry of the routing graph.
+type halfEdge struct {
+	to   int // dense node index of the receiving endpoint
+	link *Link
+}
+
+// nodeHeapEntry is one entry of the Dijkstra priority queue. Ties on
+// distance are broken by node name, mirroring the deterministic pick rule
+// the allocator has always used.
+type nodeHeapEntry struct {
+	dist time.Duration
+	node int
+}
+
 // Network is the simulated WAN.
 type Network struct {
-	engine  *simulation.Engine
-	rng     *rand.Rand
-	nodes   map[string]bool
-	links   map[linkKey]*Link
-	flows   map[int64]*Flow
-	nextID  int64
-	routes  map[linkKey][]*Link
-	settled time.Duration
-	nextEv  *simulation.Event
+	engine *simulation.Engine
+	rng    *rand.Rand
+	nodes  map[string]bool
+	links  map[linkKey]*Link
+	// linkList holds every link at its dense index (Link.idx), the
+	// backing order for the allocator's scratch arrays.
+	linkList []*Link
+	// active holds the active flows sorted by ascending id. Flow ids are
+	// assigned monotonically, so insertion is an append and the order is
+	// maintained incrementally on removal instead of re-sorted every
+	// water-filling round.
+	active []*Flow
+	nextID int64
+	routes map[linkKey][]*Link
+
+	// Routing graph, rebuilt lazily after topology changes.
+	nodeIdx   map[string]int
+	nodeNames []string
+	adj       [][]halfEdge
+	adjValid  bool
+
+	// Reusable scratch buffers (see docs/PERFORMANCE.md): per-link water
+	// level state indexed by Link.idx, the drained-flow batch of the
+	// completion handler, and the Dijkstra working set indexed by dense
+	// node index.
+	remCap   []float64
+	remCnt   []int
+	doneBuf  []*Flow
+	dist     []time.Duration
+	prevLink []*Link
+	visited  []bool
+	heapBuf  []nodeHeapEntry
+
+	settled      time.Duration
+	nextEv       *simulation.Event
+	completionFn func(time.Duration)
 }
 
 // New creates an empty network driven by engine. The seed feeds the
 // network's private random source (used only by helpers like jittered
 // background processes).
 func New(engine *simulation.Engine, seed int64) *Network {
-	return &Network{
-		engine: engine,
-		rng:    rand.New(rand.NewSource(seed)),
-		nodes:  make(map[string]bool),
-		links:  make(map[linkKey]*Link),
-		flows:  make(map[int64]*Flow),
-		routes: make(map[linkKey][]*Link),
+	n := &Network{
+		engine:  engine,
+		rng:     rand.New(rand.NewSource(seed)),
+		nodes:   make(map[string]bool),
+		links:   make(map[linkKey]*Link),
+		routes:  make(map[linkKey][]*Link),
+		nodeIdx: make(map[string]int),
 	}
+	n.completionFn = n.onCompletion
+	return n
 }
 
 // Engine returns the driving simulation engine.
@@ -281,6 +344,12 @@ func (n *Network) AddNode(name string) error {
 		return fmt.Errorf("netsim: duplicate node %q", name)
 	}
 	n.nodes[name] = true
+	n.nodeIdx[name] = len(n.nodeNames)
+	n.nodeNames = append(n.nodeNames, name)
+	n.dist = append(n.dist, 0)
+	n.prevLink = append(n.prevLink, nil)
+	n.visited = append(n.visited, false)
+	n.adjValid = false
 	return nil
 }
 
@@ -331,8 +400,13 @@ func (n *Network) addDirected(from, to string, cfg LinkConfig) error {
 	if cfg.MSS == 0 {
 		cfg.MSS = DefaultMSS
 	}
-	n.links[k] = &Link{from: from, to: to, cfg: cfg, flows: make(map[int64]*Flow)}
+	l := &Link{from: from, to: to, cfg: cfg, idx: len(n.linkList)}
+	n.links[k] = l
+	n.linkList = append(n.linkList, l)
+	n.remCap = append(n.remCap, 0)
+	n.remCnt = append(n.remCnt, 0)
 	n.routes = make(map[linkKey][]*Link) // invalidate route cache
+	n.adjValid = false
 	return nil
 }
 
@@ -379,6 +453,29 @@ func (n *Network) SetLinkDown(from, to string, down bool) error {
 // ErrNoRoute is returned when no path exists between two nodes.
 var ErrNoRoute = errors.New("netsim: no route")
 
+// rebuildAdjacency regenerates the dense adjacency list from the link
+// table. Edges are sorted (by source, then destination name) so the graph
+// layout is independent of map iteration order.
+func (n *Network) rebuildAdjacency() {
+	keys := make([]linkKey, 0, len(n.links))
+	for k := range n.links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	n.adj = make([][]halfEdge, len(n.nodeNames))
+	for _, k := range keys {
+		l := n.links[k]
+		fi := n.nodeIdx[k.from]
+		n.adj[fi] = append(n.adj[fi], halfEdge{to: n.nodeIdx[k.to], link: l})
+	}
+	n.adjValid = true
+}
+
 // Route returns the directed links on the lowest-latency path src->dst
 // (Dijkstra on propagation delay, hop count as tie-break via tiny epsilon).
 func (n *Network) Route(src, dst string) ([]*Link, error) {
@@ -394,56 +491,120 @@ func (n *Network) Route(src, dst string) ([]*Link, error) {
 	if r, ok := n.routes[linkKey{src, dst}]; ok {
 		return r, nil
 	}
-	const hopPenalty = time.Microsecond
-	dist := map[string]time.Duration{src: 0}
-	prev := map[string]*Link{}
-	visited := map[string]bool{}
-	for {
-		// pick the unvisited node with smallest distance (deterministic
-		// tie-break on name).
-		var cur string
-		best := time.Duration(math.MaxInt64)
-		for name, d := range dist {
-			if visited[name] {
-				continue
-			}
-			if d < best || (d == best && (cur == "" || name < cur)) {
-				best, cur = d, name
-			}
-		}
-		if cur == "" {
-			break
-		}
-		if cur == dst {
-			break
-		}
-		visited[cur] = true
-		for k, l := range n.links {
-			if k.from != cur {
-				continue
-			}
-			nd := dist[cur] + l.cfg.Delay + hopPenalty
-			if d, ok := dist[k.to]; !ok || nd < d {
-				dist[k.to] = nd
-				prev[k.to] = l
-			}
-		}
-	}
-	if _, ok := dist[dst]; !ok {
-		return nil, fmt.Errorf("%w: %s->%s", ErrNoRoute, src, dst)
-	}
-	var path []*Link
-	for at := dst; at != src; {
-		l := prev[at]
-		path = append(path, l)
-		at = l.from
-	}
-	// reverse
-	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
-		path[i], path[j] = path[j], path[i]
+	path, err := n.computeRoute(src, dst)
+	if err != nil {
+		return nil, err
 	}
 	n.routes[linkKey{src, dst}] = path
 	return path, nil
+}
+
+// computeRoute runs Dijkstra over the prebuilt adjacency list with a
+// binary heap. Distances are exact (integer time.Duration sums), pops are
+// ordered by (distance, node name) and relaxations improve strictly, so
+// the chosen path is deterministic and identical to the reference
+// implementation's scan-all-links version. The working arrays live on the
+// Network and are reused across calls.
+func (n *Network) computeRoute(src, dst string) ([]*Link, error) {
+	if !n.adjValid {
+		n.rebuildAdjacency()
+	}
+	const hopPenalty = time.Microsecond
+	const unreached = time.Duration(math.MaxInt64)
+	for i := range n.dist {
+		n.dist[i] = unreached
+		n.prevLink[i] = nil
+		n.visited[i] = false
+	}
+	si, di := n.nodeIdx[src], n.nodeIdx[dst]
+	n.dist[si] = 0
+	h := n.heapBuf[:0]
+	h = n.heapPush(h, nodeHeapEntry{0, si})
+	for len(h) > 0 {
+		var top nodeHeapEntry
+		top, h = n.heapPop(h)
+		u := top.node
+		if u == di {
+			break
+		}
+		if n.visited[u] {
+			continue // stale entry superseded by a shorter one
+		}
+		n.visited[u] = true
+		du := n.dist[u]
+		for _, e := range n.adj[u] {
+			nd := du + e.link.cfg.Delay + hopPenalty
+			if nd < n.dist[e.to] {
+				n.dist[e.to] = nd
+				n.prevLink[e.to] = e.link
+				h = n.heapPush(h, nodeHeapEntry{nd, e.to})
+			}
+		}
+	}
+	n.heapBuf = h[:0]
+	if n.dist[di] == unreached {
+		return nil, fmt.Errorf("%w: %s->%s", ErrNoRoute, src, dst)
+	}
+	// Count the hops, then fill the exact-size path back-to-front; the
+	// result slice is the computation's only allocation.
+	hops := 0
+	for at := di; at != si; at = n.nodeIdx[n.prevLink[at].from] {
+		hops++
+	}
+	path := make([]*Link, hops)
+	for at, i := di, hops-1; at != si; i-- {
+		l := n.prevLink[at]
+		path[i] = l
+		at = n.nodeIdx[l.from]
+	}
+	return path, nil
+}
+
+// heapLess orders queue entries by distance, then node name — the same
+// deterministic tie-break rule as the pick-minimum scan it replaces.
+func (n *Network) heapLess(a, b nodeHeapEntry) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return n.nodeNames[a.node] < n.nodeNames[b.node]
+}
+
+func (n *Network) heapPush(h []nodeHeapEntry, e nodeHeapEntry) []nodeHeapEntry {
+	h = append(h, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !n.heapLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+func (n *Network) heapPop(h []nodeHeapEntry) (nodeHeapEntry, []nodeHeapEntry) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < len(h) && n.heapLess(h[left], h[smallest]) {
+			smallest = left
+		}
+		if right < len(h) && n.heapLess(h[right], h[smallest]) {
+			smallest = right
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top, h
 }
 
 // PathRTT returns the round-trip time between two nodes (sum of one-way
@@ -545,17 +706,6 @@ func (n *Network) AvailableBps(src, dst string) (float64, error) {
 	return min, nil
 }
 
-// pathMSS returns the smallest MSS along the path.
-func pathMSS(path []*Link) int {
-	mss := path[0].cfg.MSS
-	for _, l := range path[1:] {
-		if l.cfg.MSS < mss {
-			mss = l.cfg.MSS
-		}
-	}
-	return mss
-}
-
 // StartFlow begins a simulated TCP transfer of bytes payload bytes from src
 // to dst. done, if non-nil, is invoked on the engine goroutine when the
 // flow completes. The returned flow is live; its fields update as the
@@ -574,8 +724,20 @@ func (n *Network) StartFlow(src, dst string, bytes int64, opts FlowOptions, done
 	if err != nil {
 		return nil, err
 	}
-	loss, _ := n.PathLossRate(src, dst)
-	rtt, _ := n.PathRTT(src, dst)
+	// Loss, RTT and MSS are derived from the resolved path in a single
+	// traversal; the per-metric lookups (PathLossRate, PathRTT) cannot
+	// fail once Route has succeeded, and reusing the path makes that
+	// structurally evident instead of discarding their errors.
+	keep := 1.0
+	var oneWay time.Duration
+	mss := path[0].cfg.MSS
+	for _, l := range path {
+		keep *= 1 - l.cfg.LossRate
+		oneWay += l.cfg.Delay
+		if l.cfg.MSS < mss {
+			mss = l.cfg.MSS
+		}
+	}
 	n.settle()
 	f := &Flow{
 		id:        n.nextID,
@@ -585,9 +747,9 @@ func (n *Network) StartFlow(src, dst string, bytes int64, opts FlowOptions, done
 		wireBytes: float64(bytes) * (1 + opts.OverheadFraction),
 		opts:      opts,
 		state:     FlowActive,
-		rtt:       rtt,
-		loss:      loss,
-		mss:       pathMSS(path),
+		rtt:       2 * oneWay,
+		loss:      1 - keep,
+		mss:       mss,
 		started:   n.engine.Now(),
 		done:      done,
 	}
@@ -598,11 +760,13 @@ func (n *Network) StartFlow(src, dst string, bytes int64, opts FlowOptions, done
 	if f.rtt > 0 {
 		f.ramping = true
 		f.cwndBps = float64(initialCwnd*f.mss) * 8 / f.rtt.Seconds()
+		f.rampFn = func(time.Duration) { n.rampTick(f) }
 		n.scheduleRamp(f)
 	}
-	n.flows[f.id] = f
+	// Ids are monotonic, so appending keeps the active list sorted.
+	n.active = append(n.active, f)
 	for _, l := range path {
-		l.flows[f.id] = f
+		l.nflows++
 	}
 	n.reallocate()
 	return f, nil
@@ -623,40 +787,68 @@ func (n *Network) CancelFlow(f *Flow) error {
 }
 
 // ActiveFlows returns the number of in-progress flows.
-func (n *Network) ActiveFlows() int { return len(n.flows) }
+func (n *Network) ActiveFlows() int { return len(n.active) }
 
 func (n *Network) scheduleRamp(f *Flow) {
-	ev, err := n.engine.After(f.rtt, func(time.Duration) {
-		if f.state != FlowActive || !f.ramping {
-			return
-		}
-		n.settle()
-		f.cwndBps *= 2
-		// Stop ramping once the congestion window exceeds every other
-		// bound — it can no longer be the binding constraint.
-		other := f.windowBps()
-		if m := f.mathisBps(); m < other {
-			other = m
-		}
-		if f.cwndBps >= other {
-			f.ramping = false
-		} else {
-			n.scheduleRamp(f)
-		}
+	ev, err := n.engine.After(f.rtt, f.rampFn)
+	if err != nil {
+		// After with a non-negative delay can only fail if now+rtt
+		// overflows the virtual clock. Ignoring it would silently freeze
+		// the flow's slow start forever, so fail loudly instead.
+		panic(fmt.Sprintf("netsim: flow %d slow-start schedule failed: %v", f.id, err))
+	}
+	f.rampEv = ev
+}
+
+// rampTick is the per-RTT slow-start step: double the congestion window
+// and rebalance. When the pre-doubling window was not the flow's binding
+// constraint — it already exceeded the flow's other intrinsic caps, or it
+// sat strictly above the allocated rate by more than the allocator's own
+// epsilon — raising it provably leaves the max-min fixed point untouched
+// (see docs/PERFORMANCE.md for the argument), so the O(rounds×flows×path)
+// water-filling is skipped and only the completion schedule is refreshed,
+// which keeps the event arithmetic identical to the full path.
+func (n *Network) rampTick(f *Flow) {
+	f.rampEv = nil // the firing event is dead; never hand it to Cancel
+	if f.state != FlowActive || !f.ramping {
+		return
+	}
+	other := f.windowBps()
+	if m := f.mathisBps(); m < other {
+		other = m
+	}
+	capOther := other
+	if f.opts.RateCapBps > 0 && f.opts.RateCapBps < capOther {
+		capOther = f.opts.RateCapBps
+	}
+	skipWaterFill := capOther <= f.cwndBps || f.cwndBps > f.rateBps*(1+allocEps)
+	n.settle()
+	f.cwndBps *= 2
+	// Stop ramping once the congestion window exceeds every other
+	// bound — it can no longer be the binding constraint.
+	if f.cwndBps >= other {
+		f.ramping = false
+	} else {
+		n.scheduleRamp(f)
+	}
+	if skipWaterFill {
+		n.scheduleNextCompletion()
+	} else {
 		n.reallocate()
-	})
-	if err == nil {
-		f.rampEv = ev
 	}
 }
 
 // settle advances every active flow's remaining byte count to the current
-// virtual time using the rates fixed at the last reallocation.
+// virtual time using the rates fixed at the last reallocation. Stalled
+// flows (zero rate) are skipped: subtracting zero is a no-op.
 func (n *Network) settle() {
 	now := n.engine.Now()
 	dt := (now - n.settled).Seconds()
 	if dt > 0 {
-		for _, f := range n.flows {
+		for _, f := range n.active {
+			if f.rateBps <= 0 {
+				continue
+			}
 			f.remaining -= f.rateBps / 8 * dt
 			if f.remaining < 0 {
 				f.remaining = 0
@@ -668,30 +860,32 @@ func (n *Network) settle() {
 
 // reallocate recomputes max-min fair rates with per-flow caps, then
 // schedules the next completion event.
+//
+// Water-filling with caps: repeatedly compute each unfixed flow's limit
+// (its own cap or its tightest link's equal share) and fix all flows at
+// the global minimum. All working state lives in reusable scratch arrays
+// indexed by the links' dense indices; the active list is already sorted
+// by flow id, so every pass is deterministic without per-round sorting.
 func (n *Network) reallocate() {
-	// Water-filling with caps: repeatedly compute each unfixed flow's
-	// limit (its own cap or its tightest link's equal share) and fix all
-	// flows at the global minimum.
-	remainingCap := make(map[*Link]float64, len(n.links))
-	unfixedCount := make(map[*Link]int, len(n.links))
-	//gridlint:determinism-ok writes per-link state under distinct keys; no cross-iteration dependence
-	for _, l := range n.links {
-		remainingCap[l] = l.EffectiveCapacity()
-		unfixedCount[l] = len(l.flows)
+	for i, l := range n.linkList {
+		n.remCap[i] = l.EffectiveCapacity()
+		n.remCnt[i] = l.nflows
 		l.usedBps = 0
 	}
-	unfixed := make(map[int64]*Flow, len(n.flows))
-	for id, f := range n.flows {
-		unfixed[id] = f
+	unfixed := len(n.active)
+	for _, f := range n.active {
+		f.fixed = false
 		f.rateBps = 0
 	}
-	for len(unfixed) > 0 {
+	for unfixed > 0 {
 		minLimit := math.Inf(1)
-		//gridlint:determinism-ok pure min-reduction; float min is order-independent
-		for _, f := range unfixed {
+		for _, f := range n.active {
+			if f.fixed {
+				continue
+			}
 			lim := f.capBps()
 			for _, l := range f.path {
-				share := remainingCap[l] / float64(unfixedCount[l])
+				share := n.remCap[l.idx] / float64(n.remCnt[l.idx])
 				if share < lim {
 					lim = share
 				}
@@ -708,46 +902,47 @@ func (n *Network) reallocate() {
 		if minLimit < 0 {
 			minLimit = 0
 		}
-		// Fix every flow whose limit equals the minimum (within epsilon).
+		// Fix every flow whose limit equals the minimum (within epsilon),
+		// in ascending id order.
 		fixedAny := false
-		const eps = 1e-9
-		ids := make([]int64, 0, len(unfixed))
-		for id := range unfixed {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			f := unfixed[id]
+		for _, f := range n.active {
+			if f.fixed {
+				continue
+			}
 			lim := f.capBps()
 			for _, l := range f.path {
-				share := remainingCap[l] / float64(unfixedCount[l])
+				share := n.remCap[l.idx] / float64(n.remCnt[l.idx])
 				if share < lim {
 					lim = share
 				}
 			}
-			if lim <= minLimit*(1+eps) {
+			if lim <= minLimit*(1+allocEps) {
 				f.rateBps = minLimit
 				if f.rateBps == math.MaxFloat64 {
 					f.rateBps = lim
 				}
 				for _, l := range f.path {
-					remainingCap[l] -= f.rateBps
-					if remainingCap[l] < 0 {
-						remainingCap[l] = 0
+					n.remCap[l.idx] -= f.rateBps
+					if n.remCap[l.idx] < 0 {
+						n.remCap[l.idx] = 0
 					}
-					unfixedCount[l]--
+					n.remCnt[l.idx]--
 					l.usedBps += f.rateBps
 				}
-				delete(unfixed, id)
+				f.fixed = true
+				unfixed--
 				fixedAny = true
 			}
 		}
 		if !fixedAny {
 			// Defensive: should be impossible, but never loop forever.
-			for _, id := range ids {
-				f := unfixed[id]
+			for _, f := range n.active {
+				if f.fixed {
+					continue
+				}
 				f.rateBps = minLimit
-				delete(unfixed, id)
+				f.fixed = true
+				unfixed--
 			}
 			break
 		}
@@ -763,9 +958,9 @@ func (n *Network) scheduleNextCompletion() {
 	var next *Flow
 	now := n.engine.Now()
 	nextAt := time.Duration(math.MaxInt64)
-	// Pure min-reduction with an id tie-break, so the pick is identical
-	// in any map iteration order.
-	for _, f := range n.flows {
+	// The active list is sorted by id, so keeping the first minimum seen
+	// is exactly the lowest-id tie-break.
+	for _, f := range n.active {
 		if f.rateBps <= 0 {
 			continue
 		}
@@ -775,47 +970,67 @@ func (n *Network) scheduleNextCompletion() {
 			d = 1 // guarantee forward progress despite rounding
 		}
 		at := now + d
-		if at < nextAt || (at == nextAt && (next == nil || f.id < next.id)) {
+		if at < nextAt {
 			nextAt, next = at, f
 		}
 	}
 	if next == nil {
 		return
 	}
-	ev, err := n.engine.Schedule(nextAt, func(time.Duration) {
-		n.nextEv = nil
-		n.settle()
-		// Complete every flow that has drained (ties complete together).
-		var doneFlows []*Flow
-		for _, f := range n.flows {
-			// Sub-byte residues are float rounding, not real payload.
-			if f.remaining <= 0.5 {
-				doneFlows = append(doneFlows, f)
-			}
-		}
-		sort.Slice(doneFlows, func(i, j int) bool { return doneFlows[i].id < doneFlows[j].id })
-		for _, f := range doneFlows {
-			n.removeFlow(f, FlowDone)
-		}
-		n.reallocate()
-		for _, f := range doneFlows {
-			if f.done != nil {
-				f.done(f)
-			}
-		}
-	})
-	if err == nil {
-		n.nextEv = ev
+	ev, err := n.engine.Schedule(nextAt, n.completionFn)
+	if err != nil {
+		// nextAt >= now by construction, so Schedule can only fail on
+		// virtual-clock overflow. A dropped completion event would stall
+		// every active flow forever; fail loudly instead.
+		panic(fmt.Sprintf("netsim: completion schedule at %v failed: %v", nextAt, err))
 	}
+	n.nextEv = ev
+}
+
+// onCompletion fires when the earliest-finishing flow drains. It is bound
+// once per Network (completionFn) so rescheduling allocates nothing.
+func (n *Network) onCompletion(time.Duration) {
+	n.nextEv = nil
+	n.settle()
+	// Complete every flow that has drained (ties complete together). The
+	// active list is id-sorted, so the batch is too.
+	done := n.doneBuf[:0]
+	for _, f := range n.active {
+		// Sub-byte residues are float rounding, not real payload.
+		if f.remaining <= 0.5 {
+			done = append(done, f)
+		}
+	}
+	for _, f := range done {
+		n.removeFlow(f, FlowDone)
+	}
+	n.reallocate()
+	for _, f := range done {
+		if f.done != nil {
+			f.done(f)
+		}
+	}
+	for i := range done {
+		done[i] = nil
+	}
+	n.doneBuf = done[:0]
 }
 
 func (n *Network) removeFlow(f *Flow, final FlowState) {
-	delete(n.flows, f.id)
+	// The active list is sorted by id: binary-search the slot, then close
+	// the gap to preserve the incremental order.
+	i := sort.Search(len(n.active), func(i int) bool { return n.active[i].id >= f.id })
+	if i < len(n.active) && n.active[i] == f {
+		copy(n.active[i:], n.active[i+1:])
+		n.active[len(n.active)-1] = nil
+		n.active = n.active[:len(n.active)-1]
+	}
 	for _, l := range f.path {
-		delete(l.flows, f.id)
+		l.nflows--
 	}
 	if f.rampEv != nil {
 		n.engine.Cancel(f.rampEv)
+		f.rampEv = nil
 	}
 	f.state = final
 	f.finished = n.engine.Now()

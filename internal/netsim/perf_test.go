@@ -1,0 +1,360 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/simulation"
+)
+
+// benchStarNet builds a star topology (hub router, nLeaves hosts) and
+// starts one flow per leaf pair so the hub links are shared bottlenecks.
+func benchStarNet(tb testing.TB, nLeaves, nFlows int) (*simulation.Engine, *Network) {
+	tb.Helper()
+	eng := simulation.NewEngine()
+	n := New(eng, 1)
+	if err := n.AddNode("hub"); err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < nLeaves; i++ {
+		name := fmt.Sprintf("h%02d", i)
+		if err := n.AddNode(name); err != nil {
+			tb.Fatal(err)
+		}
+		if err := n.AddLink(name, "hub", LinkConfig{
+			CapacityBps: 100e6, Delay: 5 * time.Millisecond, LossRate: 1e-4,
+		}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	for f := 0; f < nFlows; f++ {
+		src := fmt.Sprintf("h%02d", f%nLeaves)
+		dst := fmt.Sprintf("h%02d", (f+nLeaves/2)%nLeaves)
+		if _, err := n.StartFlow(src, dst, 50_000_000, FlowOptions{WindowBytes: 1 << 20}, nil); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return eng, n
+}
+
+// BenchmarkReallocate measures one full max-min water-filling pass over a
+// contended star topology — the simulator's hottest function.
+func BenchmarkReallocate(b *testing.B) {
+	for _, nFlows := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("flows=%d", nFlows), func(b *testing.B) {
+			_, n := benchStarNet(b, 32, nFlows)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.reallocate()
+			}
+		})
+	}
+}
+
+// benchGridNet builds a size x size grid graph (n00 ... n77 style) with
+// uniform links, the worst case for the Dijkstra rewrite.
+func benchGridNet(tb testing.TB, size int) *Network {
+	tb.Helper()
+	eng := simulation.NewEngine()
+	n := New(eng, 1)
+	name := func(r, c int) string { return fmt.Sprintf("n%d%d", r, c) }
+	for r := 0; r < size; r++ {
+		for c := 0; c < size; c++ {
+			if err := n.AddNode(name(r, c)); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	cfg := LinkConfig{CapacityBps: 1e9, Delay: time.Millisecond}
+	for r := 0; r < size; r++ {
+		for c := 0; c < size; c++ {
+			if c+1 < size {
+				if err := n.AddLink(name(r, c), name(r, c+1), cfg); err != nil {
+					tb.Fatal(err)
+				}
+			}
+			if r+1 < size {
+				if err := n.AddLink(name(r, c), name(r+1, c), cfg); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		}
+	}
+	return n
+}
+
+// BenchmarkRouteCold measures an uncached shortest-path computation
+// (adjacency-list Dijkstra with a binary heap) corner-to-corner across an
+// 8x8 grid graph.
+func BenchmarkRouteCold(b *testing.B) {
+	n := benchGridNet(b, 8)
+	if _, err := n.computeRoute("n00", "n77"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.computeRoute("n00", "n77"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestReallocateSteadyStateAllocs pins the allocation-free hot path: once
+// the scratch buffers and the engine's event pool are warm, a full
+// reallocation must not allocate at all.
+func TestReallocateSteadyStateAllocs(t *testing.T) {
+	_, n := benchStarNet(t, 16, 64)
+	// Warm the scratch arrays, the event free list and the heap capacity.
+	n.reallocate()
+	n.reallocate()
+	avg := testing.AllocsPerRun(100, func() {
+		n.reallocate()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state reallocate allocates %v objects/op, want 0", avg)
+	}
+}
+
+// TestRouteColdSteadyStateAllocs pins the Dijkstra scratch reuse: after a
+// warm-up call, an uncached route computation should only allocate the
+// returned path slice.
+func TestRouteColdSteadyStateAllocs(t *testing.T) {
+	n := benchGridNet(t, 8)
+	if _, err := n.computeRoute("n00", "n77"); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := n.computeRoute("n00", "n77"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The exact-size result path slice is the only permitted allocation.
+	if avg > 1 {
+		t.Fatalf("steady-state computeRoute allocates %v objects/op, want <= 1", avg)
+	}
+}
+
+// checkConservation asserts the two allocator invariants: per-link,
+// the sum of allocated flow rates never exceeds the link's effective
+// capacity, and no flow exceeds its own intrinsic cap.
+func checkConservation(t *testing.T, n *Network, when string) {
+	t.Helper()
+	const slack = 1 + 1e-6
+	perLink := make([]float64, len(n.linkList))
+	for _, f := range n.active {
+		if f.rateBps > f.capBps()*slack {
+			t.Errorf("%s: flow %d rate %.3g exceeds its cap %.3g", when, f.id, f.rateBps, f.capBps())
+		}
+		if f.rateBps < 0 || math.IsNaN(f.rateBps) {
+			t.Errorf("%s: flow %d has invalid rate %v", when, f.id, f.rateBps)
+		}
+		for _, l := range f.path {
+			perLink[l.idx] += f.rateBps
+		}
+	}
+	for i, l := range n.linkList {
+		eff := l.EffectiveCapacity()
+		if perLink[i] > eff*slack+1e-9 {
+			t.Errorf("%s: link %s->%s oversubscribed: sum %.6g > effective capacity %.6g",
+				when, l.from, l.to, perLink[i], eff)
+		}
+		if got := l.UsedBps(); math.Abs(got-perLink[i]) > math.Max(1, perLink[i])*1e-6 {
+			t.Errorf("%s: link %s->%s usedBps %.6g disagrees with flow sum %.6g",
+				when, l.from, l.to, got, perLink[i])
+		}
+	}
+}
+
+// TestReallocationConservation drives a contended network through starts,
+// ramp ticks, background shifts, cancels and completions, checking after
+// each disturbance that no link is oversubscribed and no flow beats its
+// own cap.
+func TestReallocationConservation(t *testing.T) {
+	eng, n := benchStarNet(t, 8, 24)
+	checkConservation(t, n, "after start")
+
+	if err := eng.RunUntil(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, n, "mid slow-start")
+
+	if err := n.SetBackgroundLoad("h00", "hub", 0.7); err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, n, "after background load")
+
+	var cancel []*Flow
+	for _, f := range n.active {
+		if f.id%3 == 0 {
+			cancel = append(cancel, f)
+		}
+	}
+	for _, f := range cancel {
+		if err := n.CancelFlow(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkConservation(t, n, "after cancels")
+
+	if err := n.SetLinkDown("h01", "hub", true); err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, n, "after link down")
+
+	if err := eng.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, n, "steady state")
+
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range n.active {
+		for _, l := range f.path {
+			if l.Down() {
+				return // stalled on the failed link, expected
+			}
+		}
+		t.Errorf("flow %d still active after drain with no down link", f.id)
+	}
+}
+
+// TestActiveListStaysSorted pins the incremental order invariant the
+// allocator depends on: the active list is sorted by flow id at all times,
+// across interleaved starts, cancels and completions.
+func TestActiveListStaysSorted(t *testing.T) {
+	eng, n := benchStarNet(t, 8, 30)
+	assertSorted := func(when string) {
+		t.Helper()
+		for i := 1; i < len(n.active); i++ {
+			if n.active[i-1].id >= n.active[i].id {
+				t.Fatalf("%s: active list out of order at %d: %d >= %d",
+					when, i, n.active[i-1].id, n.active[i].id)
+			}
+		}
+	}
+	assertSorted("after start")
+	for _, id := range []int64{4, 17, 0, 29, 12} {
+		for _, f := range n.active {
+			if f.id == id {
+				if err := n.CancelFlow(f); err != nil {
+					t.Fatal(err)
+				}
+				break
+			}
+		}
+		assertSorted(fmt.Sprintf("after cancel %d", id))
+	}
+	if err := eng.RunUntil(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	assertSorted("mid run")
+	if _, err := n.StartFlow("h02", "h05", 1_000_000, FlowOptions{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	assertSorted("after late start")
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	assertSorted("after drain")
+}
+
+// TestRouteMatchesReferenceDijkstra cross-checks the heap-based Dijkstra
+// against a straightforward reference implementation on a grid graph with
+// heterogeneous delays.
+func TestRouteMatchesReferenceDijkstra(t *testing.T) {
+	eng := simulation.NewEngine()
+	n := New(eng, 1)
+	name := func(r, c int) string { return fmt.Sprintf("n%d%d", r, c) }
+	const size = 5
+	for r := 0; r < size; r++ {
+		for c := 0; c < size; c++ {
+			if err := n.AddNode(name(r, c)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	delay := func(r, c, i int) time.Duration {
+		return time.Duration(1+(r*7+c*3+i*5)%11) * time.Millisecond
+	}
+	for r := 0; r < size; r++ {
+		for c := 0; c < size; c++ {
+			if c+1 < size {
+				if err := n.AddLink(name(r, c), name(r, c+1), LinkConfig{CapacityBps: 1e9, Delay: delay(r, c, 1)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if r+1 < size {
+				if err := n.AddLink(name(r, c), name(r+1, c), LinkConfig{CapacityBps: 1e9, Delay: delay(r, c, 2)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	// Reference: O(V^2) scan-based Dijkstra over the link table.
+	refRoute := func(src, dst string) time.Duration {
+		const hopPenalty = time.Microsecond
+		dist := map[string]time.Duration{src: 0}
+		visited := map[string]bool{}
+		for {
+			cur, best := "", time.Duration(math.MaxInt64)
+			for nm, d := range dist {
+				if visited[nm] {
+					continue
+				}
+				if d < best || (d == best && (cur == "" || nm < cur)) {
+					best, cur = d, nm
+				}
+			}
+			if cur == "" || cur == dst {
+				break
+			}
+			visited[cur] = true
+			for k, l := range n.links {
+				if k.from != cur {
+					continue
+				}
+				nd := dist[cur] + l.cfg.Delay + hopPenalty
+				if d, ok := dist[k.to]; !ok || nd < d {
+					dist[k.to] = nd
+				}
+			}
+		}
+		return dist[dst]
+	}
+	pathDelay := func(path []*Link) time.Duration {
+		const hopPenalty = time.Microsecond
+		var d time.Duration
+		for _, l := range path {
+			d += l.cfg.Delay + hopPenalty
+		}
+		return d
+	}
+	for r := 0; r < size; r++ {
+		for c := 0; c < size; c++ {
+			src, dst := name(0, 0), name(r, c)
+			if src == dst {
+				continue
+			}
+			path, err := n.computeRoute(src, dst)
+			if err != nil {
+				t.Fatalf("route %s->%s: %v", src, dst, err)
+			}
+			if got, want := pathDelay(path), refRoute(src, dst); got != want {
+				t.Errorf("route %s->%s total delay %v, reference %v", src, dst, got, want)
+			}
+			if path[0].from != src || path[len(path)-1].to != dst {
+				t.Errorf("route %s->%s has endpoints %s->%s", src, dst, path[0].from, path[len(path)-1].to)
+			}
+			for i := 1; i < len(path); i++ {
+				if path[i].from != path[i-1].to {
+					t.Errorf("route %s->%s is discontiguous at hop %d", src, dst, i)
+				}
+			}
+		}
+	}
+}

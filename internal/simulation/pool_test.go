@@ -1,0 +1,87 @@
+package simulation
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEventRecycledAfterCancel pins the free-list behavior: a canceled
+// event's struct is reused by the next Schedule call.
+func TestEventRecycledAfterCancel(t *testing.T) {
+	e := NewEngine()
+	fn := func(time.Duration) {}
+	ev1, err := e.Schedule(time.Second, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Cancel(ev1) {
+		t.Fatal("Cancel reported not pending")
+	}
+	ev2, err := e.Schedule(2*time.Second, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev1 != ev2 {
+		t.Fatal("canceled event struct was not recycled by the next Schedule")
+	}
+	if ev2.Canceled() {
+		t.Fatal("recycled event still reports canceled")
+	}
+	if ev2.At() != 2*time.Second {
+		t.Fatalf("recycled event At = %v, want 2s", ev2.At())
+	}
+}
+
+// TestEventRecycledAfterFire pins that fired events return to the pool
+// once their callback has finished — and, critically, not before: a
+// Cancel issued on the firing event from inside its own callback must be
+// a no-op, not a cancellation of a recycled successor.
+func TestEventRecycledAfterFire(t *testing.T) {
+	e := NewEngine()
+	var fired *Event
+	var cancelResult *bool
+	ev, err := e.Schedule(time.Second, func(time.Duration) {
+		r := e.Cancel(fired) // self-cancel mid-flight: must be a no-op
+		cancelResult = &r
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired = ev
+	if !e.Step() {
+		t.Fatal("no event fired")
+	}
+	if cancelResult == nil || *cancelResult {
+		t.Fatal("canceling the firing event from its own callback should report false")
+	}
+	ev2, err := e.Schedule(2*time.Second, func(time.Duration) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev2 != ev {
+		t.Fatal("fired event struct was not recycled by the next Schedule")
+	}
+}
+
+// TestScheduleFireSteadyStateAllocs pins the allocation-free event loop:
+// a schedule/fire cycle against a warm pool allocates nothing.
+func TestScheduleFireSteadyStateAllocs(t *testing.T) {
+	e := NewEngine()
+	fn := func(time.Duration) {}
+	// Warm the pool and the heap's backing array.
+	for i := 0; i < 4; i++ {
+		if _, err := e.Schedule(e.Now(), fn); err != nil {
+			t.Fatal(err)
+		}
+		e.Step()
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := e.Schedule(e.Now(), fn); err != nil {
+			t.Fatal(err)
+		}
+		e.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state schedule/fire allocates %v objects/op, want 0", avg)
+	}
+}

@@ -16,6 +16,15 @@ import (
 // Event is a unit of scheduled work. Events fire in increasing timestamp
 // order; ties are broken by scheduling order (FIFO), which keeps runs
 // deterministic.
+//
+// Event structs are pooled by the engine: once an event has fired or been
+// canceled, the engine may recycle the struct for a later Schedule/After
+// call. A handle is therefore dead the moment its event fires or is
+// canceled — holders must drop (nil) dead handles and must not pass them
+// to Cancel later, or they risk canceling an unrelated recycled event.
+// Canceling a dead handle that has not yet been recycled is still a
+// harmless no-op, so clearing handles from inside the event's own
+// callback (before any rescheduling) is always safe.
 type Event struct {
 	at       time.Duration // virtual time at which the event fires
 	seq      uint64        // tie-breaker: insertion sequence number
@@ -66,12 +75,35 @@ func (q *eventQueue) Pop() any {
 // Engine is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; all callbacks run on the goroutine that calls Run/Step.
 type Engine struct {
-	now     time.Duration
-	seq     uint64
-	queue   eventQueue
+	now   time.Duration
+	seq   uint64
+	queue eventQueue
+	// free is the event free list: structs recycled after fire/cancel so
+	// steady-state simulations (schedule, fire, reschedule, ...) allocate
+	// no events at all. Its length is bounded by the peak number of
+	// concurrently pending events.
+	free    []*Event
 	running bool
 	stopped bool
 	fired   uint64
+}
+
+// getEvent pops a recycled event from the free list, or allocates one.
+func (e *Engine) getEvent() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &Event{}
+}
+
+// putEvent returns a fired or canceled event to the free list. The fn
+// reference is dropped so the pool does not pin callback closures.
+func (e *Engine) putEvent(ev *Event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -85,8 +117,9 @@ func (e *Engine) Now() time.Duration { return e.now }
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events still scheduled (including canceled
-// events that have not been drained yet).
+// Pending returns the number of events still scheduled. Canceled events
+// are removed from the schedule immediately (Cancel calls heap.Remove),
+// so they are never counted here.
 func (e *Engine) Pending() int { return len(e.queue) }
 
 // ErrPastEvent is returned by Schedule when the requested time is before
@@ -102,7 +135,8 @@ func (e *Engine) Schedule(at time.Duration, fn func(now time.Duration)) (*Event,
 	if fn == nil {
 		return nil, errors.New("simulation: nil event function")
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	ev := e.getEvent()
+	*ev = Event{at: at, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev, nil
@@ -117,32 +151,37 @@ func (e *Engine) After(d time.Duration, fn func(now time.Duration)) (*Event, err
 	return e.Schedule(e.now+d, fn)
 }
 
-// Cancel removes the event from the schedule. Canceling an already-fired
-// or already-canceled event is a no-op. Cancel reports whether the event
-// was still pending.
+// Cancel removes the event from the schedule and recycles its struct.
+// Canceling an already-fired or already-canceled event whose struct has
+// not yet been reused is a no-op; see the Event doc for the handle
+// lifetime rules. Cancel reports whether the event was still pending.
 func (e *Engine) Cancel(ev *Event) bool {
 	if ev == nil || ev.canceled || ev.index < 0 {
 		return false
 	}
 	ev.canceled = true
 	heap.Remove(&e.queue, ev.index)
+	e.putEvent(ev)
 	return true
 }
 
 // Step fires the next pending event, advancing the clock to its timestamp.
-// It reports whether an event was fired.
+// It reports whether an event was fired. The queue never holds canceled
+// events (Cancel removes them from the heap eagerly), so the head of the
+// queue is always live. The fired event is recycled only after its
+// callback returns, so canceling the firing event from inside its own
+// callback remains a harmless no-op.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.at
-		e.fired++
-		ev.fn(e.now)
-		return true
+	if len(e.queue) == 0 {
+		return false
 	}
-	return false
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.fired++
+	fn := ev.fn
+	fn(e.now)
+	e.putEvent(ev)
+	return true
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -217,6 +256,9 @@ func (e *Engine) NewTicker(period time.Duration, immediate bool, fn func(now tim
 }
 
 func (t *Ticker) tick(now time.Duration) {
+	// The firing event is dead; drop the handle before running fn so a
+	// Stop from inside fn never cancels a recycled event.
+	t.ev = nil
 	if t.stopped {
 		return
 	}
@@ -225,9 +267,14 @@ func (t *Ticker) tick(now time.Duration) {
 		return
 	}
 	ev, err := t.engine.After(t.period, t.tick)
-	if err == nil {
-		t.ev = ev
+	if err != nil {
+		// After with a positive period can only fail if now+period
+		// overflows the virtual clock (~292 years). Silently dropping the
+		// error would freeze the ticker forever with no diagnostic, so
+		// treat it as the programming error it is.
+		panic(fmt.Sprintf("simulation: ticker reschedule failed: %v", err))
 	}
+	t.ev = ev
 }
 
 // Stop cancels future ticks.
