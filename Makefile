@@ -4,7 +4,7 @@ GO ?= go
 # BENCH_netsim.json (see docs/PERFORMANCE.md).
 BENCH_LABEL ?= local
 
-.PHONY: all build vet lint test race bench bench-netsim figures examples clean
+.PHONY: all build vet lint test race bench bench-netsim bench-suite figures examples clean
 
 all: build vet test
 
@@ -36,6 +36,15 @@ bench: bench-netsim
 bench-netsim:
 	$(GO) test -run='^$$' -bench='Netsim|Reallocate|RouteCold' -benchmem -timeout 600s . ./internal/netsim \
 		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -out BENCH_netsim.json
+
+# Record the full-suite harness benchmark (the `gridbench -all` workload
+# on the deterministic worker pool, sequential vs parallel) into
+# BENCH_suite.json. The parallel/sequential wall-time ratio is the
+# speedup the runner delivers on this machine; label meaningfully, e.g.
+# BENCH_LABEL=ci-8core (docs/PERFORMANCE.md documents the workflow).
+bench-suite:
+	$(GO) test -run='^$$' -bench='GridbenchAll' -benchmem -timeout 1200s . \
+		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -out BENCH_suite.json
 
 # Regenerate every paper artifact (Fig. 3, Fig. 4, Table 1, ablations,
 # extensions) in the text form EXPERIMENTS.md quotes.

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -186,6 +187,34 @@ func BenchmarkExtensionScale(b *testing.B) {
 	}
 	for _, r := range rows {
 		b.ReportMetric(r.ImprovementPercent, fmt.Sprintf("sites%d-improve-pct", r.Sites))
+	}
+}
+
+// BenchmarkGridbenchAll runs the entire evaluation suite — the workload
+// behind `gridbench -all` — through the deterministic worker pool, once
+// sequentially and once at the machine's full width. The parallel over
+// sequential wall-time ratio is the speedup the runner delivers here;
+// output equality between the two is enforced separately by
+// cmd/gridbench's TestParallelOutputByteIdentical and the CI diff gate.
+func BenchmarkGridbenchAll(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{fmt.Sprintf("parallel-%d", runtime.NumCPU()), runtime.NumCPU()},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := experiments.RunEntries(experiments.Suite(), benchSeed, bc.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n := len(experiments.Suite()); len(results) != n {
+					b.Fatalf("got %d entry results, want %d", len(results), n)
+				}
+			}
+		})
 	}
 }
 

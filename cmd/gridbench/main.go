@@ -9,14 +9,22 @@
 //	gridbench -ablations
 //	gridbench -extensions
 //	gridbench -all
+//
+// Experiments run concurrently on a deterministic worker pool: -parallel N
+// sets the pool size (1 reproduces the historical sequential execution),
+// and the output is byte-identical at every N. -trials T replicates each
+// selected experiment under T independent seeds and reports each metric
+// as mean ± 95% confidence interval; the published numbers remain the
+// single-trial seed-42 run.
 package main
 
 import (
 	"encoding/csv"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
+	"runtime"
 	"strconv"
 
 	"github.com/hpclab/datagrid/internal/experiments"
@@ -24,104 +32,116 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, executes the selected
+// experiments and writes results to stdout, failures to stderr. Unlike
+// the historical behavior (abort on the first failed experiment), every
+// failure is collected and reported at the end so one broken experiment
+// cannot hide the others; the exit code is non-zero if any failed.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gridbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		fig        = flag.Int("fig", 0, "figure number to regenerate (3 or 4)")
-		table      = flag.Int("table", 0, "table number to regenerate (1)")
-		ablations  = flag.Bool("ablations", false, "run the ablation studies")
-		extensions = flag.Bool("extensions", false, "run the extension experiments")
-		all        = flag.Bool("all", false, "run everything")
-		asCSV      = flag.Bool("csv", false, "emit the selected figure/table as CSV (for plotting)")
-		seed       = flag.Int64("seed", 42, "simulation seed")
+		fig        = fs.Int("fig", 0, "figure number to regenerate (3 or 4)")
+		table      = fs.Int("table", 0, "table number to regenerate (1)")
+		ablations  = fs.Bool("ablations", false, "run the ablation studies")
+		extensions = fs.Bool("extensions", false, "run the extension experiments")
+		all        = fs.Bool("all", false, "run everything")
+		asCSV      = fs.Bool("csv", false, "emit the selected figure/table as CSV (for plotting)")
+		seed       = fs.Int64("seed", 42, "simulation seed")
+		parallel   = fs.Int("parallel", runtime.NumCPU(), "worker pool size (1 = sequential; output is identical at any value)")
+		trials     = fs.Int("trials", 1, "independent seeds per experiment; >1 reports mean ± 95% CI")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *parallel < 1 {
+		fmt.Fprintf(stderr, "gridbench: -parallel must be >= 1, got %d\n", *parallel)
+		return 2
+	}
+	if *trials < 1 {
+		fmt.Fprintf(stderr, "gridbench: -trials must be >= 1, got %d\n", *trials)
+		return 2
+	}
 
 	if *asCSV {
-		if err := emitCSV(*fig, *table, *seed); err != nil {
-			log.Fatalf("gridbench: %v", err)
+		if err := emitCSV(*fig, *table, *seed, *parallel, stdout); err != nil {
+			fmt.Fprintf(stderr, "gridbench: %v\n", err)
+			return 1
 		}
-		return
+		return 0
 	}
 
-	ran := false
-	show := func(name string, f func(int64) (string, error)) {
-		ran = true
-		out, err := f(*seed)
-		if err != nil {
-			log.Fatalf("gridbench: %s: %v", name, err)
-		}
-		fmt.Println(out)
+	entries := selectEntries(*all, *fig, *table, *ablations, *extensions)
+	if len(entries) == 0 {
+		fs.Usage()
+		return 2
 	}
 
-	if *all || *fig == 3 {
-		show("figure 3", func(s int64) (string, error) {
-			_, out, err := experiments.Figure3(s)
-			return out, err
-		})
+	var failures []string
+	if *trials > 1 {
+		for _, e := range entries {
+			rep, err := experiments.Replicate(e, *seed, *trials, *parallel)
+			if err != nil {
+				failures = append(failures, fmt.Sprintf("%s: %v", e.Name, err))
+				continue
+			}
+			fmt.Fprintln(stdout, rep.Table())
+		}
+	} else {
+		results, _ := experiments.RunEntries(entries, *seed, *parallel)
+		for _, r := range results {
+			if r.Err != nil {
+				failures = append(failures, fmt.Sprintf("%s: %v", r.Name, r.Err))
+				continue
+			}
+			fmt.Fprintln(stdout, r.Output)
+		}
 	}
-	if *all || *fig == 4 {
-		show("figure 4", func(s int64) (string, error) {
-			_, out, err := experiments.Figure4(s)
-			return out, err
-		})
+	for _, f := range failures {
+		fmt.Fprintf(stderr, "gridbench: %s\n", f)
 	}
-	if *all || *table == 1 {
-		show("table 1", func(s int64) (string, error) {
-			_, out, err := experiments.Table1(s)
-			return out, err
-		})
+	if len(failures) > 0 {
+		fmt.Fprintf(stderr, "gridbench: %d of %d experiments failed\n", len(failures), len(entries))
+		return 1
 	}
-	if *all || *ablations {
-		show("selector ablation", func(s int64) (string, error) {
-			_, out, err := experiments.AblationSelectors(s)
-			return out, err
-		})
-		show("weight ablation", func(s int64) (string, error) {
-			_, out, err := experiments.AblationWeights(s)
-			return out, err
-		})
-		show("forecaster ablation", func(s int64) (string, error) {
-			_, out, err := experiments.AblationForecasters(s)
-			return out, err
-		})
-		show("latency ablation", func(s int64) (string, error) {
-			_, out, err := experiments.AblationLatency(s)
-			return out, err
-		})
-		show("adaptive parallelism ablation", func(s int64) (string, error) {
-			_, out, err := experiments.AblationAutoStreams(s)
-			return out, err
-		})
+	return 0
+}
+
+// selectEntries filters the suite registry down to the flag selection,
+// preserving registry (historical -all) order.
+func selectEntries(all bool, fig, table int, ablations, extensions bool) []experiments.SuiteEntry {
+	var out []experiments.SuiteEntry
+	for _, e := range experiments.Suite() {
+		keep := all
+		switch e.Group {
+		case experiments.GroupFigure3:
+			keep = keep || fig == 3
+		case experiments.GroupFigure4:
+			keep = keep || fig == 4
+		case experiments.GroupTable1:
+			keep = keep || table == 1
+		case experiments.GroupAblations:
+			keep = keep || ablations
+		case experiments.GroupExtensions:
+			keep = keep || extensions
+		}
+		if keep {
+			out = append(out, e)
+		}
 	}
-	if *all || *extensions {
-		show("striped extension", func(s int64) (string, error) {
-			_, out, err := experiments.ExtensionStriped(s)
-			return out, err
-		})
-		show("scale extension", func(s int64) (string, error) {
-			_, out, err := experiments.ExtensionScale(s)
-			return out, err
-		})
-		show("replication extension", func(s int64) (string, error) {
-			_, out, err := experiments.ExtensionReplication(s)
-			return out, err
-		})
-		show("coallocation extension", func(s int64) (string, error) {
-			_, out, err := experiments.ExtensionCoallocation(s)
-			return out, err
-		})
-	}
-	if !ran {
-		flag.Usage()
-	}
+	return out
 }
 
 // emitCSV writes the selected artifact's structured rows as CSV.
-func emitCSV(fig, table int, seed int64) error {
-	w := csv.NewWriter(os.Stdout)
+func emitCSV(fig, table int, seed int64, workers int, out io.Writer) error {
+	w := csv.NewWriter(out)
 	defer w.Flush()
 	switch {
 	case fig == 3:
-		rows, _, err := experiments.Figure3(seed)
+		rows, _, err := experiments.Figure3(seed, experiments.WithWorkers(workers))
 		if err != nil {
 			return err
 		}
@@ -138,7 +158,7 @@ func emitCSV(fig, table int, seed int64) error {
 			}
 		}
 	case fig == 4:
-		series, _, err := experiments.Figure4(seed)
+		series, _, err := experiments.Figure4(seed, experiments.WithWorkers(workers))
 		if err != nil {
 			return err
 		}
@@ -157,7 +177,7 @@ func emitCSV(fig, table int, seed int64) error {
 			}
 		}
 	case table == 1:
-		res, _, err := experiments.Table1(seed)
+		res, _, err := experiments.Table1(seed, experiments.WithWorkers(workers))
 		if err != nil {
 			return err
 		}

@@ -1,14 +1,111 @@
 package main
 
 import (
+	"bytes"
+	"strings"
 	"testing"
+
+	"github.com/hpclab/datagrid/internal/workload"
 )
 
-func TestEmitCSVRequiresTarget(t *testing.T) {
-	if err := emitCSV(0, 0, 1); err == nil {
-		t.Fatal("emitCSV without a figure/table should error")
+func TestEmitCSV(t *testing.T) {
+	cases := []struct {
+		name    string
+		fig     int
+		table   int
+		header  string
+		rows    int
+		wantErr bool
+	}{
+		{
+			name:   "fig3",
+			fig:    3,
+			header: "size_mb,ftp_sec,gridftp_sec",
+			rows:   len(workload.PaperFileSizesMB),
+		},
+		{
+			name:   "fig4",
+			fig:    4,
+			header: "streams,size_mb,sec",
+			rows:   len(workload.PaperStreamCounts) * len(workload.PaperFileSizesMB),
+		},
+		{
+			name:   "table1",
+			table:  1,
+			header: "host,bw_pct,cpu_idle_pct,io_idle_pct,score,transfer_sec",
+			rows:   4,
+		},
+		{name: "no selection", wantErr: true},
+		{name: "unknown figure", fig: 7, wantErr: true},
 	}
-	if err := emitCSV(7, 0, 1); err == nil {
-		t.Fatal("unknown figure should error")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := emitCSV(tc.fig, tc.table, 42, 2, &buf)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("emitCSV should have errored")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("emitCSV: %v", err)
+			}
+			lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+			if lines[0] != tc.header {
+				t.Errorf("header = %q, want %q", lines[0], tc.header)
+			}
+			if got := len(lines) - 1; got != tc.rows {
+				t.Errorf("data rows = %d, want %d", got, tc.rows)
+			}
+		})
+	}
+}
+
+func TestRunWithoutSelectionPrintsUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "Usage of gridbench") {
+		t.Errorf("stderr should carry usage text, got:\n%s", stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("stdout should be empty, got:\n%s", stdout.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bogus"},
+		{"-all", "-parallel", "0"},
+		{"-all", "-trials", "0"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+// TestParallelOutputByteIdentical is the tentpole's contract: the full
+// suite's output must not depend on the worker count. It runs the whole
+// evaluation twice, sequentially and on an 8-worker pool, and requires
+// byte equality.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full evaluation suite twice")
+	}
+	outputs := make([]string, 2)
+	for i, parallel := range []string{"1", "8"} {
+		var stdout, stderr bytes.Buffer
+		args := []string{"-all", "-seed", "42", "-parallel", parallel}
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("run(%v) = %d, stderr:\n%s", args, code, stderr.String())
+		}
+		outputs[i] = stdout.String()
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatal("-parallel 1 and -parallel 8 outputs differ")
 	}
 }

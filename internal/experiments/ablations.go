@@ -9,6 +9,7 @@ import (
 	"github.com/hpclab/datagrid/internal/core"
 	"github.com/hpclab/datagrid/internal/metrics"
 	"github.com/hpclab/datagrid/internal/nws"
+	"github.com/hpclab/datagrid/internal/runner"
 	"github.com/hpclab/datagrid/internal/simxfer"
 	"github.com/hpclab/datagrid/internal/workload"
 )
@@ -24,43 +25,56 @@ type SelectorResult struct {
 // baselines (random, round-robin) and the bandwidth-only variant on the
 // same sequence of fetches under identical dynamics. The paper has no
 // explicit baseline; this quantifies what the model buys.
-func AblationSelectors(seed int64) ([]SelectorResult, string, error) {
+func AblationSelectors(seed int64, opts ...Option) ([]SelectorResult, string, error) {
 	const fetches = 8
 	const fileSize = 256 * workload.MB
-	policies := []func() core.Selector{
-		func() core.Selector { return core.CostModelSelector{Weights: paperWeights()} },
-		func() core.Selector { return core.BandwidthOnlySelector{} },
-		func() core.Selector { return &core.RoundRobinSelector{} },
-		func() core.Selector { return core.NewRandomSelector(seed) },
+	cfg := buildConfig(opts)
+	policies := []struct {
+		name string
+		mk   func() core.Selector
+	}{
+		{"cost-model", func() core.Selector { return core.CostModelSelector{Weights: paperWeights()} }},
+		{"bandwidth-only", func() core.Selector { return core.BandwidthOnlySelector{} }},
+		{"round-robin", func() core.Selector { return &core.RoundRobinSelector{} }},
+		{"random", func() core.Selector { return core.NewRandomSelector(seed) }},
 	}
-	var out []SelectorResult
-	for _, mk := range policies {
-		selPolicy := mk()
-		env, err := NewEnv(seed, true)
-		if err != nil {
-			return nil, "", err
-		}
-		cat, err := buildCatalog(fileSize)
-		if err != nil {
-			return nil, "", err
-		}
-		srv, err := env.selectionFor(cat, paperWeights(), selPolicy)
-		if err != nil {
-			return nil, "", err
-		}
-		app, err := core.NewApplication(core.ApplicationConfig{Local: "alpha1"},
-			srv, env.Xfer.ReplicaTransfer(simxfer.GridFTPOptions(0)), env.Engine)
-		if err != nil {
-			return nil, "", err
-		}
-		if err := env.Engine.RunUntil(Warmup); err != nil {
-			return nil, "", err
-		}
-		ds, err := sequentialFetches(env, app, "file-a", fetches, 30*time.Second)
-		if err != nil {
-			return nil, "", err
-		}
-		out = append(out, SelectorResult{Name: selPolicy.Name(), MeanSeconds: meanSeconds(ds), Fetches: len(ds)})
+	var jobs []runner.Job[SelectorResult]
+	for _, p := range policies {
+		jobs = append(jobs, runner.Job[SelectorResult]{
+			Name: "selectors/" + p.name,
+			Run: func(runner.Context) (SelectorResult, error) {
+				selPolicy := p.mk()
+				env, err := NewEnv(seed, true)
+				if err != nil {
+					return SelectorResult{}, err
+				}
+				cat, err := buildCatalog(fileSize)
+				if err != nil {
+					return SelectorResult{}, err
+				}
+				srv, err := env.selectionFor(cat, paperWeights(), selPolicy)
+				if err != nil {
+					return SelectorResult{}, err
+				}
+				app, err := core.NewApplication(core.ApplicationConfig{Local: "alpha1"},
+					srv, env.Xfer.ReplicaTransfer(simxfer.GridFTPOptions(0)), env.Engine)
+				if err != nil {
+					return SelectorResult{}, err
+				}
+				if err := env.Engine.RunUntil(Warmup); err != nil {
+					return SelectorResult{}, err
+				}
+				ds, err := sequentialFetches(env, app, "file-a", fetches, 30*time.Second)
+				if err != nil {
+					return SelectorResult{}, err
+				}
+				return SelectorResult{Name: selPolicy.Name(), MeanSeconds: meanSeconds(ds), Fetches: len(ds)}, nil
+			},
+		})
+	}
+	out, err := runPoints(seed, cfg, jobs)
+	if err != nil {
+		return nil, "", err
 	}
 	tb := metrics.NewTable("Ablation: selection policy vs mean fetch time (256 MB, 8 fetches)",
 		"policy", "mean fetch time (s)")
@@ -85,9 +99,10 @@ type WeightResult struct {
 // world, so each weight vector's choices can be scored against the oracle
 // (future work #2 of the paper: "how to determine the system factors
 // weight").
-func AblationWeights(seed int64) ([]WeightResult, string, error) {
+func AblationWeights(seed int64, opts ...Option) ([]WeightResult, string, error) {
 	const epochs = 5
 	const fileSize = 512 * workload.MB
+	cfg := buildConfig(opts)
 	vectors := []core.Weights{
 		{Bandwidth: 1.0},
 		{Bandwidth: 0.8, CPU: 0.1, IO: 0.1}, // the paper's choice
@@ -96,42 +111,67 @@ func AblationWeights(seed int64) ([]WeightResult, string, error) {
 		{CPU: 0.5, IO: 0.5},
 	}
 	hosts := []string{"alpha4", "hit0", "lz02"}
+	epochAt := func(i int) time.Duration { return Warmup + time.Duration(i)*2*time.Minute }
 
-	// Reference world: collect the information-server reports per epoch.
-	ref, err := NewEnv(seed, true)
+	// One job replays the reference world and collects the
+	// information-server reports per epoch; one job per (epoch, host)
+	// measures that candidate's actual time in a cloned world.
+	type part struct {
+		reports []map[string]coreReport
+		seconds float64
+	}
+	jobs := []runner.Job[part]{{
+		Name: "weights/reports",
+		Run: func(runner.Context) (part, error) {
+			ref, err := NewEnv(seed, true)
+			if err != nil {
+				return part{}, err
+			}
+			reports := make([]map[string]coreReport, epochs)
+			for i := 0; i < epochs; i++ {
+				if err := ref.Engine.RunUntil(epochAt(i)); err != nil {
+					return part{}, err
+				}
+				reports[i] = map[string]coreReport{}
+				for _, h := range hosts {
+					rep, err := ref.Deploy.Server.Report(h, ref.Engine.Now())
+					if err != nil {
+						return part{}, err
+					}
+					reports[i][h] = coreReport{rep.BandwidthPercent, rep.CPUIdlePercent, rep.IOIdlePercent}
+				}
+			}
+			return part{reports: reports}, nil
+		},
+	}}
+	for i := 0; i < epochs; i++ {
+		for _, h := range hosts {
+			jobs = append(jobs, runner.Job[part]{
+				Name: fmt.Sprintf("weights/measure/epoch%d/%s", i, h),
+				Run: func(runner.Context) (part, error) {
+					world, err := NewEnv(seed, true)
+					if err != nil {
+						return part{}, err
+					}
+					res, err := world.MeasureAt(epochAt(i), h, "alpha1", fileSize, simxfer.GridFTPOptions(0))
+					if err != nil {
+						return part{}, err
+					}
+					return part{seconds: seconds(res.Duration())}, nil
+				},
+			})
+		}
+	}
+	parts, err := runPoints(seed, cfg, jobs)
 	if err != nil {
 		return nil, "", err
 	}
-	epochAt := func(i int) time.Duration { return Warmup + time.Duration(i)*2*time.Minute }
-	reports := make([]map[string]coreReport, epochs)
-	for i := 0; i < epochs; i++ {
-		if err := ref.Engine.RunUntil(epochAt(i)); err != nil {
-			return nil, "", err
-		}
-		reports[i] = map[string]coreReport{}
-		for _, h := range hosts {
-			rep, err := ref.Deploy.Server.Report(h, ref.Engine.Now())
-			if err != nil {
-				return nil, "", err
-			}
-			reports[i][h] = coreReport{rep.BandwidthPercent, rep.CPUIdlePercent, rep.IOIdlePercent}
-		}
-	}
-
-	// Measure every candidate's actual time at every epoch (cloned worlds).
+	reports := parts[0].reports
 	times := make([]map[string]float64, epochs)
 	for i := 0; i < epochs; i++ {
 		times[i] = map[string]float64{}
-		for _, h := range hosts {
-			world, err := NewEnv(seed, true)
-			if err != nil {
-				return nil, "", err
-			}
-			res, err := world.MeasureAt(epochAt(i), h, "alpha1", fileSize, simxfer.GridFTPOptions(0))
-			if err != nil {
-				return nil, "", err
-			}
-			times[i][h] = seconds(res.Duration())
+		for hi, h := range hosts {
+			times[i][h] = parts[1+i*len(hosts)+hi].seconds
 		}
 	}
 
@@ -181,7 +221,8 @@ type ForecasterResult struct {
 // with one-step-ahead mean squared error on a bandwidth measurement trace
 // recorded from the monitored testbed (hit0 -> alpha1, whose backbone
 // background traffic makes the trace genuinely dynamic).
-func AblationForecasters(seed int64) ([]ForecasterResult, string, error) {
+func AblationForecasters(seed int64, opts ...Option) ([]ForecasterResult, string, error) {
+	cfg := buildConfig(opts)
 	env, err := NewEnv(seed, true)
 	if err != nil {
 		return nil, "", err
@@ -206,37 +247,65 @@ func AblationForecasters(seed int64) ([]ForecasterResult, string, error) {
 		trace[i] = m.Value
 	}
 
-	// Score each individual expert.
-	var out []ForecasterResult
-	for _, f := range nws.DefaultForecasters() {
-		sum, n := 0.0, 0
-		for _, v := range trace {
-			if p, ok := f.Predict(); ok {
-				d := p - v
-				sum += d * d
-				n++
-			}
-			f.Update(v)
-		}
-		if n > 0 {
-			out = append(out, ForecasterResult{Name: f.Name(), MSE: sum / float64(n)})
-		}
+	// Score each individual expert and the adaptive bank as pool jobs:
+	// each job owns its forecaster; the trace is shared read-only.
+	nExperts := len(nws.DefaultForecasters())
+	type scored struct {
+		r  ForecasterResult
+		ok bool
 	}
-	// Score the adaptive bank: its forecast before each new value.
-	bank, err := nws.NewBank(nil)
+	var jobs []runner.Job[scored]
+	for i := 0; i < nExperts; i++ {
+		jobs = append(jobs, runner.Job[scored]{
+			Name: fmt.Sprintf("forecasters/expert%d", i),
+			Run: func(runner.Context) (scored, error) {
+				f := nws.DefaultForecasters()[i]
+				sum, n := 0.0, 0
+				for _, v := range trace {
+					if p, ok := f.Predict(); ok {
+						d := p - v
+						sum += d * d
+						n++
+					}
+					f.Update(v)
+				}
+				if n == 0 {
+					return scored{}, nil
+				}
+				return scored{r: ForecasterResult{Name: f.Name(), MSE: sum / float64(n)}, ok: true}, nil
+			},
+		})
+	}
+	jobs = append(jobs, runner.Job[scored]{
+		Name: "forecasters/bank",
+		Run: func(runner.Context) (scored, error) {
+			// The adaptive bank's forecast before each new value.
+			bank, err := nws.NewBank(nil)
+			if err != nil {
+				return scored{}, err
+			}
+			sum, n := 0.0, 0
+			for _, v := range trace {
+				if fc, err := bank.Forecast(); err == nil {
+					d := fc.Value - v
+					sum += d * d
+					n++
+				}
+				bank.Update(v)
+			}
+			return scored{r: ForecasterResult{Name: "nws-bank(adaptive)", MSE: sum / float64(n)}, ok: true}, nil
+		},
+	})
+	parts, err := runPoints(seed, cfg, jobs)
 	if err != nil {
 		return nil, "", err
 	}
-	sum, n := 0.0, 0
-	for _, v := range trace {
-		if fc, err := bank.Forecast(); err == nil {
-			d := fc.Value - v
-			sum += d * d
-			n++
+	var out []ForecasterResult
+	for _, p := range parts {
+		if p.ok {
+			out = append(out, p.r)
 		}
-		bank.Update(v)
 	}
-	out = append(out, ForecasterResult{Name: "nws-bank(adaptive)", MSE: sum / float64(n)})
 
 	sort.Slice(out, func(i, j int) bool { return out[i].MSE < out[j].MSE })
 	tb := metrics.NewTable(

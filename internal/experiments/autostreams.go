@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/hpclab/datagrid/internal/metrics"
+	"github.com/hpclab/datagrid/internal/runner"
 	"github.com/hpclab/datagrid/internal/simxfer"
 	"github.com/hpclab/datagrid/internal/workload"
 )
@@ -21,8 +22,9 @@ type AutoStreamsResult struct {
 // measurement-driven recommendation on the paper's two WAN paths. The
 // point is not beating the best fixed setting but matching it on *both*
 // paths with one policy — no per-path hand tuning.
-func AblationAutoStreams(seed int64) ([]AutoStreamsResult, string, error) {
+func AblationAutoStreams(seed int64, opts ...Option) ([]AutoStreamsResult, string, error) {
 	const fileSize = 512 * workload.MB
+	cfg := buildConfig(opts)
 	paths := []struct {
 		name     string
 		src, dst string
@@ -30,44 +32,53 @@ func AblationAutoStreams(seed int64) ([]AutoStreamsResult, string, error) {
 		{"THU->HIT (100 Mb/s)", "alpha1", "gridhit3"},
 		{"THU->LiZen (30 Mb/s, lossy)", "alpha2", "lz04"},
 	}
-	var out []AutoStreamsResult
+	var jobs []runner.Job[AutoStreamsResult]
 	for _, p := range paths {
-		measure := func(streams int, label string) error {
+		measure := func(streams int, label string) (AutoStreamsResult, error) {
 			env, err := NewEnv(seed, false)
 			if err != nil {
-				return err
+				return AutoStreamsResult{}, err
 			}
 			res, err := env.MeasureAt(Warmup, p.src, p.dst, fileSize, simxfer.GridFTPOptions(streams))
 			if err != nil {
-				return err
+				return AutoStreamsResult{}, err
 			}
-			out = append(out, AutoStreamsResult{
+			return AutoStreamsResult{
 				Path: p.name, Config: label, Streams: streams,
 				Seconds: seconds(res.Duration()),
-			})
-			return nil
+			}, nil
 		}
 		for _, fixed := range []int{1, 4, 16} {
-			if err := measure(fixed, fmt.Sprintf("%d", fixed)); err != nil {
-				return nil, "", err
-			}
+			jobs = append(jobs, runner.Job[AutoStreamsResult]{
+				Name: fmt.Sprintf("autostreams/%s->%s/%d", p.src, p.dst, fixed),
+				Run: func(runner.Context) (AutoStreamsResult, error) {
+					return measure(fixed, fmt.Sprintf("%d", fixed))
+				},
+			})
 		}
-		// The recommendation consults the same world state the fixed runs
-		// start from (fresh testbed at warmup).
-		env, err := NewEnv(seed, false)
-		if err != nil {
-			return nil, "", err
-		}
-		if err := env.Engine.RunUntil(Warmup); err != nil {
-			return nil, "", err
-		}
-		auto, err := simxfer.RecommendStreams(env.Testbed.Network(), p.src, p.dst, 0, 0)
-		if err != nil {
-			return nil, "", err
-		}
-		if err := measure(auto, fmt.Sprintf("auto(%d)", auto)); err != nil {
-			return nil, "", err
-		}
+		jobs = append(jobs, runner.Job[AutoStreamsResult]{
+			Name: fmt.Sprintf("autostreams/%s->%s/auto", p.src, p.dst),
+			Run: func(runner.Context) (AutoStreamsResult, error) {
+				// The recommendation consults the same world state the
+				// fixed runs start from (fresh testbed at warmup).
+				env, err := NewEnv(seed, false)
+				if err != nil {
+					return AutoStreamsResult{}, err
+				}
+				if err := env.Engine.RunUntil(Warmup); err != nil {
+					return AutoStreamsResult{}, err
+				}
+				auto, err := simxfer.RecommendStreams(env.Testbed.Network(), p.src, p.dst, 0, 0)
+				if err != nil {
+					return AutoStreamsResult{}, err
+				}
+				return measure(auto, fmt.Sprintf("auto(%d)", auto))
+			},
+		})
+	}
+	out, err := runPoints(seed, cfg, jobs)
+	if err != nil {
+		return nil, "", err
 	}
 	tb := metrics.NewTable("Ablation: adaptive parallelism (512 MB, one policy across both WAN paths)",
 		"path", "streams", "time (s)")

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/hpclab/datagrid/internal/metrics"
+	"github.com/hpclab/datagrid/internal/runner"
 	"github.com/hpclab/datagrid/internal/simxfer"
 	"github.com/hpclab/datagrid/internal/workload"
 )
@@ -24,57 +25,67 @@ type CoallocationResult struct {
 // replicated at hit0 (fast path to THU) and lz02 (slow path); the user at
 // alpha1 downloads it four ways: from each single replica, with a static
 // equal split across both, and with dynamic chunk scheduling across both.
-func ExtensionCoallocation(seed int64) ([]CoallocationResult, string, error) {
+func ExtensionCoallocation(seed int64, opts ...Option) ([]CoallocationResult, string, error) {
 	const fileSize = 1024 * workload.MB
-	type cfg struct {
+	cfg := buildConfig(opts)
+	type dlConfig struct {
 		name    string
 		sources []string
 		scheme  simxfer.Scheme
 		multi   bool
 	}
-	cfgs := []cfg{
+	cfgs := []dlConfig{
 		{"single hit0", []string{"hit0"}, 0, false},
 		{"single lz02", []string{"lz02"}, 0, false},
 		{"static split hit0+lz02", []string{"hit0", "lz02"}, simxfer.SchemeStatic, true},
 		{"dynamic chunks hit0+lz02", []string{"hit0", "lz02"}, simxfer.SchemeDynamic, true},
 	}
-	var out []CoallocationResult
+	var jobs []runner.Job[CoallocationResult]
 	for _, c := range cfgs {
-		env, err := NewEnv(seed, false)
-		if err != nil {
-			return nil, "", err
-		}
-		if err := env.Engine.RunUntil(Warmup); err != nil {
-			return nil, "", err
-		}
-		r := CoallocationResult{Config: c.name, BytesBySource: map[string]int64{}}
-		completed := false
-		if c.multi {
-			err = env.Xfer.StartMultiSource(c.sources, "alpha1", fileSize,
-				simxfer.GridFTPOptions(0), c.scheme, 0, func(res simxfer.MultiSourceResult) {
-					r.Seconds = res.Duration().Seconds()
-					r.BytesBySource = res.BytesBySource
-					completed = true
-				})
-		} else {
-			err = env.Xfer.Start(c.sources[0], "alpha1", fileSize,
-				simxfer.GridFTPOptions(0), func(res simxfer.Result) {
-					r.Seconds = res.Duration().Seconds()
-					r.BytesBySource[c.sources[0]] = res.Bytes
-					completed = true
-				})
-		}
-		if err != nil {
-			return nil, "", err
-		}
-		deadline := env.Engine.Now()
-		for !completed {
-			deadline += 30 * time.Minute
-			if err := env.Engine.RunUntil(deadline); err != nil {
-				return nil, "", err
-			}
-		}
-		out = append(out, r)
+		jobs = append(jobs, runner.Job[CoallocationResult]{
+			Name: "coalloc/" + c.name,
+			Run: func(runner.Context) (CoallocationResult, error) {
+				env, err := NewEnv(seed, false)
+				if err != nil {
+					return CoallocationResult{}, err
+				}
+				if err := env.Engine.RunUntil(Warmup); err != nil {
+					return CoallocationResult{}, err
+				}
+				r := CoallocationResult{Config: c.name, BytesBySource: map[string]int64{}}
+				completed := false
+				if c.multi {
+					err = env.Xfer.StartMultiSource(c.sources, "alpha1", fileSize,
+						simxfer.GridFTPOptions(0), c.scheme, 0, func(res simxfer.MultiSourceResult) {
+							r.Seconds = res.Duration().Seconds()
+							r.BytesBySource = res.BytesBySource
+							completed = true
+						})
+				} else {
+					err = env.Xfer.Start(c.sources[0], "alpha1", fileSize,
+						simxfer.GridFTPOptions(0), func(res simxfer.Result) {
+							r.Seconds = res.Duration().Seconds()
+							r.BytesBySource[c.sources[0]] = res.Bytes
+							completed = true
+						})
+				}
+				if err != nil {
+					return CoallocationResult{}, err
+				}
+				deadline := env.Engine.Now()
+				for !completed {
+					deadline += 30 * time.Minute
+					if err := env.Engine.RunUntil(deadline); err != nil {
+						return CoallocationResult{}, err
+					}
+				}
+				return r, nil
+			},
+		})
+	}
+	out, err := runPoints(seed, cfg, jobs)
+	if err != nil {
+		return nil, "", err
 	}
 	tb := metrics.NewTable("Extension: co-allocated multi-source download (1024 MB to alpha1)",
 		"configuration", "time (s)", "hit0 MB", "lz02 MB")

@@ -11,6 +11,7 @@ import (
 	"github.com/hpclab/datagrid/internal/metrics"
 	"github.com/hpclab/datagrid/internal/netsim"
 	"github.com/hpclab/datagrid/internal/replica"
+	"github.com/hpclab/datagrid/internal/runner"
 	"github.com/hpclab/datagrid/internal/simulation"
 	"github.com/hpclab/datagrid/internal/simxfer"
 	"github.com/hpclab/datagrid/internal/workload"
@@ -27,30 +28,40 @@ type StripedResult struct {
 // transfer. The source host's disk is saturated, so parallel streams from
 // one host cannot help, but stripes across site peers aggregate disk
 // bandwidth.
-func ExtensionStriped(seed int64) ([]StripedResult, string, error) {
-	var out []StripedResult
+func ExtensionStriped(seed int64, opts ...Option) ([]StripedResult, string, error) {
+	cfg := buildConfig(opts)
+	var jobs []runner.Job[StripedResult]
 	for _, stripes := range []int{1, 2, 4} {
-		env, err := NewEnv(seed, false)
-		if err != nil {
-			return nil, "", err
-		}
-		h, err := env.Testbed.Host("alpha4")
-		if err != nil {
-			return nil, "", err
-		}
-		// Attach an I/O-heavy job: unlike base load (which the synthetic
-		// load process keeps rewriting), job load persists for the whole
-		// transfer.
-		if _, err := h.AddJob(0.2, 0.65); err != nil {
-			return nil, "", err
-		}
-		res, err := env.MeasureAt(Warmup, "alpha4", "alpha1", 1024*workload.MB, simxfer.Options{
-			Protocol: simxfer.ProtoGridFTPModeE, Streams: 2, Stripes: stripes,
+		jobs = append(jobs, runner.Job[StripedResult]{
+			Name: fmt.Sprintf("striped/%d", stripes),
+			Run: func(runner.Context) (StripedResult, error) {
+				env, err := NewEnv(seed, false)
+				if err != nil {
+					return StripedResult{}, err
+				}
+				h, err := env.Testbed.Host("alpha4")
+				if err != nil {
+					return StripedResult{}, err
+				}
+				// Attach an I/O-heavy job: unlike base load (which the
+				// synthetic load process keeps rewriting), job load
+				// persists for the whole transfer.
+				if _, err := h.AddJob(0.2, 0.65); err != nil {
+					return StripedResult{}, err
+				}
+				res, err := env.MeasureAt(Warmup, "alpha4", "alpha1", 1024*workload.MB, simxfer.Options{
+					Protocol: simxfer.ProtoGridFTPModeE, Streams: 2, Stripes: stripes,
+				})
+				if err != nil {
+					return StripedResult{}, err
+				}
+				return StripedResult{Stripes: stripes, Streams: 2, Seconds: seconds(res.Duration())}, nil
+			},
 		})
-		if err != nil {
-			return nil, "", err
-		}
-		out = append(out, StripedResult{Stripes: stripes, Streams: 2, Seconds: seconds(res.Duration())})
+	}
+	out, err := runPoints(seed, cfg, jobs)
+	if err != nil {
+		return nil, "", err
 	}
 	tb := metrics.NewTable("Extension: striped transfer with a disk-saturated source (1024 MB, 2 streams/stripe)",
 		"stripes", "transfer time (s)")
@@ -135,11 +146,13 @@ func randomGrid(engine *simulation.Engine, sites int, seed int64) (*cluster.Test
 // ExtensionScale grows the grid from 3 to 12 sites and compares cost-model
 // selection against random selection for sequential fetches of a file
 // replicated on one host per remote site.
-func ExtensionScale(seed int64) ([]ScaleResult, string, error) {
+func ExtensionScale(seed int64, opts ...Option) ([]ScaleResult, string, error) {
 	const fileSize = 256 * workload.MB
 	const fetches = 5
-	var out []ScaleResult
-	for _, sites := range []int{3, 6, 9, 12} {
+	cfg := buildConfig(opts)
+	siteCounts := []int{3, 6, 9, 12}
+	var jobs []runner.Job[float64]
+	for _, sites := range siteCounts {
 		run := func(selector core.Selector) (float64, error) {
 			engine := simulation.NewEngine()
 			tb, err := randomGrid(engine, sites, seed+int64(sites))
@@ -189,14 +202,27 @@ func ExtensionScale(seed int64) ([]ScaleResult, string, error) {
 			}
 			return meanSeconds(ds), nil
 		}
-		cm, err := run(core.CostModelSelector{Weights: paperWeights()})
-		if err != nil {
-			return nil, "", err
-		}
-		rnd, err := run(core.NewRandomSelector(seed))
-		if err != nil {
-			return nil, "", err
-		}
+		jobs = append(jobs,
+			runner.Job[float64]{
+				Name: fmt.Sprintf("scale/%dsites/cost-model", sites),
+				Run: func(runner.Context) (float64, error) {
+					return run(core.CostModelSelector{Weights: paperWeights()})
+				},
+			},
+			runner.Job[float64]{
+				Name: fmt.Sprintf("scale/%dsites/random", sites),
+				Run: func(runner.Context) (float64, error) {
+					return run(core.NewRandomSelector(seed))
+				},
+			})
+	}
+	vals, err := runPoints(seed, cfg, jobs)
+	if err != nil {
+		return nil, "", err
+	}
+	var out []ScaleResult
+	for i, sites := range siteCounts {
+		cm, rnd := vals[2*i], vals[2*i+1]
 		out = append(out, ScaleResult{
 			Sites:              sites,
 			CostModelSeconds:   cm,

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/hpclab/datagrid/internal/metrics"
+	"github.com/hpclab/datagrid/internal/runner"
 	"github.com/hpclab/datagrid/internal/simxfer"
 	"github.com/hpclab/datagrid/internal/workload"
 )
@@ -19,27 +20,45 @@ type Figure3Row struct {
 
 // Figure3 reproduces Fig. 3 ("FTP versus GridFTP"). Each (protocol, size)
 // cell runs in a fresh world with the same seed, so both protocols see
-// identical network conditions.
-func Figure3(seed int64) ([]Figure3Row, string, error) {
-	rows := make([]Figure3Row, 0, len(workload.PaperFileSizesMB))
+// identical network conditions. The cells are independent simulations,
+// so they fan out across the worker pool; results are collected in
+// submission order and the output is byte-identical at any parallelism.
+func Figure3(seed int64, opts ...Option) ([]Figure3Row, string, error) {
+	cfg := buildConfig(opts)
+	protos := []simxfer.Protocol{simxfer.ProtoFTP, simxfer.ProtoGridFTPStream}
+	var jobs []runner.Job[float64]
 	for _, sizeMB := range workload.PaperFileSizesMB {
-		row := Figure3Row{SizeMB: sizeMB}
-		for _, proto := range []simxfer.Protocol{simxfer.ProtoFTP, simxfer.ProtoGridFTPStream} {
-			env, err := NewEnv(seed, false)
-			if err != nil {
-				return nil, "", err
-			}
-			res, err := env.MeasureAt(Warmup, "alpha1", "gridhit3", sizeMB*workload.MB, simxfer.Options{Protocol: proto})
-			if err != nil {
-				return nil, "", err
-			}
-			if proto == simxfer.ProtoFTP {
-				row.FTPSeconds = seconds(res.Duration())
-			} else {
-				row.GridFTPSeconds = seconds(res.Duration())
-			}
+		for _, proto := range protos {
+			jobs = append(jobs, runner.Job[float64]{
+				Name: fmt.Sprintf("fig3/%dMB/%v", sizeMB, proto),
+				Run: func(runner.Context) (float64, error) {
+					// The point pins the verbatim base seed (not the
+					// derived per-job seed): published numbers rely on
+					// every fresh world replaying identical conditions.
+					env, err := NewEnv(seed, false)
+					if err != nil {
+						return 0, err
+					}
+					res, err := env.MeasureAt(Warmup, "alpha1", "gridhit3", sizeMB*workload.MB, simxfer.Options{Protocol: proto})
+					if err != nil {
+						return 0, err
+					}
+					return seconds(res.Duration()), nil
+				},
+			})
 		}
-		rows = append(rows, row)
+	}
+	vals, err := runPoints(seed, cfg, jobs)
+	if err != nil {
+		return nil, "", err
+	}
+	rows := make([]Figure3Row, 0, len(workload.PaperFileSizesMB))
+	for i, sizeMB := range workload.PaperFileSizesMB {
+		rows = append(rows, Figure3Row{
+			SizeMB:         sizeMB,
+			FTPSeconds:     vals[i*len(protos)],
+			GridFTPSeconds: vals[i*len(protos)+1],
+		})
 	}
 	ftp := metrics.Series{Name: "FTP"}
 	grid := metrics.Series{Name: "GridFTP"}
@@ -69,20 +88,36 @@ type Figure4Series struct {
 // Figure4 reproduces Fig. 4 ("GridFTP with parallel data transfer"):
 // transfer times from THU alpha2 to Li-Zen lz04 for stream mode and 1, 2,
 // 4, 8, 16 parallel TCP streams across the paper's file sizes.
-func Figure4(seed int64) ([]Figure4Series, string, error) {
-	out := make([]Figure4Series, 0, len(workload.PaperStreamCounts))
+func Figure4(seed int64, opts ...Option) ([]Figure4Series, string, error) {
+	cfg := buildConfig(opts)
+	var jobs []runner.Job[float64]
 	for _, streams := range workload.PaperStreamCounts {
-		s := Figure4Series{Streams: streams, SecondsBySizeMB: map[int64]float64{}}
 		for _, sizeMB := range workload.PaperFileSizesMB {
-			env, err := NewEnv(seed, false)
-			if err != nil {
-				return nil, "", err
-			}
-			res, err := env.MeasureAt(Warmup, "alpha2", "lz04", sizeMB*workload.MB, simxfer.GridFTPOptions(streams))
-			if err != nil {
-				return nil, "", err
-			}
-			s.SecondsBySizeMB[sizeMB] = seconds(res.Duration())
+			jobs = append(jobs, runner.Job[float64]{
+				Name: fmt.Sprintf("fig4/streams=%d/%dMB", streams, sizeMB),
+				Run: func(runner.Context) (float64, error) {
+					env, err := NewEnv(seed, false)
+					if err != nil {
+						return 0, err
+					}
+					res, err := env.MeasureAt(Warmup, "alpha2", "lz04", sizeMB*workload.MB, simxfer.GridFTPOptions(streams))
+					if err != nil {
+						return 0, err
+					}
+					return seconds(res.Duration()), nil
+				},
+			})
+		}
+	}
+	vals, err := runPoints(seed, cfg, jobs)
+	if err != nil {
+		return nil, "", err
+	}
+	out := make([]Figure4Series, 0, len(workload.PaperStreamCounts))
+	for si, streams := range workload.PaperStreamCounts {
+		s := Figure4Series{Streams: streams, SecondsBySizeMB: map[int64]float64{}}
+		for zi, sizeMB := range workload.PaperFileSizesMB {
+			s.SecondsBySizeMB[sizeMB] = vals[si*len(workload.PaperFileSizesMB)+zi]
 		}
 		out = append(out, s)
 	}

@@ -10,6 +10,7 @@ import (
 	"github.com/hpclab/datagrid/internal/metrics"
 	"github.com/hpclab/datagrid/internal/netsim"
 	"github.com/hpclab/datagrid/internal/replica"
+	"github.com/hpclab/datagrid/internal/runner"
 	"github.com/hpclab/datagrid/internal/simulation"
 	"github.com/hpclab/datagrid/internal/simxfer"
 	"github.com/hpclab/datagrid/internal/workload"
@@ -63,74 +64,26 @@ func latencyTestbed(engine *simulation.Engine, seed int64) (*cluster.Testbed, er
 // latency-aware extension on a small-file workload, where per-session
 // round trips and un-tuned TCP windows make RTT, not bandwidth, the
 // binding constraint.
-func AblationLatency(seed int64) ([]LatencyResult, string, error) {
+func AblationLatency(seed int64, opts ...Option) ([]LatencyResult, string, error) {
 	const fetches = 6
 	const fileSize = 2 * workload.MB
+	cfg := buildConfig(opts)
 	selectors := []core.Selector{
 		core.CostModelSelector{Weights: core.PaperWeights},
 		core.LatencyAwareSelector{Weights: core.PaperWeights, PenaltyPerMs: 0.5},
 	}
-	var out []LatencyResult
+	var jobs []runner.Job[LatencyResult]
 	for _, sel := range selectors {
-		engine := simulation.NewEngine()
-		tb, err := latencyTestbed(engine, seed)
-		if err != nil {
-			return nil, "", err
-		}
-		// Long probes with tuned windows, so the far path's measured
-		// bandwidth reflects its steady state rather than slow start —
-		// the very regime in which the plain model is misled.
-		dep, err := info.Deploy(tb, info.DeploymentConfig{
-			Local:          "client",
-			Remotes:        []string{"far", "near"},
-			Seed:           seed,
-			NWSProbeBytes:  64 << 20,
-			NWSProbeWindow: 8 << 20,
+		jobs = append(jobs, runner.Job[LatencyResult]{
+			Name: "latency/" + sel.Name(),
+			Run: func(runner.Context) (LatencyResult, error) {
+				return latencyPoint(seed, sel, fetches, fileSize)
+			},
 		})
-		if err != nil {
-			return nil, "", err
-		}
-		cat := replica.NewCatalog()
-		if err := cat.CreateLogical(replica.LogicalFile{Name: "small-file", SizeBytes: fileSize}); err != nil {
-			return nil, "", err
-		}
-		for _, h := range []string{"far", "near"} {
-			if err := cat.Register("small-file", replica.Location{Host: h, Path: "/data/small-file"}); err != nil {
-				return nil, "", err
-			}
-		}
-		srv, err := core.NewSelectionServer(cat, dep.Server, core.PaperWeights, sel)
-		if err != nil {
-			return nil, "", err
-		}
-		xf, err := simxfer.New(tb)
-		if err != nil {
-			return nil, "", err
-		}
-		farPicks := 0
-		countingTransfer := func(srcHost, srcPath, dstHost, dstPath string, bytes int64, done func(error)) error {
-			if srcHost == "far" {
-				farPicks++
-			}
-			return xf.ReplicaTransfer(simxfer.GridFTPOptions(0))(srcHost, srcPath, dstHost, dstPath, bytes, done)
-		}
-		app, err := core.NewApplication(core.ApplicationConfig{Local: "client"}, srv, countingTransfer, engine)
-		if err != nil {
-			return nil, "", err
-		}
-		if err := engine.RunUntil(Warmup); err != nil {
-			return nil, "", err
-		}
-		env := &Env{Engine: engine, Testbed: tb, Xfer: xf}
-		ds, err := sequentialFetches(env, app, "small-file", fetches, 30*time.Second)
-		if err != nil {
-			return nil, "", err
-		}
-		out = append(out, LatencyResult{
-			Selector:    sel.Name(),
-			MeanSeconds: meanSeconds(ds),
-			FarPicks:    farPicks,
-		})
+	}
+	out, err := runPoints(seed, cfg, jobs)
+	if err != nil {
+		return nil, "", err
 	}
 	tb := metrics.NewTable(
 		"Ablation: latency as a fourth system factor (2 MB files, far=100Mb/s@80ms vs near=50Mb/s@4ms)",
@@ -139,4 +92,68 @@ func AblationLatency(seed int64) ([]LatencyResult, string, error) {
 		tb.AddRow(r.Selector, fmt.Sprintf("%.2f", r.MeanSeconds), fmt.Sprintf("%d", r.FarPicks))
 	}
 	return out, tb.String(), nil
+}
+
+// latencyPoint runs one selector's full fetch sequence in a private
+// world.
+func latencyPoint(seed int64, sel core.Selector, fetches int, fileSize int64) (LatencyResult, error) {
+	engine := simulation.NewEngine()
+	tb, err := latencyTestbed(engine, seed)
+	if err != nil {
+		return LatencyResult{}, err
+	}
+	// Long probes with tuned windows, so the far path's measured
+	// bandwidth reflects its steady state rather than slow start —
+	// the very regime in which the plain model is misled.
+	dep, err := info.Deploy(tb, info.DeploymentConfig{
+		Local:          "client",
+		Remotes:        []string{"far", "near"},
+		Seed:           seed,
+		NWSProbeBytes:  64 << 20,
+		NWSProbeWindow: 8 << 20,
+	})
+	if err != nil {
+		return LatencyResult{}, err
+	}
+	cat := replica.NewCatalog()
+	if err := cat.CreateLogical(replica.LogicalFile{Name: "small-file", SizeBytes: fileSize}); err != nil {
+		return LatencyResult{}, err
+	}
+	for _, h := range []string{"far", "near"} {
+		if err := cat.Register("small-file", replica.Location{Host: h, Path: "/data/small-file"}); err != nil {
+			return LatencyResult{}, err
+		}
+	}
+	srv, err := core.NewSelectionServer(cat, dep.Server, core.PaperWeights, sel)
+	if err != nil {
+		return LatencyResult{}, err
+	}
+	xf, err := simxfer.New(tb)
+	if err != nil {
+		return LatencyResult{}, err
+	}
+	farPicks := 0
+	countingTransfer := func(srcHost, srcPath, dstHost, dstPath string, bytes int64, done func(error)) error {
+		if srcHost == "far" {
+			farPicks++
+		}
+		return xf.ReplicaTransfer(simxfer.GridFTPOptions(0))(srcHost, srcPath, dstHost, dstPath, bytes, done)
+	}
+	app, err := core.NewApplication(core.ApplicationConfig{Local: "client"}, srv, countingTransfer, engine)
+	if err != nil {
+		return LatencyResult{}, err
+	}
+	if err := engine.RunUntil(Warmup); err != nil {
+		return LatencyResult{}, err
+	}
+	env := &Env{Engine: engine, Testbed: tb, Xfer: xf}
+	ds, err := sequentialFetches(env, app, "small-file", fetches, 30*time.Second)
+	if err != nil {
+		return LatencyResult{}, err
+	}
+	return LatencyResult{
+		Selector:    sel.Name(),
+		MeanSeconds: meanSeconds(ds),
+		FarPicks:    farPicks,
+	}, nil
 }

@@ -9,6 +9,7 @@ import (
 	"github.com/hpclab/datagrid/internal/metrics"
 	"github.com/hpclab/datagrid/internal/placement"
 	"github.com/hpclab/datagrid/internal/replica"
+	"github.com/hpclab/datagrid/internal/runner"
 	"github.com/hpclab/datagrid/internal/simxfer"
 	"github.com/hpclab/datagrid/internal/workload"
 )
@@ -30,16 +31,13 @@ type ReplicationResult struct {
 // With the threshold replicator, the third access triggers replication to
 // the HIT site, and later fetches are served across the 1 Gb/s LAN instead
 // of the 100 Mb/s WAN.
-func ExtensionReplication(seed int64) ([]ReplicationResult, string, error) {
+func ExtensionReplication(seed int64, opts ...Option) ([]ReplicationResult, string, error) {
 	const fetches = 8
 	const fileSize = 512 * workload.MB
 	const local = "gridhit3"
+	cfg := buildConfig(opts)
 
-	type strategy struct {
-		name string
-		mk   func(man *replica.Manager, env *Env) (func(placement.Access) error, func() int, error)
-	}
-	strategies := []strategy{
+	strategies := []replicationStrategy{
 		{"no-replication", func(*replica.Manager, *Env) (func(placement.Access) error, func() int, error) {
 			n := placement.NoReplication{}
 			return n.OnAccess, func() int { return 0 }, nil
@@ -54,95 +52,18 @@ func ExtensionReplication(seed int64) ([]ReplicationResult, string, error) {
 		}},
 	}
 
-	var out []ReplicationResult
+	var jobs []runner.Job[ReplicationResult]
 	for _, st := range strategies {
-		env, err := NewEnv(seed, false)
-		if err != nil {
-			return nil, "", err
-		}
-		// Monitor from the HIT user's perspective; candidates are the
-		// initial holder and the site storage host replicas may land on.
-		dep, err := info.Deploy(env.Testbed, info.DeploymentConfig{
-			Local:   local,
-			Remotes: []string{"alpha4", "hit0"},
-			Seed:    seed + 7,
+		jobs = append(jobs, runner.Job[ReplicationResult]{
+			Name: "replication/" + st.name,
+			Run: func(runner.Context) (ReplicationResult, error) {
+				return replicationPoint(seed, st, fetches, fileSize, local)
+			},
 		})
-		if err != nil {
-			return nil, "", err
-		}
-		env.Deploy = dep
-		catalog := replica.NewCatalog()
-		manager, err := replica.NewManager(catalog, env.Xfer.ReplicaTransfer(simxfer.GridFTPOptions(0)), env.Engine, nil)
-		if err != nil {
-			return nil, "", err
-		}
-		if err := manager.Publish(replica.LogicalFile{Name: "file-a", SizeBytes: fileSize}, "alpha4", "/data/file-a"); err != nil {
-			return nil, "", err
-		}
-		onAccess, replications, err := st.mk(manager, env)
-		if err != nil {
-			return nil, "", err
-		}
-		srv, err := core.NewSelectionServer(catalog, dep.Server, paperWeights(), nil)
-		if err != nil {
-			return nil, "", err
-		}
-		app, err := core.NewApplication(core.ApplicationConfig{Local: local},
-			srv, env.Xfer.ReplicaTransfer(simxfer.GridFTPOptions(0)), env.Engine)
-		if err != nil {
-			return nil, "", err
-		}
-		if err := env.Engine.RunUntil(Warmup); err != nil {
-			return nil, "", err
-		}
-		durations := make([]float64, 0, fetches)
-		var launch func(i int)
-		var loopErr error
-		launch = func(i int) {
-			if i >= fetches {
-				return
-			}
-			err := app.Fetch("file-a", func(r core.FetchResult, err error) {
-				if err != nil {
-					loopErr = err
-					return
-				}
-				durations = append(durations, r.Duration().Seconds())
-				_ = onAccess(placement.Access{
-					Logical:    "file-a",
-					ServedFrom: r.Chosen.Location.Host,
-					Client:     local,
-					At:         env.Engine.Now(),
-				})
-				if _, serr := env.Engine.After(time.Minute, func(time.Duration) { launch(i + 1) }); serr != nil {
-					loopErr = serr
-				}
-			})
-			if err != nil {
-				loopErr = err
-			}
-		}
-		if _, err := env.Engine.After(0, func(time.Duration) { launch(0) }); err != nil {
-			return nil, "", err
-		}
-		deadline := env.Engine.Now()
-		for len(durations) < fetches && loopErr == nil {
-			deadline += 30 * time.Minute
-			if err := env.Engine.RunUntil(deadline); err != nil {
-				return nil, "", err
-			}
-		}
-		if loopErr != nil {
-			return nil, "", loopErr
-		}
-		early, _ := metrics.Mean(durations[:3])
-		late, _ := metrics.Mean(durations[3:])
-		out = append(out, ReplicationResult{
-			Strategy:     st.name,
-			EarlySeconds: early,
-			LateSeconds:  late,
-			Replications: replications(),
-		})
+	}
+	out, err := runPoints(seed, cfg, jobs)
+	if err != nil {
+		return nil, "", err
 	}
 	tb := metrics.NewTable(
 		"Extension: dynamic replica placement (512 MB, user at HIT, file initially at THU)",
@@ -152,4 +73,103 @@ func ExtensionReplication(seed int64) ([]ReplicationResult, string, error) {
 			fmt.Sprintf("%.2f", r.LateSeconds), fmt.Sprintf("%d", r.Replications))
 	}
 	return out, tb.String(), nil
+}
+
+// replicationStrategy names one placement policy and builds its access
+// hook and replication counter against a private world's manager.
+type replicationStrategy struct {
+	name string
+	mk   func(man *replica.Manager, env *Env) (func(placement.Access) error, func() int, error)
+}
+
+// replicationPoint runs one placement strategy's full fetch sequence in
+// a private world.
+func replicationPoint(seed int64, st replicationStrategy, fetches int, fileSize int64, local string) (ReplicationResult, error) {
+	env, err := NewEnv(seed, false)
+	if err != nil {
+		return ReplicationResult{}, err
+	}
+	// Monitor from the HIT user's perspective; candidates are the
+	// initial holder and the site storage host replicas may land on.
+	dep, err := info.Deploy(env.Testbed, info.DeploymentConfig{
+		Local:   local,
+		Remotes: []string{"alpha4", "hit0"},
+		Seed:    seed + 7,
+	})
+	if err != nil {
+		return ReplicationResult{}, err
+	}
+	env.Deploy = dep
+	catalog := replica.NewCatalog()
+	manager, err := replica.NewManager(catalog, env.Xfer.ReplicaTransfer(simxfer.GridFTPOptions(0)), env.Engine, nil)
+	if err != nil {
+		return ReplicationResult{}, err
+	}
+	if err := manager.Publish(replica.LogicalFile{Name: "file-a", SizeBytes: fileSize}, "alpha4", "/data/file-a"); err != nil {
+		return ReplicationResult{}, err
+	}
+	onAccess, replications, err := st.mk(manager, env)
+	if err != nil {
+		return ReplicationResult{}, err
+	}
+	srv, err := core.NewSelectionServer(catalog, dep.Server, paperWeights(), nil)
+	if err != nil {
+		return ReplicationResult{}, err
+	}
+	app, err := core.NewApplication(core.ApplicationConfig{Local: local},
+		srv, env.Xfer.ReplicaTransfer(simxfer.GridFTPOptions(0)), env.Engine)
+	if err != nil {
+		return ReplicationResult{}, err
+	}
+	if err := env.Engine.RunUntil(Warmup); err != nil {
+		return ReplicationResult{}, err
+	}
+	durations := make([]float64, 0, fetches)
+	var launch func(i int)
+	var loopErr error
+	launch = func(i int) {
+		if i >= fetches {
+			return
+		}
+		err := app.Fetch("file-a", func(r core.FetchResult, err error) {
+			if err != nil {
+				loopErr = err
+				return
+			}
+			durations = append(durations, r.Duration().Seconds())
+			_ = onAccess(placement.Access{
+				Logical:    "file-a",
+				ServedFrom: r.Chosen.Location.Host,
+				Client:     local,
+				At:         env.Engine.Now(),
+			})
+			if _, serr := env.Engine.After(time.Minute, func(time.Duration) { launch(i + 1) }); serr != nil {
+				loopErr = serr
+			}
+		})
+		if err != nil {
+			loopErr = err
+		}
+	}
+	if _, err := env.Engine.After(0, func(time.Duration) { launch(0) }); err != nil {
+		return ReplicationResult{}, err
+	}
+	deadline := env.Engine.Now()
+	for len(durations) < fetches && loopErr == nil {
+		deadline += 30 * time.Minute
+		if err := env.Engine.RunUntil(deadline); err != nil {
+			return ReplicationResult{}, err
+		}
+	}
+	if loopErr != nil {
+		return ReplicationResult{}, loopErr
+	}
+	early, _ := metrics.Mean(durations[:3])
+	late, _ := metrics.Mean(durations[3:])
+	return ReplicationResult{
+		Strategy:     st.name,
+		EarlySeconds: early,
+		LateSeconds:  late,
+		Replications: replications(),
+	}, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"github.com/hpclab/datagrid/internal/core"
 	"github.com/hpclab/datagrid/internal/metrics"
+	"github.com/hpclab/datagrid/internal/runner"
 	"github.com/hpclab/datagrid/internal/simxfer"
 	"github.com/hpclab/datagrid/internal/workload"
 )
@@ -49,52 +50,84 @@ type Table1Result struct {
 // candidate's practical transfer time is then measured in a fresh world
 // with the same seed — identical conditions — so measurements do not
 // perturb each other, mirroring the paper's sequential measurements.
-func Table1(seed int64) (Table1Result, string, error) {
+//
+// Execution fans out across the worker pool: one job rebuilds the
+// reference world (factors, scores and the local disk read), and one
+// job per remote candidate measures its transfer in a private world.
+func Table1(seed int64, opts ...Option) (Table1Result, string, error) {
 	const fileSize = 1024 * workload.MB
 	snapshot := Warmup + time.Minute
+	cfg := buildConfig(opts)
 
-	ref, err := NewEnv(seed, true)
+	hosts := []string{"alpha1", "alpha4", "hit0", "lz02"}
+	// part carries either the reference job's candidate skeletons (with
+	// scores and alpha1's local read time filled in) or one remote
+	// host's measured transfer seconds.
+	type part struct {
+		candidates []Table1Candidate
+		seconds    float64
+	}
+	jobs := []runner.Job[part]{{
+		Name: "table1/reference",
+		Run: func(runner.Context) (part, error) {
+			ref, err := NewEnv(seed, true)
+			if err != nil {
+				return part{}, err
+			}
+			if err := ref.Engine.RunUntil(snapshot); err != nil {
+				return part{}, err
+			}
+			var cands []Table1Candidate
+			for _, host := range hosts {
+				rep, err := ref.Deploy.Server.Report(host, ref.Engine.Now())
+				if err != nil {
+					return part{}, fmt.Errorf("experiments: report for %s: %w", host, err)
+				}
+				c := Table1Candidate{
+					Host:      host,
+					Local:     host == "alpha1",
+					BWPercent: rep.BandwidthPercent,
+					CPUIdle:   rep.CPUIdlePercent,
+					IOIdle:    rep.IOIdlePercent,
+					Score:     core.Score(rep, paperWeights()),
+				}
+				if c.Local {
+					// Local access: read the file from the local disk.
+					h, err := ref.Testbed.Host(host)
+					if err != nil {
+						return part{}, err
+					}
+					c.TransferSeconds = float64(fileSize) * 8 / h.EffectiveDiskReadBps()
+				}
+				cands = append(cands, c)
+			}
+			return part{candidates: cands}, nil
+		},
+	}}
+	for _, host := range hosts[1:] {
+		jobs = append(jobs, runner.Job[part]{
+			Name: "table1/measure/" + host,
+			Run: func(runner.Context) (part, error) {
+				world, err := NewEnv(seed, true)
+				if err != nil {
+					return part{}, err
+				}
+				res, err := world.MeasureAt(snapshot, host, "alpha1", fileSize, simxfer.GridFTPOptions(0))
+				if err != nil {
+					return part{}, err
+				}
+				return part{seconds: seconds(res.Duration())}, nil
+			},
+		})
+	}
+	parts, err := runPoints(seed, cfg, jobs)
 	if err != nil {
 		return Table1Result{}, "", err
 	}
-	if err := ref.Engine.RunUntil(snapshot); err != nil {
-		return Table1Result{}, "", err
-	}
-
-	hosts := []string{"alpha1", "alpha4", "hit0", "lz02"}
 	var out Table1Result
-	for _, host := range hosts {
-		rep, err := ref.Deploy.Server.Report(host, ref.Engine.Now())
-		if err != nil {
-			return Table1Result{}, "", fmt.Errorf("experiments: report for %s: %w", host, err)
-		}
-		c := Table1Candidate{
-			Host:      host,
-			Local:     host == "alpha1",
-			BWPercent: rep.BandwidthPercent,
-			CPUIdle:   rep.CPUIdlePercent,
-			IOIdle:    rep.IOIdlePercent,
-			Score:     core.Score(rep, paperWeights()),
-		}
-		if c.Local {
-			// Local access: read the file from the local disk.
-			h, err := ref.Testbed.Host(host)
-			if err != nil {
-				return Table1Result{}, "", err
-			}
-			c.TransferSeconds = float64(fileSize) * 8 / h.EffectiveDiskReadBps()
-		} else {
-			world, err := NewEnv(seed, true)
-			if err != nil {
-				return Table1Result{}, "", err
-			}
-			res, err := world.MeasureAt(snapshot, host, "alpha1", fileSize, simxfer.GridFTPOptions(0))
-			if err != nil {
-				return Table1Result{}, "", err
-			}
-			c.TransferSeconds = seconds(res.Duration())
-		}
-		out.Candidates = append(out.Candidates, c)
+	out.Candidates = parts[0].candidates
+	for i := range hosts[1:] {
+		out.Candidates[i+1].TransferSeconds = parts[i+1].seconds
 	}
 
 	scores := make([]float64, len(out.Candidates))

@@ -6,6 +6,7 @@ func All() []*Analyzer {
 		Wallclock,
 		Determinism,
 		LockedCallback,
+		EngineSharing,
 		ErrcheckLite,
 	}
 }

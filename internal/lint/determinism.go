@@ -14,6 +14,7 @@ var determinismScope = []string{
 	"internal/netsim",
 	"internal/workload",
 	"internal/experiments",
+	"internal/runner",
 }
 
 // Determinism flags the two classic sources of run-to-run jitter in the

@@ -20,6 +20,9 @@ func TestDeterminismScope(t *testing.T) {
 		{"github.com/hpclab/datagrid/internal/netsim", true},
 		{"github.com/hpclab/datagrid/internal/workload", true},
 		{"github.com/hpclab/datagrid/internal/experiments", true},
+		// The worker pool orders parallel results deterministically; its
+		// own sources of jitter are as off-limits as the simulation's.
+		{"github.com/hpclab/datagrid/internal/runner", true},
 		// The real FTP stack may use wall-clock-ish randomness (jitter,
 		// ephemeral ports) without perturbing experiment results.
 		{"github.com/hpclab/datagrid/internal/ftp", false},

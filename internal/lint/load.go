@@ -243,6 +243,10 @@ func (l *Loader) walkPackages(root string, dirs map[string]bool) error {
 	})
 }
 
+// goFilesIn lists the non-test Go files of dir that build on the host
+// platform. Build constraints (//go:build lines and _GOOS/_GOARCH file
+// suffixes) are honored via go/build, so platform-split files like
+// cputime_linux.go / cputime_other.go don't collide in one load.
 func goFilesIn(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -253,6 +257,13 @@ func goFilesIn(dir string) ([]string, error) {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		match, err := build.Default.MatchFile(dir, name)
+		if err != nil {
+			return nil, err
+		}
+		if !match {
 			continue
 		}
 		names = append(names, name)

@@ -134,6 +134,40 @@ func (s Summary) String() string {
 		s.N, s.Mean, s.StdDev, s.Min, s.Median, s.P95, s.Max)
 }
 
+// tTable95 holds the two-sided 95% critical values of Student's t for
+// 1..30 degrees of freedom; larger samples fall back to the normal 1.96.
+var tTable95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// MeanCI95 returns the sample mean of xs and the half-width of its
+// two-sided 95% confidence interval under Student's t (sample standard
+// deviation, n-1 degrees of freedom). A single sample has an undefined
+// interval; its half-width is reported as 0.
+func MeanCI95(xs []float64) (mean, half float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	mean, _ = Mean(xs)
+	n := len(xs)
+	if n < 2 {
+		return mean, 0, nil
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	t := 1.960
+	if df := n - 1; df <= len(tTable95) {
+		t = tTable95[df-1]
+	}
+	return mean, t * sd / math.Sqrt(float64(n)), nil
+}
+
 // Pearson returns the Pearson correlation coefficient between xs and ys.
 func Pearson(xs, ys []float64) (float64, error) {
 	if len(xs) != len(ys) {

@@ -100,6 +100,39 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+func TestMeanCI95(t *testing.T) {
+	if _, _, err := MeanCI95(nil); err != ErrEmpty {
+		t.Fatalf("MeanCI95(nil) err = %v, want ErrEmpty", err)
+	}
+	m, h, err := MeanCI95([]float64{7})
+	if err != nil || m != 7 || h != 0 {
+		t.Fatalf("single sample = (%v, %v, %v); want (7, 0, nil)", m, h, err)
+	}
+	// n=4: sample sd = 1.2909..., t(3 df) = 3.182, half = t*sd/sqrt(4).
+	m, h, err = MeanCI95([]float64{1, 2, 3, 4})
+	if err != nil || m != 2.5 {
+		t.Fatalf("mean = %v, %v; want 2.5", m, err)
+	}
+	sd := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if want := 3.182 * sd / 2; !almostEqual(h, want, 1e-9) {
+		t.Fatalf("half-width = %v, want %v", h, want)
+	}
+	// Identical samples: zero-width interval.
+	if _, h, _ = MeanCI95([]float64{5, 5, 5}); h != 0 {
+		t.Fatalf("constant sample half-width = %v, want 0", h)
+	}
+	// Large n falls back to the normal quantile.
+	big := make([]float64, 200)
+	for i := range big {
+		big[i] = float64(i % 2) // sd ~0.5, mean 0.5
+	}
+	_, h, _ = MeanCI95(big)
+	sdBig := math.Sqrt(float64(len(big)) / float64(len(big)-1) * 0.25)
+	if want := 1.960 * sdBig / math.Sqrt(200); !almostEqual(h, want, 1e-9) {
+		t.Fatalf("large-n half-width = %v, want %v", h, want)
+	}
+}
+
 func TestPearson(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 5}
 	ys := []float64{2, 4, 6, 8, 10}

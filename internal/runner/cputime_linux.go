@@ -1,0 +1,24 @@
+//go:build linux
+
+package runner
+
+import (
+	"syscall"
+	"time"
+)
+
+// rusageThread is RUSAGE_THREAD: resource usage of the calling thread
+// only. The syscall package does not export the constant, but the
+// kernel ABI fixes it at 1 on every Linux architecture.
+const rusageThread = 1
+
+// threadCPUTime returns the calling OS thread's consumed CPU time
+// (user + system). Callers must be locked to their thread
+// (runtime.LockOSThread) for the value to be attributable.
+func threadCPUTime() (time.Duration, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(rusageThread, &ru); err != nil {
+		return 0, false
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano()), true
+}

@@ -1,0 +1,10 @@
+//go:build !linux
+
+package runner
+
+import "time"
+
+// threadCPUTime reports that per-thread CPU accounting is unavailable
+// on this platform; Result.CPU stays zero and only wall time is
+// surfaced.
+func threadCPUTime() (time.Duration, bool) { return 0, false }

@@ -1,0 +1,265 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// square returns jobs whose results encode (index, seed) so tests can
+// verify ordering and seed derivation survive any scheduling.
+func squareJobs(n int) []Job[int64] {
+	jobs := make([]Job[int64], n)
+	for i := 0; i < n; i++ {
+		jobs[i] = Job[int64]{
+			Name: fmt.Sprintf("sq/%d", i),
+			Run: func(c Context) (int64, error) {
+				// Burn a little CPU through a seeded RNG so jobs finish
+				// out of submission order under parallelism.
+				rng := rand.New(rand.NewSource(c.Seed))
+				sum := int64(0)
+				for k := 0; k < 1000+rng.Intn(1000); k++ {
+					sum += int64(rng.Intn(7))
+				}
+				return int64(c.Index)*1_000_000 + sum%1000, nil
+			},
+		}
+	}
+	return jobs
+}
+
+func TestRunOrderedAndDeterministicAcrossWorkerCounts(t *testing.T) {
+	jobs := squareJobs(37)
+	var want []int64
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		res, err := Run(jobs, Options{Workers: workers, Seed: 42})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(res) != len(jobs) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(res), len(jobs))
+		}
+		for i, r := range res {
+			if r.Index != i || r.Name != jobs[i].Name {
+				t.Fatalf("workers=%d: result %d has Index=%d Name=%q", workers, i, r.Index, r.Name)
+			}
+			if r.Err != nil || r.Skipped {
+				t.Fatalf("workers=%d: result %d: err=%v skipped=%v", workers, i, r.Err, r.Skipped)
+			}
+		}
+		got := Values(res)
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: value[%d] = %d, want %d (results depend on scheduling)",
+					workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	res, err := Run[int](nil, Options{})
+	if err != nil || len(res) != 0 {
+		t.Fatalf("Run(nil) = %v, %v", res, err)
+	}
+}
+
+func TestRunSurfacesTiming(t *testing.T) {
+	jobs := []Job[int]{{
+		Name: "spin",
+		Run: func(Context) (int, error) {
+			// Busy-spin so both wall and (on Linux) CPU time are nonzero.
+			deadline := time.Now().Add(5 * time.Millisecond)
+			x := 0
+			for time.Now().Before(deadline) {
+				x++
+			}
+			return x, nil
+		},
+	}}
+	res, err := Run(jobs, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Wall <= 0 {
+		t.Fatalf("Wall = %v, want > 0", res[0].Wall)
+	}
+	if _, ok := threadCPUTime(); ok && res[0].CPU <= 0 {
+		t.Fatalf("CPU = %v, want > 0 on a platform with per-thread accounting", res[0].CPU)
+	}
+	if TotalWall(res) != res[0].Wall {
+		t.Fatalf("TotalWall = %v, want %v", TotalWall(res), res[0].Wall)
+	}
+}
+
+func TestRunFailFastSkipsPendingJobs(t *testing.T) {
+	boom := errors.New("boom")
+	const n = 200
+	jobs := make([]Job[int], n)
+	for i := 0; i < n; i++ {
+		jobs[i] = Job[int]{Name: fmt.Sprintf("j%d", i), Run: func(c Context) (int, error) {
+			if c.Index == 0 {
+				return 0, boom
+			}
+			return c.Index, nil
+		}}
+	}
+	res, err := Run(jobs, Options{Workers: 2, Policy: FailFast})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	if !strings.Contains(err.Error(), "j0") {
+		t.Fatalf("err = %v, want job name j0", err)
+	}
+	skipped := 0
+	for _, r := range res {
+		if r.Skipped {
+			skipped++
+			if r.Err != nil || r.Wall != 0 {
+				t.Fatalf("skipped job %d has err=%v wall=%v", r.Index, r.Err, r.Wall)
+			}
+		}
+	}
+	// Job 0 fails while at most one other job is in flight; with 200
+	// jobs and 2 workers the tail must be skipped.
+	if skipped == 0 {
+		t.Fatal("FailFast skipped no jobs")
+	}
+}
+
+func TestRunCollectAllRunsEverythingAndJoinsErrors(t *testing.T) {
+	jobs := make([]Job[int], 10)
+	for i := range jobs {
+		jobs[i] = Job[int]{Name: fmt.Sprintf("j%d", i), Run: func(c Context) (int, error) {
+			if c.Index%3 == 0 {
+				return 0, fmt.Errorf("fail-%d", c.Index)
+			}
+			return c.Index, nil
+		}}
+	}
+	res, err := Run(jobs, Options{Workers: 4, Policy: CollectAll})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	for i := 0; i < 10; i += 3 {
+		if !strings.Contains(err.Error(), fmt.Sprintf("fail-%d", i)) {
+			t.Fatalf("joined error missing fail-%d: %v", i, err)
+		}
+	}
+	for _, r := range res {
+		if r.Skipped {
+			t.Fatalf("CollectAll skipped job %d", r.Index)
+		}
+		if r.Index%3 != 0 && r.Value != r.Index {
+			t.Fatalf("job %d value = %d", r.Index, r.Value)
+		}
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	jobs := []Job[int]{
+		{Name: "ok", Run: func(Context) (int, error) { return 7, nil }},
+		{Name: "bad", Run: func(Context) (int, error) { panic("kaboom") }},
+	}
+	res, err := Run(jobs, Options{Workers: 2, Policy: CollectAll})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v, want panic message", err)
+	}
+	if res[0].Value != 7 || res[0].Err != nil {
+		t.Fatalf("healthy job disturbed: %+v", res[0])
+	}
+	if res[1].Err == nil || !strings.Contains(res[1].Err.Error(), "panicked") {
+		t.Fatalf("panic not converted to error: %+v", res[1])
+	}
+}
+
+func TestRunAnonymousJobNamesInErrors(t *testing.T) {
+	jobs := []Job[int]{{Run: func(Context) (int, error) { return 0, errors.New("x") }}}
+	_, err := Run(jobs, Options{})
+	if err == nil || !strings.Contains(err.Error(), "job[0]") {
+		t.Fatalf("err = %v, want job[0] label", err)
+	}
+}
+
+func TestDeriveSeedGoldenValues(t *testing.T) {
+	// Pinned outputs of the SplitMix64 stream: any change to the
+	// derivation silently reseeds every -trials replication, so it must
+	// be deliberate.
+	cases := []struct {
+		base  int64
+		index int
+		want  int64
+	}{
+		{42, 0, -4767286540954276203},
+		{42, 1, 2949826092126892291},
+		{42, 2, 5139283748462763858},
+		{43, 0, -5014216602933006456},
+		{0, 0, -2152535657050944081},
+	}
+	for _, c := range cases {
+		if got := DeriveSeed(c.base, c.index); got != c.want {
+			t.Errorf("DeriveSeed(%d, %d) = %d, want %d", c.base, c.index, got, c.want)
+		}
+	}
+}
+
+func TestDeriveSeedInjectiveOverIndexes(t *testing.T) {
+	seen := map[int64]int{}
+	for i := 0; i < 100_000; i++ {
+		s := DeriveSeed(42, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("DeriveSeed(42, %d) == DeriveSeed(42, %d) == %d", i, prev, s)
+		}
+		seen[s] = i
+	}
+}
+
+// TestRunStressRace floods the pool with more jobs than workers many
+// times over; `go test -race ./internal/runner/...` runs it under the
+// race detector (a CI gate). Each job builds private state and hashes
+// its derived seed, so any accidental sharing between workers trips the
+// detector or the determinism comparison below.
+func TestRunStressRace(t *testing.T) {
+	const n = 128 // ≥64 concurrent-capable jobs, twice over
+	mk := func() []Job[uint64] {
+		jobs := make([]Job[uint64], n)
+		for i := 0; i < n; i++ {
+			jobs[i] = Job[uint64]{
+				Name: fmt.Sprintf("stress/%d", i),
+				Run: func(c Context) (uint64, error) {
+					rng := rand.New(rand.NewSource(c.Seed))
+					buf := make([]uint64, 256)
+					for k := range buf {
+						buf[k] = rng.Uint64()
+					}
+					var h uint64 = 1469598103934665603
+					for _, v := range buf {
+						h = (h ^ v) * 1099511628211
+					}
+					return h, nil
+				},
+			}
+		}
+		return jobs
+	}
+	resA, err := Run(mk(), Options{Workers: 64, Seed: 7, Policy: CollectAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := Run(mk(), Options{Workers: 3, Seed: 7, Policy: CollectAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range resA {
+		if resA[i].Value != resB[i].Value {
+			t.Fatalf("job %d: 64-worker value %x != 3-worker value %x", i, resA[i].Value, resB[i].Value)
+		}
+	}
+}
