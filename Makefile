@@ -4,7 +4,7 @@ GO ?= go
 # BENCH_netsim.json (see docs/PERFORMANCE.md).
 BENCH_LABEL ?= local
 
-.PHONY: all build vet lint test race bench bench-netsim bench-suite figures examples clean
+.PHONY: all build vet lint test race bench bench-netsim bench-suite bench-select figures examples clean
 
 all: build vet test
 
@@ -45,6 +45,14 @@ bench-netsim:
 bench-suite:
 	$(GO) test -run='^$$' -bench='GridbenchAll' -benchmem -timeout 1200s . \
 		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -out BENCH_suite.json
+
+# Record the selection-throughput benchmark (pull-per-query vs pinned
+# gridstate snapshot, 1 and 8 concurrent selectors) into
+# BENCH_select.json. The snapshot/pull ratio is the batch-Rank speedup on
+# this machine (docs/PERFORMANCE.md documents the workflow).
+bench-select:
+	$(GO) test -run='^$$' -bench='SelectionThroughput' -benchmem -timeout 600s . \
+		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -out BENCH_select.json
 
 # Regenerate every paper artifact (Fig. 3, Fig. 4, Table 1, ablations,
 # extensions) in the text form EXPERIMENTS.md quotes.

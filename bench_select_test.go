@@ -1,0 +1,163 @@
+package datagrid
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/core"
+	"github.com/hpclab/datagrid/internal/experiments"
+	"github.com/hpclab/datagrid/internal/info"
+	"github.com/hpclab/datagrid/internal/replica"
+)
+
+// selectionBenchLogicals is the batch size: the number of logical files a
+// selection burst scores (a job submission staging its input set).
+const selectionBenchLogicals = 64
+
+// selectionBenchEnv is the monitored Table 1 world plus a catalog of
+// selectionBenchLogicals files, each replicated on alpha4, hit0 and lz02.
+type selectionBenchEnv struct {
+	now      time.Duration
+	catalog  *replica.Catalog
+	infoSrv  *info.Server
+	sel      *core.SelectionServer
+	logicals []string
+}
+
+func newSelectionBenchEnv(b *testing.B) *selectionBenchEnv {
+	b.Helper()
+	env, err := experiments.NewEnv(benchSeed, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := env.Engine.RunUntil(experiments.Warmup); err != nil {
+		b.Fatal(err)
+	}
+	catalog := replica.NewCatalog()
+	logicals := make([]string, 0, selectionBenchLogicals)
+	for i := 0; i < selectionBenchLogicals; i++ {
+		name := fmt.Sprintf("file-%03d", i)
+		if err := catalog.CreateLogical(replica.LogicalFile{Name: name, SizeBytes: 256 << 20}); err != nil {
+			b.Fatal(err)
+		}
+		for _, h := range []string{"alpha4", "hit0", "lz02"} {
+			if err := catalog.Register(name, replica.Location{Host: h, Path: "/data/" + name}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		logicals = append(logicals, name)
+	}
+	infoSrv := env.Deploy.Server
+	sel, err := core.NewSelectionServer(catalog, infoSrv, core.PaperWeights, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &selectionBenchEnv{
+		now: env.Engine.Now(), catalog: catalog, infoSrv: infoSrv,
+		sel: sel, logicals: logicals,
+	}
+}
+
+// rankPull is the pre-snapshot selection read path: one information-server
+// pull per candidate per request. The info server queries live,
+// single-goroutine substrates, so concurrent selectors must serialize
+// every pull behind mu — which is exactly the scaling wall the snapshot
+// plane removes.
+func rankPull(e *selectionBenchEnv, mu *sync.Mutex, logical string) ([]core.Candidate, error) {
+	locs, err := e.catalog.Locations(logical)
+	if err != nil {
+		return nil, err
+	}
+	cands := make([]core.Candidate, 0, len(locs))
+	for _, loc := range locs {
+		mu.Lock()
+		rep, err := e.infoSrv.ReportLive(loc.Host, e.now)
+		mu.Unlock()
+		if err != nil {
+			if errors.Is(err, info.ErrNoData) {
+				continue
+			}
+			return nil, err
+		}
+		cands = append(cands, core.Candidate{Location: loc, Report: rep, Score: core.Score(rep, core.PaperWeights)})
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("no usable replica for %s", logical)
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		return cands[i].Location.String() < cands[j].Location.String()
+	})
+	return cands, nil
+}
+
+// BenchmarkSelectionThroughput measures a burst of replica selections —
+// ranking selectionBenchLogicals logical files across W concurrent
+// selectors — on the two read paths: "pull" (per-candidate information
+// server queries, serialized because the live substrates are
+// single-goroutine) versus "snapshot" (one pinned gridstate epoch,
+// lock-free batch Rank). The per-op workload is identical; the snapshot
+// path wins on per-request work (map lookups against an immutable epoch
+// versus MDS searches, forecast evaluations and staleness checks), not on
+// core count. Recorded to BENCH_select.json via `make bench-select`.
+func BenchmarkSelectionThroughput(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		for _, mode := range []string{"pull", "snapshot"} {
+			b.Run(fmt.Sprintf("%s/selectors=%d", mode, workers), func(b *testing.B) {
+				e := newSelectionBenchEnv(b)
+				// Shards: each worker ranks an interleaved share of the
+				// logical files.
+				shards := make([][]string, workers)
+				for i, lg := range e.logicals {
+					shards[i%workers] = append(shards[i%workers], lg)
+				}
+				var mu sync.Mutex
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var wg sync.WaitGroup
+					switch mode {
+					case "pull":
+						for _, shard := range shards {
+							wg.Add(1)
+							go func(shard []string) {
+								defer wg.Done()
+								for _, lg := range shard {
+									if _, err := rankPull(e, &mu, lg); err != nil {
+										b.Error(err)
+										return
+									}
+								}
+							}(shard)
+						}
+					case "snapshot":
+						view := e.sel.PinView(e.now)
+						for _, shard := range shards {
+							wg.Add(1)
+							go func(shard []string) {
+								defer wg.Done()
+								for _, lg := range shard {
+									if _, err := view.Rank(lg); err != nil {
+										b.Error(err)
+										return
+									}
+								}
+							}(shard)
+						}
+					}
+					wg.Wait()
+				}
+				b.StopTimer()
+				ranks := float64(b.N) * float64(len(e.logicals))
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(ranks/secs, "ranks/s")
+				}
+			})
+		}
+	}
+}

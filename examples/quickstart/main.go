@@ -81,15 +81,18 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Warm the monitors up, then look at the ranking.
+	// Warm the monitors up, then pin a grid-state snapshot and rank the
+	// replicas against that single consistent view.
 	if err := engine.RunUntil(3 * time.Minute); err != nil {
 		log.Fatal(err)
 	}
-	ranked, err := selection.Rank("file-a", engine.Now())
+	view := selection.PinView(engine.Now())
+	ranked, err := view.Rank("file-a")
 	if err != nil {
 		log.Fatal(err)
 	}
-	tb := metrics.NewTable("Replica ranking for file-a (user at alpha1)",
+	tb := metrics.NewTable(
+		fmt.Sprintf("Replica ranking for file-a (user at alpha1, snapshot epoch %d)", view.Epoch()),
 		"host", "BW %", "CPU idle %", "I/O idle %", "score")
 	for _, c := range ranked {
 		tb.AddRow(c.Location.Host,

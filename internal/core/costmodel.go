@@ -215,6 +215,10 @@ type SelectionServer struct {
 	infoSrv  *info.Server
 	weights  Weights
 	selector Selector
+	// view is the last pinned snapshot view, reused while its snapshot
+	// stays current (per-epoch memoization). Written only by PinView on
+	// the simulation goroutine.
+	view *SnapshotView
 }
 
 // NewSelectionServer wires a selection server. selector defaults to the

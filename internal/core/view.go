@@ -1,0 +1,165 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/gridstate"
+	"github.com/hpclab/datagrid/internal/info"
+)
+
+// viewEntry is one host's memoized outcome under a pinned snapshot: the
+// report and its cost-model score, or the error the snapshot build stored.
+type viewEntry struct {
+	report info.HostReport
+	score  float64
+	err    error
+}
+
+// SnapshotView scores candidates against one pinned grid-state snapshot.
+// Every tracked host's report and score is memoized when the view is
+// built, so ranking N logical files costs N catalog lookups plus sorts —
+// no substrate queries. The view is immutable after PinView returns it;
+// Rank and SelectBest are safe to call from any number of goroutines
+// concurrently, provided the replica catalog is not mutated meanwhile and
+// the configured selector is stateless (CostModelSelector and the other
+// value-type selectors are; *RoundRobinSelector is not).
+type SnapshotView struct {
+	srv  *SelectionServer
+	snap *gridstate.Snapshot
+	memo map[string]viewEntry
+}
+
+// PinView pins the server's current grid-state snapshot (rebuilding it if
+// the clock or a substrate moved) and returns a view scoring against it.
+// Views are memoized per epoch: pinning twice without substrate movement
+// returns the same view. Must run on the simulation goroutine; the
+// returned view may then be shared freely.
+func (s *SelectionServer) PinView(now time.Duration) *SnapshotView {
+	snap := s.infoSrv.Snapshot(now)
+	if v := s.view; v != nil && v.snap == snap {
+		return v
+	}
+	memo := make(map[string]viewEntry, len(snap.Hosts()))
+	for _, h := range snap.Hosts() {
+		rep, err := info.ReportFrom(snap, h)
+		if err != nil {
+			memo[h] = viewEntry{err: err}
+			continue
+		}
+		memo[h] = viewEntry{report: rep, score: Score(rep, s.weights)}
+	}
+	v := &SnapshotView{srv: s, snap: snap, memo: memo}
+	s.view = v
+	return v
+}
+
+// Snapshot returns the pinned snapshot backing this view.
+func (v *SnapshotView) Snapshot() *gridstate.Snapshot { return v.snap }
+
+// Epoch returns the pinned snapshot's epoch.
+func (v *SnapshotView) Epoch() uint64 { return v.snap.Epoch() }
+
+// Rank scores every registered replica of the logical file against the
+// pinned snapshot and returns the candidates sorted best-first, with
+// exactly SelectionServer.Rank's semantics: replicas without monitoring
+// data are skipped, and ErrNoUsableReplica is returned if none remain.
+// Hosts the snapshot does not cover are treated as unmonitored — a view
+// cannot fall back to the live pull path without breaking its lock-free
+// contract.
+func (v *SnapshotView) Rank(logical string) ([]Candidate, error) {
+	locs, err := v.srv.catalog.Locations(logical)
+	if err != nil {
+		return nil, err
+	}
+	cands := make([]Candidate, 0, len(locs))
+	for _, loc := range locs {
+		e, ok := v.memo[loc.Host]
+		if !ok {
+			continue
+		}
+		if e.err != nil {
+			if errors.Is(e.err, info.ErrNoData) {
+				continue
+			}
+			return nil, e.err
+		}
+		cands = append(cands, Candidate{Location: loc, Report: e.report, Score: e.score})
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("%w: %q has %d replicas, none monitored", ErrNoUsableReplica, logical, len(locs))
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		return cands[i].Location.String() < cands[j].Location.String()
+	})
+	return cands, nil
+}
+
+// SelectBest returns the server's selector's choice among the view-ranked
+// candidates of the logical file.
+func (v *SnapshotView) SelectBest(logical string) (Candidate, error) {
+	cands, err := v.Rank(logical)
+	if err != nil {
+		return Candidate{}, err
+	}
+	return v.srv.pick(cands)
+}
+
+// pick applies the configured selector with the same bounds check as
+// SelectBest.
+func (s *SelectionServer) pick(cands []Candidate) (Candidate, error) {
+	i, err := s.selector.Select(cands)
+	if err != nil {
+		return Candidate{}, err
+	}
+	if i < 0 || i >= len(cands) {
+		return Candidate{}, fmt.Errorf("core: selector %q returned out-of-range index %d", s.selector.Name(), i)
+	}
+	return cands[i], nil
+}
+
+// BatchItem is one logical file's outcome in a batch selection: the ranked
+// candidates, the selector's choice (for SelectBestBatch), or the error
+// that stopped that file. Files in a batch fail independently.
+type BatchItem struct {
+	Logical    string
+	Candidates []Candidate
+	Best       Candidate
+	Err        error
+}
+
+// RankBatch ranks every logical file against a single pinned snapshot, so
+// N files cost one snapshot validation instead of N×candidates substrate
+// pulls. Must run on the simulation goroutine (it may republish the
+// snapshot).
+func (s *SelectionServer) RankBatch(logicals []string, now time.Duration) []BatchItem {
+	v := s.PinView(now)
+	items := make([]BatchItem, len(logicals))
+	for i, lg := range logicals {
+		cands, err := v.Rank(lg)
+		items[i] = BatchItem{Logical: lg, Candidates: cands, Err: err}
+	}
+	return items
+}
+
+// SelectBestBatch ranks and selects for every logical file against a
+// single pinned snapshot.
+func (s *SelectionServer) SelectBestBatch(logicals []string, now time.Duration) []BatchItem {
+	v := s.PinView(now)
+	items := make([]BatchItem, len(logicals))
+	for i, lg := range logicals {
+		cands, err := v.Rank(lg)
+		if err != nil {
+			items[i] = BatchItem{Logical: lg, Err: err}
+			continue
+		}
+		best, err := s.pick(cands)
+		items[i] = BatchItem{Logical: lg, Candidates: cands, Best: best, Err: err}
+	}
+	return items
+}

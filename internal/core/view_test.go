@@ -1,0 +1,208 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/replica"
+)
+
+// TestViewRankMatchesServerRank is the batch-vs-live equivalence check:
+// a pinned view must rank exactly as SelectionServer.Rank does at the
+// same instant.
+func TestViewRankMatchesServerRank(t *testing.T) {
+	p := buildPipeline(t)
+	for host, load := range map[string]float64{"hit0": 0.5, "lz02": 0.3} {
+		h, _ := p.tb.Host(host)
+		if err := h.SetBaseCPULoad(load); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.eng.RunUntil(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	live, err := p.sel.Rank("file-a", p.eng.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := p.sel.PinView(p.eng.Now())
+	batch, err := view.Rank("file-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(live) {
+		t.Fatalf("view ranked %d candidates, live ranked %d", len(batch), len(live))
+	}
+	for i := range live {
+		if batch[i] != live[i] {
+			t.Fatalf("candidate %d diverged:\nview: %+v\nlive: %+v", i, batch[i], live[i])
+		}
+	}
+}
+
+func TestPinViewMemoizesPerEpoch(t *testing.T) {
+	p := buildPipeline(t)
+	if err := p.eng.RunUntil(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	v1 := p.sel.PinView(p.eng.Now())
+	v2 := p.sel.PinView(p.eng.Now())
+	if v1 != v2 {
+		t.Fatal("same epoch must return the same view")
+	}
+	if err := p.eng.RunUntil(time.Minute + 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	v3 := p.sel.PinView(p.eng.Now())
+	if v3 == v1 || v3.Epoch() <= v1.Epoch() {
+		t.Fatalf("after monitors moved, epoch %d must exceed %d", v3.Epoch(), v1.Epoch())
+	}
+}
+
+func TestViewSelectBestMatchesServer(t *testing.T) {
+	p := buildPipeline(t)
+	if err := p.eng.RunUntil(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	live, err := p.sel.SelectBest("file-a", p.eng.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := p.sel.PinView(p.eng.Now())
+	batch, err := view.SelectBest("file-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch != live {
+		t.Fatalf("view chose %+v, live chose %+v", batch, live)
+	}
+}
+
+func TestRankBatchManyLogicals(t *testing.T) {
+	p := buildPipeline(t)
+	// Register extra logical files with different replica subsets.
+	logicals := []string{"file-a"}
+	subsets := map[string][]string{
+		"file-b": {"alpha4", "hit0"},
+		"file-c": {"lz02"},
+		"file-d": {"hit0", "lz02"},
+	}
+	for name, hosts := range subsets {
+		if err := p.catalog.CreateLogical(replica.LogicalFile{Name: name, SizeBytes: 1 << 20}); err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range hosts {
+			if err := p.catalog.Register(name, replica.Location{Host: h, Path: "/data/" + name}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		logicals = append(logicals, name)
+	}
+	if err := p.eng.RunUntil(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	items := p.sel.RankBatch(logicals, p.eng.Now())
+	if len(items) != len(logicals) {
+		t.Fatalf("batch returned %d items for %d logicals", len(items), len(logicals))
+	}
+	for i, it := range items {
+		if it.Logical != logicals[i] {
+			t.Fatalf("item %d is %q, want %q", i, it.Logical, logicals[i])
+		}
+		if it.Err != nil {
+			t.Fatalf("%s: %v", it.Logical, it.Err)
+		}
+		want := 3
+		if hosts, ok := subsets[it.Logical]; ok {
+			want = len(hosts)
+		}
+		if len(it.Candidates) != want {
+			t.Fatalf("%s ranked %d candidates, want %d", it.Logical, len(it.Candidates), want)
+		}
+		// Every item's reports carry the same snapshot instant.
+		for _, c := range it.Candidates {
+			if c.Report.At != items[0].Candidates[0].Report.At {
+				t.Fatalf("mixed snapshot instants in one batch: %v vs %v",
+					c.Report.At, items[0].Candidates[0].Report.At)
+			}
+		}
+	}
+	// Per-logical results equal the individually ranked ones.
+	for _, it := range items {
+		live, err := p.sel.Rank(it.Logical, p.eng.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range live {
+			if it.Candidates[i] != live[i] {
+				t.Fatalf("%s candidate %d diverged", it.Logical, i)
+			}
+		}
+	}
+}
+
+func TestBatchFailsPerLogical(t *testing.T) {
+	p := buildPipeline(t)
+	// file-ghost has one replica on lz04, which the deployment does not
+	// monitor; file-nope does not exist at all.
+	if err := p.catalog.CreateLogical(replica.LogicalFile{Name: "file-ghost", SizeBytes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.catalog.Register("file-ghost", replica.Location{Host: "lz04", Path: "/x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.eng.RunUntil(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	items := p.sel.SelectBestBatch([]string{"file-a", "file-ghost", "file-nope"}, p.eng.Now())
+	if items[0].Err != nil || items[0].Best.Location.Host == "" {
+		t.Fatalf("file-a should select: %+v", items[0])
+	}
+	if !errors.Is(items[1].Err, ErrNoUsableReplica) {
+		t.Fatalf("file-ghost err = %v, want ErrNoUsableReplica", items[1].Err)
+	}
+	if items[2].Err == nil {
+		t.Fatal("unknown logical must fail its item")
+	}
+}
+
+func TestViewConcurrentRank(t *testing.T) {
+	// The lock-free contract: one pinned view may serve many selector
+	// goroutines at once. Run under -race.
+	p := buildPipeline(t)
+	if err := p.eng.RunUntil(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	view := p.sel.PinView(p.eng.Now())
+	want, err := view.Rank("file-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				got, err := view.Rank("file-a")
+				if err != nil {
+					t.Errorf("Rank: %v", err)
+					return
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						t.Errorf("concurrent rank diverged at %d", j)
+						return
+					}
+				}
+				if _, err := view.SelectBest("file-a"); err != nil {
+					t.Errorf("SelectBest: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

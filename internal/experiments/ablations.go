@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/hpclab/datagrid/internal/core"
+	"github.com/hpclab/datagrid/internal/info"
 	"github.com/hpclab/datagrid/internal/metrics"
 	"github.com/hpclab/datagrid/internal/nws"
 	"github.com/hpclab/datagrid/internal/runner"
@@ -132,9 +133,12 @@ func AblationWeights(seed int64, opts ...Option) ([]WeightResult, string, error)
 				if err := ref.Engine.RunUntil(epochAt(i)); err != nil {
 					return part{}, err
 				}
+				// One pinned snapshot per decision epoch: all three
+				// candidates are judged on the same grid state.
+				snap := ref.Deploy.Server.Snapshot(ref.Engine.Now())
 				reports[i] = map[string]coreReport{}
 				for _, h := range hosts {
-					rep, err := ref.Deploy.Server.Report(h, ref.Engine.Now())
+					rep, err := info.ReportFrom(snap, h)
 					if err != nil {
 						return part{}, err
 					}

@@ -149,6 +149,9 @@ type CostPoint struct {
 	At    time.Duration
 	Host  string
 	Score float64
+	// Epoch is the grid-state snapshot epoch the score was taken from, so
+	// consumers can tell which samples share one monitoring view.
+	Epoch uint64
 }
 
 // CostSeries runs the monitored testbed and samples every candidate's
@@ -178,12 +181,15 @@ func CostSeries(seed int64, span, period time.Duration) ([]CostPoint, error) {
 		if err := env.Engine.RunUntil(at); err != nil {
 			return nil, err
 		}
-		cands, err := sel.Rank("file-a", env.Engine.Now())
+		// Each sampling instant pins one snapshot view; all candidates in
+		// the row score against the same epoch.
+		view := sel.PinView(env.Engine.Now())
+		cands, err := view.Rank("file-a")
 		if err != nil {
 			return nil, err
 		}
 		for _, c := range cands {
-			points = append(points, CostPoint{At: at - Warmup, Host: c.Location.Host, Score: c.Score})
+			points = append(points, CostPoint{At: at - Warmup, Host: c.Location.Host, Score: c.Score, Epoch: view.Epoch()})
 		}
 	}
 	return points, nil

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/hpclab/datagrid/internal/core"
+	"github.com/hpclab/datagrid/internal/info"
 	"github.com/hpclab/datagrid/internal/metrics"
 	"github.com/hpclab/datagrid/internal/runner"
 	"github.com/hpclab/datagrid/internal/simxfer"
@@ -77,9 +78,12 @@ func Table1(seed int64, opts ...Option) (Table1Result, string, error) {
 			if err := ref.Engine.RunUntil(snapshot); err != nil {
 				return part{}, err
 			}
+			// Pin one grid-state snapshot so every candidate's factors
+			// come from the same epoch, not four separate pulls.
+			snap := ref.Deploy.Server.Snapshot(ref.Engine.Now())
 			var cands []Table1Candidate
 			for _, host := range hosts {
-				rep, err := ref.Deploy.Server.Report(host, ref.Engine.Now())
+				rep, err := info.ReportFrom(snap, host)
 				if err != nil {
 					return part{}, fmt.Errorf("experiments: report for %s: %w", host, err)
 				}

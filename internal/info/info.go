@@ -3,14 +3,25 @@
 // replica host, returns "the performance of measurements and predictions of
 // three system factors" — network bandwidth (from NWS forecasts), CPU load
 // (from an MDS query) and I/O state (from sysstat collectors).
+//
+// Since the snapshot-plane refactor the server is a thin view over
+// gridstate: hosts with a sysstat collector (the deployment's monitored
+// set) are tracked by a gridstate.Publisher, and Report answers them from
+// the current epoch-stamped snapshot, rebuilding it lazily when the
+// virtual clock or a substrate revision moved. The original pull-per-query
+// path is retained verbatim as the snapshot builder (BuildHostPerf) and as
+// ReportLive for hosts outside the tracked set, so the two read paths
+// cannot diverge.
 package info
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"time"
 
+	"github.com/hpclab/datagrid/internal/gridstate"
 	"github.com/hpclab/datagrid/internal/mds"
 	"github.com/hpclab/datagrid/internal/netsim"
 	"github.com/hpclab/datagrid/internal/nws"
@@ -45,13 +56,28 @@ type HostReport struct {
 	At time.Duration
 }
 
+// ioIdleSource is the slice of sysstat.Collector the server reads. Keeping
+// it an interface lets same-package tests substitute failing collectors.
+type ioIdleSource interface {
+	IOIdlePercent() (float64, error)
+}
+
+// hostFilters holds a host's precompiled MDS filters so the hot query path
+// does not re-parse the same filter strings on every report.
+type hostFilters struct {
+	cpu  mds.Filter
+	disk mds.Filter
+}
+
 // Server aggregates the three monitoring substrates.
 type Server struct {
 	local   string
 	network *netsim.Network
 	nwsMem  *nws.Memory
 	dir     mds.Searcher
-	sys     map[string]*sysstat.Collector
+	sys     map[string]ioIdleSource
+	filters map[string]hostFilters
+	pub     *gridstate.Publisher
 	// maxAge, when positive, marks hosts whose last bandwidth measurement
 	// is older than this as unmonitored (ErrNoData). Stale series mean
 	// the probe path stalled — typically a dead host or link — and the
@@ -66,6 +92,8 @@ func (s *Server) SetStaleness(d time.Duration) error {
 		return fmt.Errorf("info: negative staleness %v", d)
 	}
 	s.maxAge = d
+	// The current snapshot was built under the old staleness policy.
+	s.pub.Invalidate()
 	return nil
 }
 
@@ -73,6 +101,10 @@ func (s *Server) SetStaleness(d time.Duration) error {
 // host. dir is the MDS index to query for CPU state (typically the top
 // GIIS); sys maps host name to its sysstat collector and may be nil if I/O
 // state should come from MDS disk entries instead.
+//
+// The keys of sys become the snapshot plane's tracked host set: Report
+// answers them from the publisher's current snapshot. Hosts outside sys
+// are served by the live pull path on every call.
 func NewServer(local string, network *netsim.Network, nwsMem *nws.Memory, dir mds.Searcher, sys map[string]*sysstat.Collector) (*Server, error) {
 	if local == "" {
 		return nil, errors.New("info: empty local host")
@@ -86,24 +118,122 @@ func NewServer(local string, network *netsim.Network, nwsMem *nws.Memory, dir md
 	if dir == nil {
 		return nil, errors.New("info: nil MDS directory")
 	}
-	if sys == nil {
-		sys = map[string]*sysstat.Collector{}
+	tracked := make([]string, 0, len(sys))
+	isys := make(map[string]ioIdleSource, len(sys))
+	for h, c := range sys {
+		tracked = append(tracked, h)
+		isys[h] = c
 	}
-	return &Server{local: local, network: network, nwsMem: nwsMem, dir: dir, sys: sys}, nil
+	sort.Strings(tracked)
+	srv := &Server{
+		local:   local,
+		network: network,
+		nwsMem:  nwsMem,
+		dir:     dir,
+		sys:     isys,
+		filters: make(map[string]hostFilters),
+	}
+	sources := []gridstate.Source{nwsMem}
+	if d, ok := dir.(gridstate.Source); ok {
+		sources = append(sources, d)
+	}
+	for _, h := range tracked {
+		sources = append(sources, sys[h])
+	}
+	pub, err := gridstate.NewPublisher(local, tracked, srv, sources...)
+	if err != nil {
+		return nil, err
+	}
+	srv.pub = pub
+	return srv, nil
 }
 
 // Local returns the host this server reports relative to.
 func (s *Server) Local() string { return s.local }
 
+// Publisher exposes the snapshot plane backing this server.
+func (s *Server) Publisher() *gridstate.Publisher { return s.pub }
+
+// Snapshot returns a grid-state snapshot valid at now, rebuilding lazily
+// if the clock or a substrate revision moved since the last epoch. Must
+// run on the simulation goroutine; the returned snapshot is immutable and
+// may be read from any goroutine.
+func (s *Server) Snapshot(now time.Duration) *gridstate.Snapshot {
+	return s.pub.Snapshot(now)
+}
+
 // ErrNoData is returned when a substrate has no information about a host.
 var ErrNoData = errors.New("info: no monitoring data")
 
 // Report gathers the three system factors for a candidate host at the
-// current virtual time.
+// current virtual time. Tracked hosts are answered from the snapshot
+// plane; others fall back to the live pull path (ReportLive).
 func (s *Server) Report(host string, now time.Duration) (HostReport, error) {
 	if host == "" {
 		return HostReport{}, errors.New("info: empty host")
 	}
+	if s.pub.Covers(host) {
+		return ReportFrom(s.pub.Snapshot(now), host)
+	}
+	return s.buildLive(host, now)
+}
+
+// ReportLive gathers the three system factors by querying the monitoring
+// substrates directly, bypassing the snapshot plane. This is the legacy
+// pull-per-query path; Report and the snapshot builder both reduce to it.
+func (s *Server) ReportLive(host string, now time.Duration) (HostReport, error) {
+	if host == "" {
+		return HostReport{}, errors.New("info: empty host")
+	}
+	return s.buildLive(host, now)
+}
+
+// BuildHostPerf implements gridstate.Builder: one tracked host's snapshot
+// entry is exactly the live pull path's answer at the build instant.
+func (s *Server) BuildHostPerf(host string, now time.Duration) (gridstate.HostPerf, error) {
+	r, err := s.buildLive(host, now)
+	if err != nil {
+		return gridstate.HostPerf{}, err
+	}
+	return gridstate.HostPerf{
+		Host:             r.Host,
+		Local:            r.Local,
+		BandwidthMbps:    r.BandwidthMbps,
+		TheoreticalMbps:  r.TheoreticalMbps,
+		BandwidthPercent: r.BandwidthPercent,
+		CPUIdlePercent:   r.CPUIdlePercent,
+		IOIdlePercent:    r.IOIdlePercent,
+		LatencyMs:        r.LatencyMs,
+		At:               r.At,
+	}, nil
+}
+
+// ReportFrom converts a snapshot entry into the server's answer for host.
+// It preserves the live path's error semantics exactly: the error stored
+// at build time (ErrNoData wrapping included) is returned as-is, and
+// hosts the snapshot does not cover yield gridstate.ErrUntracked.
+func ReportFrom(snap *gridstate.Snapshot, host string) (HostReport, error) {
+	perf, err := snap.Lookup(host)
+	if err != nil {
+		return HostReport{}, err
+	}
+	return HostReport{
+		Host:             perf.Host,
+		Local:            perf.Local,
+		BandwidthMbps:    perf.BandwidthMbps,
+		TheoreticalMbps:  perf.TheoreticalMbps,
+		BandwidthPercent: perf.BandwidthPercent,
+		CPUIdlePercent:   perf.CPUIdlePercent,
+		IOIdlePercent:    perf.IOIdlePercent,
+		LatencyMs:        perf.LatencyMs,
+		At:               perf.At,
+	}, nil
+}
+
+// buildLive is the pull path: it queries NWS, MDS and sysstat for one host
+// at one virtual instant. Both Report (for untracked hosts) and the
+// snapshot builder go through it.
+func (s *Server) buildLive(host string, now time.Duration) (HostReport, error) {
 	r := HostReport{Host: host, Local: s.local, At: now}
 
 	if host == s.local {
@@ -162,12 +292,31 @@ func (s *Server) Report(host string, now time.Duration) (HostReport, error) {
 	return r, nil
 }
 
+// filtersFor returns the host's precompiled MDS filters, parsing and
+// caching them on first use.
+func (s *Server) filtersFor(host string) (hostFilters, error) {
+	if f, ok := s.filters[host]; ok {
+		return f, nil
+	}
+	cpu, err := mds.ParseFilter("(&(" + mds.AttrHostName + "=" + host + ")(" + mds.AttrDevice + "=cpu))")
+	if err != nil {
+		return hostFilters{}, err
+	}
+	disk, err := mds.ParseFilter("(&(" + mds.AttrHostName + "=" + host + ")(" + mds.AttrDevice + "=disk))")
+	if err != nil {
+		return hostFilters{}, err
+	}
+	f := hostFilters{cpu: cpu, disk: disk}
+	s.filters[host] = f
+	return f, nil
+}
+
 func (s *Server) cpuIdle(host string) (float64, error) {
-	f, err := mds.ParseFilter("(&(" + mds.AttrHostName + "=" + host + ")(" + mds.AttrDevice + "=cpu))")
+	hf, err := s.filtersFor(host)
 	if err != nil {
 		return 0, err
 	}
-	es, err := s.dir.Search(f)
+	es, err := s.dir.Search(hf.cpu)
 	if err != nil {
 		return 0, fmt.Errorf("%w: MDS query for %s: %v", ErrNoData, host, err)
 	}
@@ -191,13 +340,19 @@ func (s *Server) ioIdle(host string) (float64, error) {
 		if err == nil {
 			return v, nil
 		}
-		// fall through to MDS if the collector has no samples yet
+		if !errors.Is(err, sysstat.ErrNoSamples) {
+			// A collector that exists but fails for any reason other
+			// than "no samples yet" is a real fault; hiding it behind
+			// the MDS fallback would mask broken monitoring.
+			return 0, fmt.Errorf("info: I/O collector for %s: %w", host, err)
+		}
+		// No samples yet: fall through to the MDS disk entry.
 	}
-	f, err := mds.ParseFilter("(&(" + mds.AttrHostName + "=" + host + ")(" + mds.AttrDevice + "=disk))")
+	hf, err := s.filtersFor(host)
 	if err != nil {
 		return 0, err
 	}
-	es, err := s.dir.Search(f)
+	es, err := s.dir.Search(hf.disk)
 	if err != nil || len(es) == 0 {
 		return 0, fmt.Errorf("%w: no I/O state for %s", ErrNoData, host)
 	}

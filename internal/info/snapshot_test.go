@@ -1,0 +1,250 @@
+package info
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/gridstate"
+	"github.com/hpclab/datagrid/internal/mds"
+	"github.com/hpclab/datagrid/internal/nws"
+	"github.com/hpclab/datagrid/internal/sysstat"
+)
+
+// TestReportMatchesReportLive is the snapshot-vs-pull equivalence check:
+// for every tracked host and at several instants, the snapshot-backed
+// Report must produce byte-for-byte the HostReport the live pull path
+// produces, successes and failures alike.
+func TestReportMatchesReportLive(t *testing.T) {
+	eng, tb, dep := paperSetup(t)
+	hit0, _ := tb.Host("hit0")
+	if err := hit0.SetBaseCPULoad(0.5); err != nil {
+		t.Fatal(err)
+	}
+	hosts := []string{"alpha1", "alpha4", "hit0", "lz02"}
+	for _, at := range []time.Duration{30 * time.Second, 2 * time.Minute, 5 * time.Minute} {
+		if err := eng.RunUntil(at); err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range hosts {
+			if !dep.Server.Publisher().Covers(h) {
+				t.Fatalf("%s should be tracked by the deployment", h)
+			}
+			snap, snapErr := dep.Server.Report(h, eng.Now())
+			live, liveErr := dep.Server.ReportLive(h, eng.Now())
+			if (snapErr == nil) != (liveErr == nil) {
+				t.Fatalf("%s at %v: snapshot err %v vs live err %v", h, at, snapErr, liveErr)
+			}
+			if snapErr != nil {
+				if snapErr.Error() != liveErr.Error() {
+					t.Fatalf("%s at %v: error text diverged:\n%v\n%v", h, at, snapErr, liveErr)
+				}
+				continue
+			}
+			if snap != live {
+				t.Fatalf("%s at %v: snapshot report %+v != live report %+v", h, at, snap, live)
+			}
+		}
+	}
+}
+
+// TestStaleBandwidthYieldsErrNoData: when a candidate's bandwidth series
+// goes stale (its probe path died), both read paths must report the host
+// unmonitored with ErrNoData.
+func TestStaleBandwidthYieldsErrNoData(t *testing.T) {
+	eng, _, dep := paperSetup(t)
+	if err := eng.RunUntil(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Kill hit0's bandwidth probes and let the series age past the
+	// deployment's staleness bound (6 probe periods = 60s by default).
+	dep.BWSensors["hit0"].Stop()
+	if err := eng.RunUntil(2*time.Minute + 90*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.Server.Report("hit0", eng.Now()); !errors.Is(err, ErrNoData) {
+		t.Fatalf("snapshot path err = %v, want ErrNoData", err)
+	}
+	if _, err := dep.Server.ReportLive("hit0", eng.Now()); !errors.Is(err, ErrNoData) {
+		t.Fatalf("live path err = %v, want ErrNoData", err)
+	}
+	// The other candidates keep reporting: staleness is per host.
+	if _, err := dep.Server.Report("alpha4", eng.Now()); err != nil {
+		t.Fatalf("alpha4 should still report: %v", err)
+	}
+}
+
+// TestLatencyBestEffort: a pair with bandwidth but no latency sensor must
+// report LatencyMs == 0 without error — latency is an optional factor.
+func TestLatencyBestEffort(t *testing.T) {
+	eng, tb, dep := paperSetup(t)
+	if err := eng.RunUntil(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// A hand-wired server whose NWS memory holds only a bandwidth series
+	// for hit0->alpha1 (no latency), with MDS supplying the idle factors.
+	mem := nws.NewMemory(0, nil)
+	key := nws.SeriesKey{Resource: nws.ResourceBandwidth, Source: "hit0", Target: "alpha1"}
+	for i := 0; i < 5; i++ {
+		if err := mem.Store(key, nws.Measurement{At: time.Duration(i) * time.Second, Value: 60}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := NewServer("alpha1", tb.Network(), mem, dep.TopGIIS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := srv.Report("hit0", eng.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LatencyMs != 0 {
+		t.Fatalf("LatencyMs = %v, want 0 without a latency sensor", r.LatencyMs)
+	}
+	if r.BandwidthMbps != 60 {
+		t.Fatalf("BandwidthMbps = %v", r.BandwidthMbps)
+	}
+	// The full deployment runs latency sensors, so there the factor is
+	// populated.
+	full, err := dep.Server.Report("hit0", eng.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.LatencyMs <= 0 {
+		t.Fatalf("deployment LatencyMs = %v, want > 0", full.LatencyMs)
+	}
+}
+
+// faultyCollector fails with a non-ErrNoSamples error — a broken monitor,
+// not an empty one.
+type faultyCollector struct{ err error }
+
+func (f faultyCollector) IOIdlePercent() (float64, error) { return 0, f.err }
+
+// noSamplesCollector fails with (wrapped) ErrNoSamples — a monitor that
+// simply has not sampled yet.
+type noSamplesCollector struct{}
+
+func (noSamplesCollector) IOIdlePercent() (float64, error) {
+	return 0, fmt.Errorf("cold start: %w", sysstat.ErrNoSamples)
+}
+
+// TestIOIdlePropagatesCollectorFault: a collector failing for any reason
+// other than "no samples yet" must surface its error instead of being
+// silently papered over by the MDS fallback.
+func TestIOIdlePropagatesCollectorFault(t *testing.T) {
+	eng, _, dep := paperSetup(t)
+	if err := eng.RunUntil(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk controller on fire")
+	dep.Server.sys["hit0"] = faultyCollector{err: boom}
+	_, err := dep.Server.ReportLive("hit0", eng.Now())
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the collector fault propagated", err)
+	}
+	if errors.Is(err, ErrNoData) {
+		t.Fatal("a real collector fault must not masquerade as ErrNoData")
+	}
+}
+
+// TestIOIdleNoSamplesStillFallsBack: wrapped ErrNoSamples keeps the MDS
+// fallback — only genuine faults propagate.
+func TestIOIdleNoSamplesStillFallsBack(t *testing.T) {
+	eng, _, dep := paperSetup(t)
+	if err := eng.RunUntil(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	dep.Server.sys["hit0"] = noSamplesCollector{}
+	r, err := dep.Server.ReportLive("hit0", eng.Now())
+	if err != nil {
+		t.Fatalf("no-samples collector must fall back to MDS: %v", err)
+	}
+	if r.IOIdlePercent <= 0 {
+		t.Fatalf("IOIdlePercent = %v, want MDS-supplied value", r.IOIdlePercent)
+	}
+}
+
+// TestFilterCacheIsPerHost: repeated reports reuse the precompiled MDS
+// filters instead of re-parsing them.
+func TestFilterCacheIsPerHost(t *testing.T) {
+	eng, _, dep := paperSetup(t)
+	if err := eng.RunUntil(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := dep.Server.ReportLive("hit0", eng.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(dep.Server.filters); n != 1 {
+		t.Fatalf("filter cache has %d entries after repeated hit0 reports, want 1", n)
+	}
+	if _, err := dep.Server.ReportLive("alpha4", eng.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(dep.Server.filters); n != 2 {
+		t.Fatalf("filter cache has %d entries, want 2", n)
+	}
+	hf := dep.Server.filters["hit0"]
+	if hf.cpu == nil || hf.disk == nil {
+		t.Fatal("cached filters must be precompiled")
+	}
+	// The cached filters match exactly their host's entries.
+	es, err := dep.TopGIIS.Search(hf.cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 1 || es[0].Attrs[mds.AttrHostName] != "hit0" {
+		t.Fatalf("cpu filter matched %v", es)
+	}
+}
+
+// TestSnapshotEpochAdvancesWithMonitoring: the server's snapshot is reused
+// while nothing moved and republishes when the monitors sample.
+func TestSnapshotEpochAdvancesWithMonitoring(t *testing.T) {
+	eng, _, dep := paperSetup(t)
+	if err := eng.RunUntil(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s1 := dep.Server.Snapshot(eng.Now())
+	s2 := dep.Server.Snapshot(eng.Now())
+	if s1 != s2 {
+		t.Fatal("same instant, no substrate movement: snapshot must be reused")
+	}
+	if err := eng.RunUntil(40 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s3 := dep.Server.Snapshot(eng.Now())
+	if s3.Epoch() <= s1.Epoch() {
+		t.Fatalf("epoch %d after monitors sampled, want > %d", s3.Epoch(), s1.Epoch())
+	}
+	// Tracked set is the deployment's monitored hosts.
+	for _, h := range []string{"alpha1", "alpha4", "hit0", "lz02"} {
+		if !s3.Covers(h) {
+			t.Fatalf("snapshot should cover %s", h)
+		}
+	}
+	// An untracked testbed host stays on the live path and keeps its
+	// ErrNoData semantics through Report.
+	if s3.Covers("lz04") {
+		t.Fatal("lz04 is not monitored and must not be tracked")
+	}
+	if _, err := dep.Server.Report("lz04", eng.Now()); !errors.Is(err, ErrNoData) {
+		t.Fatalf("lz04 err = %v, want ErrNoData via live path", err)
+	}
+}
+
+// TestReportFromUntracked: ReportFrom surfaces gridstate.ErrUntracked for
+// hosts outside the snapshot.
+func TestReportFromUntracked(t *testing.T) {
+	eng, _, dep := paperSetup(t)
+	if err := eng.RunUntil(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	snap := dep.Server.Snapshot(eng.Now())
+	if _, err := ReportFrom(snap, "lz04"); !errors.Is(err, gridstate.ErrUntracked) {
+		t.Fatalf("err = %v, want ErrUntracked", err)
+	}
+}

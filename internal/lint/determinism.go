@@ -15,6 +15,7 @@ var determinismScope = []string{
 	"internal/workload",
 	"internal/experiments",
 	"internal/runner",
+	"internal/gridstate",
 }
 
 // Determinism flags the two classic sources of run-to-run jitter in the

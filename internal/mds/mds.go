@@ -72,6 +72,7 @@ type GRIS struct {
 	cachedAt  time.Duration
 	haveCache bool
 	collects  int
+	rev       uint64
 }
 
 // NewGRIS creates a GRIS answering for suffix (e.g.
@@ -108,11 +109,17 @@ func (g *GRIS) AddProvider(p Provider) error {
 	}
 	g.providers = append(g.providers, p)
 	g.haveCache = false // force refresh with the new provider
+	g.rev++
 	return nil
 }
 
 // Collects reports how many times providers were invoked (for cache tests).
 func (g *GRIS) Collects() int { return g.collects }
+
+// Revision increases whenever the served entries may have changed: a
+// provider cache refresh or a provider registration. Snapshot consumers
+// (gridstate.Publisher) poll it to detect directory movement.
+func (g *GRIS) Revision() uint64 { return g.rev }
 
 // Search runs the filter over this host's entries, refreshing the provider
 // cache if it is stale.
@@ -133,6 +140,7 @@ func (g *GRIS) Search(f Filter) ([]Entry, error) {
 			entries = append(entries, Entry{DN: p.RDN() + "," + g.suffix, Attrs: attrs.clone()})
 		}
 		g.collects++
+		g.rev++
 		g.cache = entries
 		g.cachedAt = now
 		g.haveCache = true
@@ -159,6 +167,7 @@ type GIIS struct {
 	cachedAt  time.Duration
 	haveCache bool
 	queries   int
+	rev       uint64
 }
 
 // giisChild is one registered downstream server with its soft-state
@@ -213,11 +222,13 @@ func (g *GIIS) RegisterTTL(s Searcher, ttl time.Duration) error {
 			// Renewal refreshes the deadline (and the searcher pointer).
 			g.children[i] = giisChild{s: s, expiresAt: expires}
 			g.haveCache = false
+			g.rev++
 			return nil
 		}
 	}
 	g.children = append(g.children, giisChild{s: s, expiresAt: expires})
 	g.haveCache = false
+	g.rev++
 	return nil
 }
 
@@ -236,6 +247,11 @@ func (g *GIIS) Children() []string {
 
 // Queries reports how many child fan-outs happened (for cache tests).
 func (g *GIIS) Queries() int { return g.queries }
+
+// Revision increases whenever the served entries may have changed: a
+// cache refresh against the children or a (re-)registration. Snapshot
+// consumers (gridstate.Publisher) poll it to detect directory movement.
+func (g *GIIS) Revision() uint64 { return g.rev }
 
 // Search fans the query out to all children (subject to the TTL cache) and
 // filters the union. A failing child is skipped — one down site must not
@@ -258,6 +274,7 @@ func (g *GIIS) Search(f Filter) ([]Entry, error) {
 			all = append(all, es...)
 		}
 		g.queries++
+		g.rev++
 		g.cache = all
 		g.cachedAt = now
 		g.haveCache = true

@@ -60,6 +60,9 @@ type Memory struct {
 	capacity   int
 	series     map[SeriesKey]*series
 	newExperts func() []Forecaster
+	// rev counts successful stores; the gridstate snapshot plane polls it
+	// to detect that forecasts may have moved.
+	rev uint64
 }
 
 // NewMemory creates a memory holding at most capacity measurements per
@@ -95,8 +98,14 @@ func (m *Memory) Store(key SeriesKey, meas Measurement) error {
 		s.ms = s.ms[len(s.ms)-m.capacity:]
 	}
 	s.bank.Update(meas.Value)
+	m.rev++
 	return nil
 }
+
+// Revision increases with every stored measurement. It lets snapshot
+// consumers (gridstate.Publisher) detect new data without scanning
+// series.
+func (m *Memory) Revision() uint64 { return m.rev }
 
 // ErrUnknownSeries is returned for series with no measurements.
 var ErrUnknownSeries = errors.New("nws: unknown series")

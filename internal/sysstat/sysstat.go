@@ -97,6 +97,7 @@ type Collector struct {
 
 	cpu []CPURecord
 	io  []IORecord
+	rev uint64
 }
 
 // NewCollector starts sampling target every cfg.Period on the engine.
@@ -164,7 +165,12 @@ func (c *Collector) sample(now time.Duration) {
 	if len(c.io) > c.cfg.HistorySize {
 		c.io = c.io[len(c.io)-c.cfg.HistorySize:]
 	}
+	c.rev++
 }
+
+// Revision increases with every sample taken. The gridstate snapshot
+// plane polls it to detect that the idle statistics may have moved.
+func (c *Collector) Revision() uint64 { return c.rev }
 
 // CPUHistory returns a copy of the CPU records, oldest first.
 func (c *Collector) CPUHistory() []CPURecord { return append([]CPURecord(nil), c.cpu...) }
