@@ -4,7 +4,7 @@ GO ?= go
 # BENCH_netsim.json (see docs/PERFORMANCE.md).
 BENCH_LABEL ?= local
 
-.PHONY: all build vet lint test race bench bench-netsim bench-suite bench-select figures examples clean
+.PHONY: all build vet lint test race bench bench-netsim bench-suite bench-select bench-faults figures examples clean
 
 all: build vet test
 
@@ -53,6 +53,15 @@ bench-suite:
 bench-select:
 	$(GO) test -run='^$$' -bench='SelectionThroughput' -benchmem -timeout 600s . \
 		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -out BENCH_select.json
+
+# Record the fault-tolerance sweep (the `gridbench -faults` workload:
+# no-retry vs retry-same vs failover-reselect under rising fault
+# intensity) into BENCH_faults.json. The per-policy completed counts at
+# the top intensity are the headline (docs/PERFORMANCE.md documents the
+# workflow).
+bench-faults:
+	$(GO) test -run='^$$' -bench='FaultsSweep' -benchmem -timeout 600s . \
+		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -out BENCH_faults.json
 
 # Regenerate every paper artifact (Fig. 3, Fig. 4, Table 1, ablations,
 # extensions) in the text form EXPERIMENTS.md quotes.

@@ -204,14 +204,22 @@ func BenchmarkGridbenchAll(b *testing.B) {
 		{"sequential", 1},
 		{fmt.Sprintf("parallel-%d", runtime.NumCPU()), runtime.NumCPU()},
 	} {
+		// The -all selection: every group except the opt-in fault sweep,
+		// which BenchmarkFaultsSweep records separately.
+		var entries []experiments.SuiteEntry
+		for _, e := range experiments.Suite() {
+			if e.Group != experiments.GroupFaults {
+				entries = append(entries, e)
+			}
+		}
 		b.Run(bc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				results, err := experiments.RunEntries(experiments.Suite(), benchSeed, bc.workers)
+				results, err := experiments.RunEntries(entries, benchSeed, bc.workers)
 				if err != nil {
 					b.Fatal(err)
 				}
-				if n := len(experiments.Suite()); len(results) != n {
-					b.Fatalf("got %d entry results, want %d", len(results), n)
+				if len(results) != len(entries) {
+					b.Fatalf("got %d entry results, want %d", len(results), len(entries))
 				}
 			}
 		})

@@ -48,7 +48,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		table      = fs.Int("table", 0, "table number to regenerate (1)")
 		ablations  = fs.Bool("ablations", false, "run the ablation studies")
 		extensions = fs.Bool("extensions", false, "run the extension experiments")
-		all        = fs.Bool("all", false, "run everything")
+		faults     = fs.Bool("faults", false, "run the fault-tolerance sweep (not part of -all)")
+		all        = fs.Bool("all", false, "run everything except the fault-tolerance sweep")
 		asCSV      = fs.Bool("csv", false, "emit the selected figure/table as CSV (for plotting)")
 		seed       = fs.Int64("seed", 42, "simulation seed")
 		parallel   = fs.Int("parallel", runtime.NumCPU(), "worker pool size (1 = sequential; output is identical at any value)")
@@ -67,14 +68,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *asCSV {
-		if err := emitCSV(*fig, *table, *seed, *parallel, stdout); err != nil {
+		if err := emitCSV(*fig, *table, *faults, *seed, *parallel, stdout); err != nil {
 			fmt.Fprintf(stderr, "gridbench: %v\n", err)
 			return 1
 		}
 		return 0
 	}
 
-	entries := selectEntries(*all, *fig, *table, *ablations, *extensions)
+	entries := selectEntries(*all, *fig, *table, *ablations, *extensions, *faults)
 	if len(entries) == 0 {
 		fs.Usage()
 		return 2
@@ -111,8 +112,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // selectEntries filters the suite registry down to the flag selection,
-// preserving registry (historical -all) order.
-func selectEntries(all bool, fig, table int, ablations, extensions bool) []experiments.SuiteEntry {
+// preserving registry (historical -all) order. The fault-tolerance
+// sweep is opt-in only: -all keeps printing exactly what it always has,
+// so its output stays byte-comparable across releases.
+func selectEntries(all bool, fig, table int, ablations, extensions, faults bool) []experiments.SuiteEntry {
 	var out []experiments.SuiteEntry
 	for _, e := range experiments.Suite() {
 		keep := all
@@ -127,6 +130,8 @@ func selectEntries(all bool, fig, table int, ablations, extensions bool) []exper
 			keep = keep || ablations
 		case experiments.GroupExtensions:
 			keep = keep || extensions
+		case experiments.GroupFaults:
+			keep = faults
 		}
 		if keep {
 			out = append(out, e)
@@ -136,7 +141,7 @@ func selectEntries(all bool, fig, table int, ablations, extensions bool) []exper
 }
 
 // emitCSV writes the selected artifact's structured rows as CSV.
-func emitCSV(fig, table int, seed int64, workers int, out io.Writer) error {
+func emitCSV(fig, table int, faults bool, seed int64, workers int, out io.Writer) error {
 	w := csv.NewWriter(out)
 	defer w.Flush()
 	switch {
@@ -196,8 +201,28 @@ func emitCSV(fig, table int, seed int64, workers int, out io.Writer) error {
 				return err
 			}
 		}
+	case faults:
+		rows, _, err := experiments.ExtensionFaults(seed, experiments.WithWorkers(workers))
+		if err != nil {
+			return err
+		}
+		if err := w.Write([]string{"intensity", "policy", "completed", "failed", "mean_sec", "attempts"}); err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if err := w.Write([]string{
+				strconv.Itoa(r.Intensity),
+				r.Policy,
+				strconv.Itoa(r.Completed),
+				strconv.Itoa(r.Failed),
+				strconv.FormatFloat(r.MeanSeconds, 'f', 3, 64),
+				strconv.Itoa(r.Attempts),
+			}); err != nil {
+				return err
+			}
+		}
 	default:
-		return fmt.Errorf("-csv needs -fig 3, -fig 4 or -table 1")
+		return fmt.Errorf("-csv needs -fig 3, -fig 4, -table 1 or -faults")
 	}
 	return nil
 }

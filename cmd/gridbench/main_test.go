@@ -41,7 +41,7 @@ func TestEmitCSV(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var buf bytes.Buffer
-			err := emitCSV(tc.fig, tc.table, 42, 2, &buf)
+			err := emitCSV(tc.fig, tc.table, false, 42, 2, &buf)
 			if tc.wantErr {
 				if err == nil {
 					t.Fatal("emitCSV should have errored")

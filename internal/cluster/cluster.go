@@ -248,11 +248,15 @@ func (t *Testbed) Engine() *simulation.Engine { return t.engine }
 // Network returns the underlying simulated WAN.
 func (t *Testbed) Network() *netsim.Network { return t.net }
 
+// ErrUnknownHost is returned by lookups naming a host the testbed does
+// not have; check with errors.Is.
+var ErrUnknownHost = errors.New("cluster: unknown host")
+
 // Host looks up a host by name.
 func (t *Testbed) Host(name string) (*Host, error) {
 	h, ok := t.hosts[name]
 	if !ok {
-		return nil, fmt.Errorf("cluster: unknown host %q", name)
+		return nil, fmt.Errorf("%w %q", ErrUnknownHost, name)
 	}
 	return h, nil
 }

@@ -306,6 +306,48 @@ func TestRankNoUsableReplica(t *testing.T) {
 	}
 }
 
+func TestRankHosts(t *testing.T) {
+	p := buildPipeline(t)
+	// lz04 holds a copy but has no sensors: it must rank after every
+	// monitored host instead of being dropped — a failover engine still
+	// wants to try it last.
+	if err := p.catalog.Register("file-a", replica.Location{Host: "lz04", Path: "/data/file-a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.eng.RunUntil(120 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	hosts, err := p.sel.RankHosts("file-a", p.eng.Now(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) != 4 {
+		t.Fatalf("RankHosts returned %v, want 4 hosts", hosts)
+	}
+	if hosts[0] != "alpha4" {
+		t.Fatalf("best = %q, want alpha4 (got %v)", hosts[0], hosts)
+	}
+	if hosts[3] != "lz04" {
+		t.Fatalf("unmonitored lz04 must rank last, got %v", hosts)
+	}
+	// The alive filter drops candidates entirely.
+	hosts, err = p.sel.RankHosts("file-a", p.eng.Now(), func(h string) bool { return h != "alpha4" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hosts {
+		if h == "alpha4" {
+			t.Fatalf("filtered host alpha4 still present: %v", hosts)
+		}
+	}
+	if len(hosts) != 3 {
+		t.Fatalf("filtered RankHosts = %v, want 3 hosts", hosts)
+	}
+	if _, err := p.sel.RankHosts("ghost", p.eng.Now(), nil); !errors.Is(err, replica.ErrUnknownLogical) {
+		t.Fatalf("err = %v, want ErrUnknownLogical", err)
+	}
+}
+
 func TestSelectBest(t *testing.T) {
 	p := buildPipeline(t)
 	if err := p.eng.RunUntil(90 * time.Second); err != nil {

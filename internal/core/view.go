@@ -123,6 +123,49 @@ func (s *SelectionServer) pick(cands []Candidate) (Candidate, error) {
 	return cands[i], nil
 }
 
+// RankHosts returns the hosts holding the logical file ordered best-first
+// for a failover engine: cost-model-scored hosts first (ties toward the
+// smaller name), then hosts without monitoring data in name order — when
+// replicas keep failing, an unmonitored copy is still worth an attempt
+// before giving up. alive, when non-nil, filters the candidates (hosts it
+// rejects are dropped entirely). Must run on the simulation goroutine (it
+// pins the current snapshot).
+func (s *SelectionServer) RankHosts(logical string, now time.Duration, alive func(string) bool) ([]string, error) {
+	hosts, err := s.catalog.HostsWith(logical)
+	if err != nil {
+		return nil, err
+	}
+	v := s.PinView(now)
+	type scored struct {
+		host  string
+		score float64
+	}
+	var ranked []scored
+	var blind []string
+	for _, h := range hosts {
+		if alive != nil && !alive(h) {
+			continue
+		}
+		if e, ok := v.memo[h]; ok && e.err == nil {
+			ranked = append(ranked, scored{host: h, score: e.score})
+			continue
+		}
+		blind = append(blind, h)
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].host < ranked[j].host
+	})
+	out := make([]string, 0, len(ranked)+len(blind))
+	for _, r := range ranked {
+		out = append(out, r.host)
+	}
+	out = append(out, blind...) // already name-sorted: HostsWith sorts
+	return out, nil
+}
+
 // BatchItem is one logical file's outcome in a batch selection: the ranked
 // candidates, the selector's choice (for SelectBestBatch), or the error
 // that stopped that file. Files in a batch fail independently.

@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/cluster"
+	"github.com/hpclab/datagrid/internal/core"
+	"github.com/hpclab/datagrid/internal/faults"
+	"github.com/hpclab/datagrid/internal/metrics"
+	"github.com/hpclab/datagrid/internal/replica"
+	"github.com/hpclab/datagrid/internal/runner"
+	"github.com/hpclab/datagrid/internal/simxfer"
+	"github.com/hpclab/datagrid/internal/workload"
+)
+
+// FaultsResult is one (fault intensity, retry policy) grid point of the
+// fault-tolerance extension.
+type FaultsResult struct {
+	// Intensity scales the number of injected episodes; 0 is the
+	// fault-free control row.
+	Intensity int
+	// Policy names the simxfer retry mode under test.
+	Policy string
+	// Completed and Failed partition the transfer sequence.
+	Completed int
+	Failed    int
+	// MeanSeconds averages the completed transfers' end-to-end times
+	// (including backoff and failed attempts before success).
+	MeanSeconds float64
+	// Attempts is the total attempt count across all transfers.
+	Attempts int
+}
+
+// Fault-tolerance experiment shape. The file is large enough that a WAN
+// transfer spans a meaningful window (a mid-flight crash is likely at
+// higher intensities) and the sequence long enough that several episodes
+// land inside it.
+const (
+	faultsTransfers = 8
+	faultsGap       = 45 * time.Second
+	faultsFileBytes = 256 * workload.MB
+	faultsHorizon   = 30 * time.Minute
+)
+
+// faultsCatalog registers file-a on the two WAN replicas only. With the
+// same-site alpha4 copy out of the picture every download crosses a
+// faultable WAN path, which is the scenario failover exists for — the
+// LAN copy would otherwise absorb nearly every pick in ~10 seconds.
+func faultsCatalog() (*replica.Catalog, error) {
+	cat := replica.NewCatalog()
+	if err := cat.CreateLogical(replica.LogicalFile{
+		Name:      "file-a",
+		SizeBytes: faultsFileBytes,
+		Attributes: map[string]string{
+			"type": "biological-database",
+		},
+	}); err != nil {
+		return nil, err
+	}
+	for _, h := range faultsReplicaHosts {
+		if err := cat.Register("file-a", replica.Location{Host: h, Path: "/data/file-a"}); err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}
+
+// faultsReplicaHosts are the replica holders and the crash/degrade
+// victims: the two candidates reachable only over WAN links.
+var faultsReplicaHosts = []string{"hit0", "lz02"}
+
+// faultsPlan draws the episode schedule for one intensity level. The
+// seed depends on the experiment seed and the intensity only — all three
+// retry policies at a given intensity replay the identical grid history,
+// so completion-rate differences are attributable to the policy alone.
+func faultsPlan(seed int64, intensity int) (*faults.Plan, error) {
+	if intensity <= 0 {
+		return &faults.Plan{}, nil
+	}
+	return faults.GeneratePlan(faults.Config{
+		Seed:           seed + int64(intensity)*7919,
+		Horizon:        faultsHorizon,
+		MeanDuration:   2 * time.Minute,
+		LinkFlaps:      intensity,
+		HostCrashes:    2 * intensity,
+		DiskDegrades:   intensity,
+		MonitorOutages: intensity,
+		Hosts:          faultsReplicaHosts,
+		Links: [][2]string{
+			{cluster.SwitchNode(cluster.SiteTHU), cluster.SwitchNode(cluster.SiteHIT)},
+			{cluster.SwitchNode(cluster.SiteTHU), cluster.SwitchNode(cluster.SiteLiZen)},
+			{cluster.SwitchNode(cluster.SiteHIT), cluster.SwitchNode(cluster.SiteLiZen)},
+		},
+	})
+}
+
+// faultsPolicy builds the per-transfer failover policy for one retry
+// mode. Reselection ranks the surviving candidates through the
+// cost-model selection server so failover lands on the best healthy
+// replica, not merely a different one.
+func faultsPolicy(mode simxfer.RetryMode, srv *core.SelectionServer, alive func(string) bool) *simxfer.FailoverPolicy {
+	pol := &simxfer.FailoverPolicy{
+		Mode:           mode,
+		MaxAttempts:    4,
+		InitialBackoff: 2 * time.Second,
+		MaxBackoff:     30 * time.Second,
+		AttemptTimeout: 8 * time.Minute,
+	}
+	if mode == simxfer.FailoverReselect {
+		pol.Rank = func(now time.Duration, candidates []string) []string {
+			ranked, err := srv.RankHosts("file-a", now, alive)
+			if err != nil {
+				return candidates
+			}
+			allowed := make(map[string]bool, len(candidates))
+			for _, h := range candidates {
+				allowed[h] = true
+			}
+			out := make([]string, 0, len(candidates))
+			for _, h := range ranked {
+				if allowed[h] {
+					out = append(out, h)
+				}
+			}
+			if len(out) == 0 {
+				return candidates
+			}
+			return out
+		}
+	}
+	return pol
+}
+
+// faultsPoint runs one grid point: a private world with monitoring, the
+// intensity's fault plan installed, and a sequence of failover-aware
+// downloads of file-a to alpha1 under the given retry mode.
+func faultsPoint(seed int64, intensity int, mode simxfer.RetryMode) (FaultsResult, error) {
+	env, err := NewEnv(seed, true)
+	if err != nil {
+		return FaultsResult{}, err
+	}
+	plan, err := faultsPlan(seed, intensity)
+	if err != nil {
+		return FaultsResult{}, err
+	}
+	inj, err := faults.NewInjector(env.Testbed, env.Deploy)
+	if err != nil {
+		return FaultsResult{}, err
+	}
+	if err := inj.Install(plan); err != nil {
+		return FaultsResult{}, err
+	}
+	cat, err := faultsCatalog()
+	if err != nil {
+		return FaultsResult{}, err
+	}
+	srv, err := env.selectionFor(cat, core.PaperWeights, nil)
+	if err != nil {
+		return FaultsResult{}, err
+	}
+	if err := env.Engine.RunUntil(Warmup); err != nil {
+		return FaultsResult{}, err
+	}
+
+	alive := func(h string) bool {
+		down, err := env.Testbed.HostDown(h)
+		return err == nil && !down
+	}
+	res := FaultsResult{Intensity: intensity, Policy: mode.String()}
+	totalSec := 0.0
+	settled := 0
+	var runErr error
+	var launch func(i int)
+	next := func(i int) {
+		if _, err := env.Engine.After(faultsGap, func(time.Duration) { launch(i) }); err != nil {
+			runErr = err
+		}
+	}
+	launch = func(i int) {
+		if i >= faultsTransfers || runErr != nil {
+			return
+		}
+		// Rank by the cost-model snapshot alone, as the historical client
+		// did: during a monitor outage the snapshot is stale, so a dead
+		// replica can look best. Liveness awareness is exactly what the
+		// failover policy adds (the reselect Rank callback filters on it).
+		ranked, err := srv.RankHosts("file-a", env.Engine.Now(), nil)
+		if err != nil {
+			runErr = err
+			return
+		}
+		if len(ranked) == 0 {
+			res.Failed++
+			settled++
+			next(i + 1)
+			return
+		}
+		err = env.Xfer.Submit(simxfer.Request{
+			Sources:  ranked,
+			Dst:      "alpha1",
+			Bytes:    faultsFileBytes,
+			Options:  simxfer.GridFTPOptions(4),
+			Failover: faultsPolicy(mode, srv, alive),
+			Done: func(r simxfer.Result) {
+				res.Attempts += len(r.Attempts)
+				if r.Err != nil {
+					res.Failed++
+				} else {
+					res.Completed++
+					totalSec += r.Duration().Seconds()
+				}
+				settled++
+				next(i + 1)
+			},
+		})
+		if err != nil {
+			runErr = err
+		}
+	}
+	if _, err := env.Engine.After(0, func(time.Duration) { launch(0) }); err != nil {
+		return FaultsResult{}, err
+	}
+	// The dynamics tick forever, so run in bounded slices until the
+	// sequence settles. Attempt caps and timeouts bound every transfer.
+	deadline := env.Engine.Now()
+	for settled < faultsTransfers && runErr == nil {
+		deadline += 30 * time.Minute
+		if deadline > 1000*time.Hour {
+			return FaultsResult{}, fmt.Errorf("experiments: fault sequence stalled at %d/%d", settled, faultsTransfers)
+		}
+		if err := env.Engine.RunUntil(deadline); err != nil {
+			return FaultsResult{}, err
+		}
+	}
+	if runErr != nil {
+		return FaultsResult{}, runErr
+	}
+	if res.Completed > 0 {
+		res.MeanSeconds = totalSec / float64(res.Completed)
+	}
+	return res, nil
+}
+
+// ExtensionFaults sweeps fault intensity against the three retry
+// policies the unified transfer API offers: the historical no-retry
+// behavior, blind retry of the same replica, and failover with
+// cost-model reselection. Each grid point is an independent world; the
+// fault plan at a given intensity is identical across policies.
+func ExtensionFaults(seed int64, opts ...Option) ([]FaultsResult, string, error) {
+	cfg := buildConfig(opts)
+	modes := []simxfer.RetryMode{simxfer.NoRetry, simxfer.RetrySame, simxfer.FailoverReselect}
+	var jobs []runner.Job[FaultsResult]
+	for _, intensity := range []int{0, 1, 2, 3} {
+		for _, mode := range modes {
+			intensity, mode := intensity, mode
+			jobs = append(jobs, runner.Job[FaultsResult]{
+				Name: fmt.Sprintf("faults/i%d/%v", intensity, mode),
+				Run: func(runner.Context) (FaultsResult, error) {
+					return faultsPoint(seed, intensity, mode)
+				},
+			})
+		}
+	}
+	out, err := runPoints(seed, cfg, jobs)
+	if err != nil {
+		return nil, "", err
+	}
+	tb := metrics.NewTable(
+		fmt.Sprintf("Extension: fault tolerance (%d x %d MB downloads to alpha1 per point)",
+			faultsTransfers, faultsFileBytes/workload.MB),
+		"intensity", "policy", "completed", "failed", "mean time (s)", "attempts")
+	for _, r := range out {
+		tb.AddRow(fmt.Sprintf("%d", r.Intensity), r.Policy,
+			fmt.Sprintf("%d/%d", r.Completed, faultsTransfers),
+			fmt.Sprintf("%d", r.Failed),
+			fmt.Sprintf("%.2f", r.MeanSeconds),
+			fmt.Sprintf("%d", r.Attempts))
+	}
+	return out, tb.String(), nil
+}

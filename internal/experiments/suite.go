@@ -17,6 +17,11 @@ const (
 	GroupTable1     = "table1"
 	GroupAblations  = "ablations"
 	GroupExtensions = "extensions"
+	// GroupFaults is the fault-tolerance sweep. It is deliberately NOT
+	// part of -all: the historical -all output is pinned byte-for-byte,
+	// and the sweep simulates 12 faulted worlds. gridbench selects it
+	// with its own -faults flag.
+	GroupFaults = "faults"
 )
 
 // Metric is one named scalar an experiment produced — the hook that lets
@@ -61,6 +66,7 @@ func Suite() []SuiteEntry {
 		{Name: "scale extension", Group: GroupExtensions, Run: runScale},
 		{Name: "replication extension", Group: GroupExtensions, Run: runReplication},
 		{Name: "coallocation extension", Group: GroupExtensions, Run: runCoallocation},
+		{Name: "fault tolerance", Group: GroupFaults, Run: runFaults},
 	}
 }
 
@@ -351,6 +357,22 @@ func runCoallocation(seed int64, opts ...Option) (string, []Metric, error) {
 	var ms []Metric
 	for _, r := range rows {
 		ms = append(ms, Metric{fmt.Sprintf("coalloc/%s/sec", r.Config), r.Seconds})
+	}
+	return out, ms, nil
+}
+
+func runFaults(seed int64, opts ...Option) (string, []Metric, error) {
+	rows, out, err := ExtensionFaults(seed, opts...)
+	if err != nil {
+		return "", nil, err
+	}
+	var ms []Metric
+	for _, r := range rows {
+		key := fmt.Sprintf("faults/i%d/%s", r.Intensity, r.Policy)
+		ms = append(ms,
+			Metric{key + "/completed", float64(r.Completed)},
+			Metric{key + "/mean_sec", r.MeanSeconds},
+			Metric{key + "/attempts", float64(r.Attempts)})
 	}
 	return out, ms, nil
 }

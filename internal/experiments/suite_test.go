@@ -11,12 +11,12 @@ import (
 
 func TestSuiteRegistry(t *testing.T) {
 	entries := Suite()
-	if len(entries) != 12 {
-		t.Fatalf("suite has %d entries, want 12", len(entries))
+	if len(entries) != 13 {
+		t.Fatalf("suite has %d entries, want 13", len(entries))
 	}
 	validGroups := map[string]bool{
 		GroupFigure3: true, GroupFigure4: true, GroupTable1: true,
-		GroupAblations: true, GroupExtensions: true,
+		GroupAblations: true, GroupExtensions: true, GroupFaults: true,
 	}
 	seen := map[string]bool{}
 	for _, e := range entries {
@@ -32,9 +32,11 @@ func TestSuiteRegistry(t *testing.T) {
 		}
 	}
 	// The registry preserves the historical -all print order: figures,
-	// table, ablations, extensions.
+	// table, ablations, extensions. The fault-tolerance sweep rides at
+	// the end, outside the -all groups.
 	if entries[0].Name != "figure 3" || entries[2].Name != "table 1" ||
-		entries[len(entries)-1].Name != "coallocation extension" {
+		entries[len(entries)-2].Name != "coallocation extension" ||
+		entries[len(entries)-1].Group != GroupFaults {
 		t.Errorf("registry order changed: first=%q last=%q", entries[0].Name, entries[len(entries)-1].Name)
 	}
 }

@@ -1,0 +1,344 @@
+// Package faults is the deterministic fault-injection plane for the
+// simulated data grid. A Plan is a schedule of episodes — WAN link flaps,
+// host crashes and reboots, disk-degradation windows, monitoring outages
+// — either written out by hand or drawn from a seeded generator. An
+// Injector installs the plan onto a testbed: every apply and revert is an
+// ordinary engine event, so the same plan against the same seed replays
+// the same grid history bit for bit.
+//
+// The plane only moves state the substrate already models: link flaps
+// and crashes go through netsim's Up/Down machinery (stalling legacy
+// flows and killing fail-fast ones), disk degradation rides cluster job
+// load, and monitor outages pause the NWS/MDS/sysstat reporting chain so
+// grid-state snapshots go observably stale. Nothing here runs unless a
+// plan is installed — the default simulation is byte-identical with the
+// package unused.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/cluster"
+)
+
+// Kind classifies one fault episode.
+type Kind int
+
+const (
+	// LinkFlap downs both directions of a WAN link for the duration.
+	LinkFlap Kind = iota
+	// HostCrash takes a host off the network (its LAN uplink dies both
+	// ways), then reboots it.
+	HostCrash
+	// DiskDegrade loads a host's IO subsystem for the duration — a
+	// failing disk or a runaway local job slowing reads and writes.
+	DiskDegrade
+	// MonitorOutage pauses the monitoring substrate (NWS sensors,
+	// sysstat collectors, MDS caches) so reported state goes stale.
+	MonitorOutage
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LinkFlap:
+		return "link-flap"
+	case HostCrash:
+		return "host-crash"
+	case DiskDegrade:
+		return "disk-degrade"
+	case MonitorOutage:
+		return "monitor-outage"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled episode: the fault applies At and reverts at
+// At+Duration.
+type Event struct {
+	// Kind picks the fault machinery.
+	Kind Kind
+	// Host names the target of HostCrash and DiskDegrade episodes.
+	Host string
+	// From and To name the directed endpoints of a LinkFlap (both
+	// directions go down).
+	From, To string
+	// At is the virtual apply time.
+	At time.Duration
+	// Duration is the episode length; the revert fires at At+Duration.
+	Duration time.Duration
+	// Severity is the DiskDegrade IO load fraction in [0,1].
+	Severity float64
+}
+
+func (e Event) String() string {
+	target := e.Host
+	if e.Kind == LinkFlap {
+		target = e.From + "<->" + e.To
+	}
+	return fmt.Sprintf("%v %s @%v +%v", e.Kind, target, e.At, e.Duration)
+}
+
+// Plan is a fault schedule, sorted by apply time.
+type Plan struct {
+	Events []Event
+}
+
+// sortEvents orders a schedule deterministically: by time, then kind,
+// then target — ties must not depend on generation order.
+func sortEvents(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Host != b.Host {
+			return a.Host < b.Host
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+}
+
+// Config parameterizes stochastic plan generation. Episode counts are
+// exact, not expectations: intensity sweeps stay monotone.
+type Config struct {
+	// Seed drives every random draw.
+	Seed int64
+	// Horizon is the window fault apply times are drawn from.
+	Horizon time.Duration
+	// MeanDuration scales episode lengths; each episode lasts between
+	// 50% and 150% of it.
+	MeanDuration time.Duration
+	// LinkFlaps, HostCrashes, DiskDegrades and MonitorOutages are the
+	// episode counts per category.
+	LinkFlaps      int
+	HostCrashes    int
+	DiskDegrades   int
+	MonitorOutages int
+	// Hosts are the HostCrash/DiskDegrade victims, drawn uniformly.
+	Hosts []string
+	// Links are the LinkFlap victims, drawn uniformly.
+	Links [][2]string
+}
+
+// GeneratePlan draws a deterministic fault schedule from the seeded
+// generator: the same Config always yields the same Plan.
+func GeneratePlan(cfg Config) (*Plan, error) {
+	if cfg.Horizon <= 0 {
+		return nil, errors.New("faults: horizon must be positive")
+	}
+	if cfg.MeanDuration <= 0 {
+		cfg.MeanDuration = cfg.Horizon / 10
+	}
+	if (cfg.HostCrashes > 0 || cfg.DiskDegrades > 0) && len(cfg.Hosts) == 0 {
+		return nil, errors.New("faults: host episodes need candidate hosts")
+	}
+	if cfg.LinkFlaps > 0 && len(cfg.Links) == 0 {
+		return nil, errors.New("faults: link flaps need candidate links")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	draw := func() (at, dur time.Duration) {
+		at = time.Duration(rng.Float64() * float64(cfg.Horizon))
+		dur = time.Duration((0.5 + rng.Float64()) * float64(cfg.MeanDuration))
+		return at, dur
+	}
+	var evs []Event
+	for i := 0; i < cfg.LinkFlaps; i++ {
+		at, dur := draw()
+		l := cfg.Links[rng.Intn(len(cfg.Links))]
+		evs = append(evs, Event{Kind: LinkFlap, From: l[0], To: l[1], At: at, Duration: dur})
+	}
+	for i := 0; i < cfg.HostCrashes; i++ {
+		at, dur := draw()
+		evs = append(evs, Event{Kind: HostCrash, Host: cfg.Hosts[rng.Intn(len(cfg.Hosts))], At: at, Duration: dur})
+	}
+	for i := 0; i < cfg.DiskDegrades; i++ {
+		at, dur := draw()
+		evs = append(evs, Event{
+			Kind: DiskDegrade, Host: cfg.Hosts[rng.Intn(len(cfg.Hosts))],
+			At: at, Duration: dur, Severity: 0.5 + 0.4*rng.Float64(),
+		})
+	}
+	for i := 0; i < cfg.MonitorOutages; i++ {
+		at, dur := draw()
+		evs = append(evs, Event{Kind: MonitorOutage, At: at, Duration: dur})
+	}
+	sortEvents(evs)
+	return &Plan{Events: evs}, nil
+}
+
+// MonitorGate pauses and resumes a deployment's monitoring substrate;
+// info.Deployment.SetMonitorsPaused satisfies it.
+type MonitorGate interface {
+	SetMonitorsPaused(paused bool)
+}
+
+// Injector installs fault plans onto one testbed. Overlapping episodes
+// against the same target nest: the target recovers when the last
+// covering episode ends.
+type Injector struct {
+	tb   *cluster.Testbed
+	gate MonitorGate
+
+	// Nesting depths per target; apply on 0->1, revert on 1->0.
+	hostDepth map[string]int
+	linkDepth map[string]int
+	// degradeJobs holds the live load handles of in-progress
+	// DiskDegrade episodes.
+	degradeJobs []degradeJob
+	outages     int
+	installed   int
+}
+
+// NewInjector wires an injector to a testbed. gate may be nil when the
+// plan carries no monitor outages.
+func NewInjector(tb *cluster.Testbed, gate MonitorGate) (*Injector, error) {
+	if tb == nil {
+		return nil, errors.New("faults: nil testbed")
+	}
+	return &Injector{
+		tb:        tb,
+		gate:      gate,
+		hostDepth: make(map[string]int),
+		linkDepth: make(map[string]int),
+	}, nil
+}
+
+// Installed returns the number of episodes scheduled so far.
+func (in *Injector) Installed() int { return in.installed }
+
+// Install schedules every episode of the plan as engine events. It
+// validates targets up front so a bad plan fails before anything is
+// scheduled. Must run before or on the simulation goroutine.
+func (in *Injector) Install(p *Plan) error {
+	if p == nil {
+		return errors.New("faults: nil plan")
+	}
+	net := in.tb.Network()
+	for _, ev := range p.Events {
+		if ev.At < 0 || ev.Duration <= 0 {
+			return fmt.Errorf("faults: bad schedule for %v", ev)
+		}
+		switch ev.Kind {
+		case LinkFlap:
+			if _, err := net.GetLink(ev.From, ev.To); err != nil {
+				return fmt.Errorf("faults: %v: %w", ev, err)
+			}
+			if _, err := net.GetLink(ev.To, ev.From); err != nil {
+				return fmt.Errorf("faults: %v: %w", ev, err)
+			}
+		case HostCrash, DiskDegrade:
+			if _, err := in.tb.Host(ev.Host); err != nil {
+				return fmt.Errorf("faults: %v: %w", ev, err)
+			}
+			if ev.Kind == DiskDegrade && (ev.Severity < 0 || ev.Severity > 1) {
+				return fmt.Errorf("faults: %v: severity out of [0,1]", ev)
+			}
+		case MonitorOutage:
+			if in.gate == nil {
+				return fmt.Errorf("faults: %v: injector has no monitor gate", ev)
+			}
+		default:
+			return fmt.Errorf("faults: unknown kind %v", ev.Kind)
+		}
+	}
+	engine := in.tb.Engine()
+	for _, ev := range p.Events {
+		ev := ev
+		if _, err := engine.Schedule(ev.At, func(time.Duration) { in.apply(ev) }); err != nil {
+			return err
+		}
+		if _, err := engine.Schedule(ev.At+ev.Duration, func(time.Duration) { in.revert(ev) }); err != nil {
+			return err
+		}
+		in.installed++
+	}
+	return nil
+}
+
+func linkKey(from, to string) string {
+	if from < to {
+		return from + ">" + to
+	}
+	return to + ">" + from
+}
+
+func (in *Injector) apply(ev Event) {
+	switch ev.Kind {
+	case LinkFlap:
+		k := linkKey(ev.From, ev.To)
+		in.linkDepth[k]++
+		if in.linkDepth[k] == 1 {
+			net := in.tb.Network()
+			_ = net.SetLinkDown(ev.From, ev.To, true)
+			_ = net.SetLinkDown(ev.To, ev.From, true)
+		}
+	case HostCrash:
+		in.hostDepth[ev.Host]++
+		if in.hostDepth[ev.Host] == 1 {
+			_ = in.tb.SetHostDown(ev.Host, true)
+		}
+	case DiskDegrade:
+		h, err := in.tb.Host(ev.Host)
+		if err != nil {
+			return
+		}
+		// Each episode carries its own job; overlaps stack and the
+		// aggregate saturates at full load inside cluster.
+		if job, err := h.AddJob(0, ev.Severity); err == nil {
+			in.degradeJobs = append(in.degradeJobs, degradeJob{ev: ev, job: job})
+		}
+	case MonitorOutage:
+		in.outages++
+		if in.outages == 1 {
+			in.gate.SetMonitorsPaused(true)
+		}
+	}
+}
+
+func (in *Injector) revert(ev Event) {
+	switch ev.Kind {
+	case LinkFlap:
+		k := linkKey(ev.From, ev.To)
+		in.linkDepth[k]--
+		if in.linkDepth[k] == 0 {
+			net := in.tb.Network()
+			_ = net.SetLinkDown(ev.From, ev.To, false)
+			_ = net.SetLinkDown(ev.To, ev.From, false)
+		}
+	case HostCrash:
+		in.hostDepth[ev.Host]--
+		if in.hostDepth[ev.Host] == 0 {
+			_ = in.tb.SetHostDown(ev.Host, false)
+		}
+	case DiskDegrade:
+		for i, dj := range in.degradeJobs {
+			if dj.ev == ev {
+				dj.job.Release()
+				in.degradeJobs = append(in.degradeJobs[:i], in.degradeJobs[i+1:]...)
+				break
+			}
+		}
+	case MonitorOutage:
+		in.outages--
+		if in.outages == 0 {
+			in.gate.SetMonitorsPaused(false)
+		}
+	}
+}
+
+// degradeJob pairs a DiskDegrade episode with its live load handle.
+type degradeJob struct {
+	ev  Event
+	job *cluster.Job
+}

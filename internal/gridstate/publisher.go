@@ -43,6 +43,13 @@ type Publisher struct {
 	// revs are the source revisions observed after the current snapshot's
 	// build completed (building may itself refresh directory caches).
 	revs []uint64
+	// lastChangeAt is the virtual time of the newest publish that saw a
+	// source revision move since its predecessor; staleEpochs counts the
+	// consecutive publishes since then that saw none. Together they make
+	// monitor silence observable on the snapshots (SourceAge/StaleEpochs).
+	lastChangeAt time.Duration
+	staleEpochs  uint64
+	published    bool
 }
 
 // NewPublisher wires a publisher for the given tracked hosts. builder is
@@ -148,6 +155,23 @@ func (p *Publisher) Snapshot(now time.Duration) *Snapshot {
 // Publish unconditionally rebuilds the snapshot at now from the live pull
 // path, stamps it with the next epoch, and makes it current.
 func (p *Publisher) Publish(now time.Duration) *Snapshot {
+	// Source movement is judged against the previous epoch's post-build
+	// revisions, before this build runs: build-time TTL refreshes belong
+	// to this epoch and must not count as substrate activity.
+	moved := !p.published
+	for i, src := range p.sources {
+		if src.Revision() != p.revs[i] {
+			moved = true
+			break
+		}
+	}
+	if moved {
+		p.lastChangeAt = now
+		p.staleEpochs = 0
+	} else {
+		p.staleEpochs++
+	}
+	p.published = true
 	entries := make(map[string]hostEntry, len(p.hosts))
 	for _, h := range p.hosts {
 		perf, err := p.builder.BuildHostPerf(h, now)
@@ -155,11 +179,13 @@ func (p *Publisher) Publish(now time.Duration) *Snapshot {
 	}
 	p.epoch++
 	s := &Snapshot{
-		epoch: p.epoch,
-		at:    now,
-		local: p.local,
-		hosts: entries,
-		order: p.hosts,
+		epoch:       p.epoch,
+		at:          now,
+		local:       p.local,
+		hosts:       entries,
+		order:       p.hosts,
+		sourceAge:   now - p.lastChangeAt,
+		staleEpochs: p.staleEpochs,
 	}
 	// Capture revisions after the build: building legitimately refreshes
 	// TTL'd directory caches, and those refreshes belong to this epoch.

@@ -71,6 +71,13 @@ type Snapshot struct {
 	local string
 	hosts map[string]hostEntry
 	order []string
+	// sourceAge is how long (virtual time) the substrates had published no
+	// new revision when this snapshot was built; staleEpochs counts the
+	// consecutive preceding epochs built without source movement. Both are
+	// zero while the monitors are alive — they grow during a monitor
+	// outage, which is how staleness becomes observable per epoch.
+	sourceAge   time.Duration
+	staleEpochs uint64
 }
 
 // Epoch returns the snapshot's monotonically increasing version number.
@@ -85,6 +92,23 @@ func (s *Snapshot) Local() string { return s.local }
 // Hosts returns the tracked host names, sorted.
 func (s *Snapshot) Hosts() []string {
 	return append([]string(nil), s.order...)
+}
+
+// SourceAge returns how long the monitoring substrates had been silent
+// (no revision movement) when the snapshot was built. Zero means at least
+// one substrate reported since the previous epoch.
+func (s *Snapshot) SourceAge() time.Duration { return s.sourceAge }
+
+// StaleEpochs returns how many consecutive epochs before this one were
+// built without any source movement. Zero means the grid state behind
+// this snapshot is fresh.
+func (s *Snapshot) StaleEpochs() uint64 { return s.staleEpochs }
+
+// SourcesStale reports whether the substrates have been silent for longer
+// than the given threshold — the snapshot-plane analogue of a monitoring
+// outage alarm.
+func (s *Snapshot) SourcesStale(threshold time.Duration) bool {
+	return s.sourceAge > threshold
 }
 
 // ErrUntracked is returned by Lookup for hosts the snapshot does not

@@ -1,0 +1,65 @@
+package gridstate
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSourceAgeGrowsWhileSourcesSilent drives the staleness observables:
+// fresh publishes report zero age, a run of publishes with frozen sources
+// accumulates SourceAge/StaleEpochs, and the first source movement resets
+// both.
+func TestSourceAgeGrowsWhileSourcesSilent(t *testing.T) {
+	src := &fakeSource{}
+	p := newTestPublisher(t, []string{"a"}, &fakeBuilder{}, src)
+
+	s1 := p.Snapshot(10 * time.Second)
+	if s1.SourceAge() != 0 || s1.StaleEpochs() != 0 {
+		t.Fatalf("first snapshot age/stale = %v/%d, want 0/0", s1.SourceAge(), s1.StaleEpochs())
+	}
+
+	// Sources keep reporting: age stays zero.
+	src.rev++
+	s2 := p.Snapshot(20 * time.Second)
+	if s2.SourceAge() != 0 || s2.StaleEpochs() != 0 {
+		t.Fatalf("live snapshot age/stale = %v/%d, want 0/0", s2.SourceAge(), s2.StaleEpochs())
+	}
+
+	// Monitors go silent: the clock moves but no revision does.
+	s3 := p.Snapshot(30 * time.Second)
+	if s3.SourceAge() != 10*time.Second || s3.StaleEpochs() != 1 {
+		t.Fatalf("stale snapshot age/stale = %v/%d, want 10s/1", s3.SourceAge(), s3.StaleEpochs())
+	}
+	s4 := p.Snapshot(45 * time.Second)
+	if s4.SourceAge() != 25*time.Second || s4.StaleEpochs() != 2 {
+		t.Fatalf("stale snapshot age/stale = %v/%d, want 25s/2", s4.SourceAge(), s4.StaleEpochs())
+	}
+	if !s4.SourcesStale(20 * time.Second) {
+		t.Fatal("SourcesStale(20s) = false at 25s of silence")
+	}
+	if s4.SourcesStale(30 * time.Second) {
+		t.Fatal("SourcesStale(30s) = true at 25s of silence")
+	}
+
+	// The outage ends: one revision bump resets the observables.
+	src.rev++
+	s5 := p.Snapshot(50 * time.Second)
+	if s5.SourceAge() != 0 || s5.StaleEpochs() != 0 {
+		t.Fatalf("recovered snapshot age/stale = %v/%d, want 0/0", s5.SourceAge(), s5.StaleEpochs())
+	}
+}
+
+// TestBuildSideEffectStillCountsAsSilence pins that build-time TTL
+// refreshes (which bump a source revision during Publish) do not mask an
+// outage: movement is judged before the build runs.
+func TestBuildSideEffectStillCountsAsSilence(t *testing.T) {
+	src := &fakeSource{}
+	b := &fakeBuilder{bump: src}
+	p := newTestPublisher(t, []string{"a"}, b, src)
+
+	p.Publish(10 * time.Second)
+	s2 := p.Publish(20 * time.Second)
+	if s2.SourceAge() != 10*time.Second || s2.StaleEpochs() != 1 {
+		t.Fatalf("age/stale = %v/%d, want 10s/1 (build-side bumps are not activity)", s2.SourceAge(), s2.StaleEpochs())
+	}
+}

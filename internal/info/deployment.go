@@ -65,6 +65,39 @@ type Deployment struct {
 	Sysstat    map[string]*sysstat.Collector
 	Net        map[string]*sysstat.NetCollector
 	BWSensors  map[string]*nws.Sensor
+	// Sensors holds every NWS sensor (bandwidth, latency and gauges) in
+	// deployment order, so the whole installation can be paused at once.
+	Sensors []*nws.Sensor
+	// GRIS and SiteGIIS hold the MDS hierarchy below TopGIIS in
+	// deployment order.
+	GRIS     []*mds.GRIS
+	SiteGIIS []*mds.GIIS
+}
+
+// SetMonitorsPaused suspends (or resumes) every monitoring process in the
+// deployment — NWS sensors, sysstat and network collectors, and the MDS
+// hierarchy. This is the fault plane's "monitor outage": the substrates
+// stop reporting, their revision counters freeze, and published grid-state
+// snapshots go stale until the outage ends.
+func (d *Deployment) SetMonitorsPaused(paused bool) {
+	for _, s := range d.Sensors {
+		s.SetPaused(paused)
+	}
+	for _, c := range d.Sysstat {
+		c.SetPaused(paused)
+	}
+	for _, c := range d.Net {
+		c.SetPaused(paused)
+	}
+	for _, g := range d.GRIS {
+		g.SetPaused(paused)
+	}
+	for _, g := range d.SiteGIIS {
+		g.SetPaused(paused)
+	}
+	if d.TopGIIS != nil {
+		d.TopGIIS.SetPaused(paused)
+	}
 }
 
 // Deploy installs the monitoring stack on a testbed and returns the wired
@@ -107,6 +140,7 @@ func Deploy(tb *cluster.Testbed, cfg DeploymentConfig) (*Deployment, error) {
 	}
 	seed := cfg.Seed
 	bwSensors := make(map[string]*nws.Sensor, len(remotes))
+	var sensors []*nws.Sensor
 	for _, r := range remotes {
 		seed++
 		s, err := nws.NewBandwidthSensor(engine, ns, mem, tb.Network(), r, cfg.Local, nws.BandwidthSensorConfig{
@@ -118,10 +152,13 @@ func Deploy(tb *cluster.Testbed, cfg DeploymentConfig) (*Deployment, error) {
 			return nil, fmt.Errorf("info: bandwidth sensor %s->%s: %w", r, cfg.Local, err)
 		}
 		bwSensors[r] = s
+		sensors = append(sensors, s)
 		seed++
-		if _, err := nws.NewLatencySensor(engine, ns, mem, tb.Network(), r, cfg.Local, cfg.NWSProbePeriod, seed); err != nil {
+		lat, err := nws.NewLatencySensor(engine, ns, mem, tb.Network(), r, cfg.Local, cfg.NWSProbePeriod, seed)
+		if err != nil {
 			return nil, fmt.Errorf("info: latency sensor %s->%s: %w", r, cfg.Local, err)
 		}
+		sensors = append(sensors, lat)
 	}
 
 	// --- MDS hierarchy ---
@@ -129,11 +166,14 @@ func Deploy(tb *cluster.Testbed, cfg DeploymentConfig) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
+	var grisServers []*mds.GRIS
+	var siteServers []*mds.GIIS
 	for _, site := range tb.Sites() {
 		siteGIIS, err := mds.NewGIIS(engine, "Mds-Vo-name="+site+",o=grid", cfg.MDSTTL)
 		if err != nil {
 			return nil, err
 		}
+		siteServers = append(siteServers, siteGIIS)
 		hosts, err := tb.SiteHosts(site)
 		if err != nil {
 			return nil, err
@@ -143,6 +183,7 @@ func Deploy(tb *cluster.Testbed, cfg DeploymentConfig) (*Deployment, error) {
 			if err != nil {
 				return nil, err
 			}
+			grisServers = append(grisServers, gris)
 			hc := h.Config()
 			st := mds.HostStatic{
 				Site:       site,
@@ -195,11 +236,13 @@ func Deploy(tb *cluster.Testbed, cfg DeploymentConfig) (*Deployment, error) {
 		// RAM shrinks as the host gets busier.
 		memKey := nws.SeriesKey{Resource: nws.ResourceMemory, Source: name}
 		host := h
-		if _, err := nws.NewGaugeSensor(engine, ns, mem, memKey, cfg.SysstatPeriod, func() (float64, error) {
+		gauge, err := nws.NewGaugeSensor(engine, ns, mem, memKey, cfg.SysstatPeriod, func() (float64, error) {
 			return float64(host.Config().MemMB) * (0.35 + 0.65*host.CPUIdle()), nil
-		}); err != nil {
+		})
+		if err != nil {
 			return nil, err
 		}
+		sensors = append(sensors, gauge)
 	}
 
 	srv, err := NewServer(cfg.Local, tb.Network(), mem, top, collectors)
@@ -219,5 +262,8 @@ func Deploy(tb *cluster.Testbed, cfg DeploymentConfig) (*Deployment, error) {
 		Sysstat:    collectors,
 		Net:        netCollectors,
 		BWSensors:  bwSensors,
+		Sensors:    sensors,
+		GRIS:       grisServers,
+		SiteGIIS:   siteServers,
 	}, nil
 }

@@ -16,6 +16,7 @@ var determinismScope = []string{
 	"internal/experiments",
 	"internal/runner",
 	"internal/gridstate",
+	"internal/faults",
 }
 
 // Determinism flags the two classic sources of run-to-run jitter in the

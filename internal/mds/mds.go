@@ -73,6 +73,7 @@ type GRIS struct {
 	haveCache bool
 	collects  int
 	rev       uint64
+	paused    bool
 }
 
 // NewGRIS creates a GRIS answering for suffix (e.g.
@@ -116,6 +117,15 @@ func (g *GRIS) AddProvider(p Provider) error {
 // Collects reports how many times providers were invoked (for cache tests).
 func (g *GRIS) Collects() int { return g.collects }
 
+// SetPaused suspends (or resumes) provider refreshes: while paused, Search
+// keeps serving the stale cache past its TTL and the revision counter
+// stops moving — the fault plane's model of an MDS server whose
+// information-provider scripts have stopped running.
+func (g *GRIS) SetPaused(paused bool) { g.paused = paused }
+
+// Paused reports whether refreshes are currently suspended.
+func (g *GRIS) Paused() bool { return g.paused }
+
 // Revision increases whenever the served entries may have changed: a
 // provider cache refresh or a provider registration. Snapshot consumers
 // (gridstate.Publisher) poll it to detect directory movement.
@@ -128,7 +138,7 @@ func (g *GRIS) Search(f Filter) ([]Entry, error) {
 		f = MatchAll
 	}
 	now := g.engine.Now()
-	if !g.haveCache || now-g.cachedAt > g.ttl {
+	if (!g.haveCache || now-g.cachedAt > g.ttl) && !g.paused {
 		entries := make([]Entry, 0, len(g.providers))
 		for _, p := range g.providers {
 			attrs, err := p.Collect()
@@ -168,6 +178,7 @@ type GIIS struct {
 	haveCache bool
 	queries   int
 	rev       uint64
+	paused    bool
 }
 
 // giisChild is one registered downstream server with its soft-state
@@ -248,6 +259,14 @@ func (g *GIIS) Children() []string {
 // Queries reports how many child fan-outs happened (for cache tests).
 func (g *GIIS) Queries() int { return g.queries }
 
+// SetPaused suspends (or resumes) child refreshes: while paused, Search
+// keeps serving the stale cache past its TTL and the revision counter
+// stops moving — a GIIS cut off from its registrants.
+func (g *GIIS) SetPaused(paused bool) { g.paused = paused }
+
+// Paused reports whether refreshes are currently suspended.
+func (g *GIIS) Paused() bool { return g.paused }
+
 // Revision increases whenever the served entries may have changed: a
 // cache refresh against the children or a (re-)registration. Snapshot
 // consumers (gridstate.Publisher) poll it to detect directory movement.
@@ -261,7 +280,7 @@ func (g *GIIS) Search(f Filter) ([]Entry, error) {
 		f = MatchAll
 	}
 	now := g.engine.Now()
-	if !g.haveCache || now-g.cachedAt > g.ttl {
+	if (!g.haveCache || now-g.cachedAt > g.ttl) && !g.paused {
 		var all []Entry
 		for _, c := range g.children {
 			if c.expired(now) {

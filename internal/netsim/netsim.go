@@ -141,6 +141,12 @@ type FlowOptions struct {
 	// framing (e.g. GridFTP MODE E block headers). 0.01 means 1% extra
 	// bytes on the wire.
 	OverheadFraction float64
+	// FailOnDown makes the flow fail (state FlowFailed, done callback
+	// invoked) when a link on its path goes down, instead of the default
+	// behavior of stalling at zero rate until the link recovers. Transfer
+	// layers that implement failover opt in so they can detect the break;
+	// legacy flows are untouched.
+	FailOnDown bool
 }
 
 // DefaultWindowBytes is the TCP window used when FlowOptions does not set
@@ -157,6 +163,9 @@ const (
 	FlowDone
 	// FlowCanceled means the flow was aborted before completion.
 	FlowCanceled
+	// FlowFailed means a link on the flow's path went down while the flow
+	// had FailOnDown set; the remaining bytes were not delivered.
+	FlowFailed
 )
 
 func (s FlowState) String() string {
@@ -167,6 +176,8 @@ func (s FlowState) String() string {
 		return "done"
 	case FlowCanceled:
 		return "canceled"
+	case FlowFailed:
+		return "failed"
 	default:
 		return fmt.Sprintf("FlowState(%d)", int(s))
 	}
@@ -227,6 +238,18 @@ func (f *Flow) Finished() time.Duration { return f.finished }
 
 // Duration returns transfer time for completed flows.
 func (f *Flow) Duration() time.Duration { return f.finished - f.started }
+
+// DeliveredPayloadBytes returns the payload bytes (net of protocol
+// overhead) delivered so far. For a finished flow this is the whole
+// payload; for a failed one it is the resumable offset a restart can
+// continue from.
+func (f *Flow) DeliveredPayloadBytes() int64 {
+	delivered := (f.wireBytes - f.remaining) / (1 + f.opts.OverheadFraction)
+	if delivered < 0 {
+		return 0
+	}
+	return int64(delivered + 0.5)
+}
 
 // RemainingBytes returns wire bytes not yet delivered.
 func (f *Flow) RemainingBytes() float64 { return f.remaining }
@@ -436,9 +459,11 @@ func (n *Network) SetBackgroundLoad(from, to string, frac float64) error {
 }
 
 // SetLinkDown fails (or restores) the directed link from->to. Flows
-// crossing a down link stall at zero rate until the link comes back;
-// routing is not recomputed (the testbed's routes are static, as the
-// paper's were).
+// crossing a down link stall at zero rate until the link comes back —
+// unless they opted into FlowOptions.FailOnDown, in which case they fail
+// immediately (state FlowFailed, done callback invoked) so a failover
+// layer can react. Routing is not recomputed (the testbed's routes are
+// static, as the paper's were).
 func (n *Network) SetLinkDown(from, to string, down bool) error {
 	l, err := n.GetLink(from, to)
 	if err != nil {
@@ -446,12 +471,46 @@ func (n *Network) SetLinkDown(from, to string, down bool) error {
 	}
 	n.settle()
 	l.down = down
+	if !down {
+		n.reallocate()
+		return nil
+	}
+	// Fail opted-in flows crossing the dead link. Mirrors onCompletion:
+	// remove the whole batch, rebalance the survivors once, then invoke
+	// callbacks (which may start replacement flows). A local batch slice
+	// (not doneBuf) keeps this reentrancy-safe if a completion callback
+	// ever downs a link; link failure is a cold path.
+	var failed []*Flow
+	for _, f := range n.active {
+		if !f.opts.FailOnDown {
+			continue
+		}
+		for _, pl := range f.path {
+			if pl == l {
+				failed = append(failed, f)
+				break
+			}
+		}
+	}
+	for _, f := range failed {
+		n.removeFlow(f, FlowFailed)
+	}
 	n.reallocate()
+	for _, f := range failed {
+		if f.done != nil {
+			f.done(f)
+		}
+	}
 	return nil
 }
 
 // ErrNoRoute is returned when no path exists between two nodes.
 var ErrNoRoute = errors.New("netsim: no route")
+
+// ErrPathDown is returned by StartFlow when FailOnDown is requested and a
+// link on the route is already down — the flow would fail before moving a
+// byte, so it is rejected up front.
+var ErrPathDown = errors.New("netsim: path has a down link")
 
 // rebuildAdjacency regenerates the dense adjacency list from the link
 // table. Edges are sorted (by source, then destination name) so the graph
@@ -723,6 +782,13 @@ func (n *Network) StartFlow(src, dst string, bytes int64, opts FlowOptions, done
 	path, err := n.Route(src, dst)
 	if err != nil {
 		return nil, err
+	}
+	if opts.FailOnDown {
+		for _, l := range path {
+			if l.down {
+				return nil, fmt.Errorf("%w: %s->%s via %s->%s", ErrPathDown, src, dst, l.from, l.to)
+			}
+		}
 	}
 	// Loss, RTT and MSS are derived from the resolved path in a single
 	// traversal; the per-metric lookups (PathLossRate, PathRTT) cannot

@@ -37,6 +37,14 @@ func (s *Sensor) Stores() int { return s.stores }
 // Stop halts the sensor.
 func (s *Sensor) Stop() { s.ticker.Stop() }
 
+// SetPaused suspends (or resumes) measurements without killing the
+// sensor: the fault plane uses this to model an nws_sensor process that
+// has crashed, so its series goes stale until the process "restarts".
+func (s *Sensor) SetPaused(paused bool) { s.ticker.SetPaused(paused) }
+
+// Paused reports whether the sensor is currently suspended.
+func (s *Sensor) Paused() bool { return s.ticker.Paused() }
+
 func registerSensor(ns *NameServer, engine *simulation.Engine, name, host string, key SeriesKey, period time.Duration) error {
 	return ns.Register(Registration{
 		Name: name,

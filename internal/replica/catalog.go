@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -37,8 +38,11 @@ type LogicalFile struct {
 }
 
 // Catalog is the replica catalog server. It is purely a name service: it
-// stores no file data and performs no transfers.
+// stores no file data and performs no transfers. All methods are safe for
+// concurrent use: a real catalog server fields registrations and lookups
+// from many clients at once.
 type Catalog struct {
+	mu          sync.RWMutex
 	files       map[string]*LogicalFile
 	locations   map[string][]Location
 	collections map[string]map[string]bool
@@ -59,6 +63,9 @@ var (
 	ErrDuplicate      = errors.New("replica: already registered")
 	ErrNoReplicas     = errors.New("replica: no replicas registered")
 	ErrUnknownReplica = errors.New("replica: unknown replica")
+	// ErrLastReplica is returned by Manager.Delete when removing the
+	// replica would orphan the logical name.
+	ErrLastReplica = errors.New("replica: refusing to delete the last copy")
 )
 
 // CreateLogical registers a new logical file name.
@@ -69,6 +76,8 @@ func (c *Catalog) CreateLogical(f LogicalFile) error {
 	if f.SizeBytes <= 0 {
 		return fmt.Errorf("replica: logical file %q needs positive size, got %d", f.Name, f.SizeBytes)
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.files[f.Name]; ok {
 		return fmt.Errorf("%w: logical file %q", ErrDuplicate, f.Name)
 	}
@@ -84,6 +93,8 @@ func (c *Catalog) CreateLogical(f LogicalFile) error {
 // DeleteLogical removes a logical file, all its location records, and its
 // collection memberships.
 func (c *Catalog) DeleteLogical(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.files[name]; !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownLogical, name)
 	}
@@ -97,6 +108,12 @@ func (c *Catalog) DeleteLogical(name string) error {
 
 // Logical returns the logical file record.
 func (c *Catalog) Logical(name string) (LogicalFile, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.logicalLocked(name)
+}
+
+func (c *Catalog) logicalLocked(name string) (LogicalFile, error) {
 	f, ok := c.files[name]
 	if !ok {
 		return LogicalFile{}, fmt.Errorf("%w: %q", ErrUnknownLogical, name)
@@ -111,6 +128,12 @@ func (c *Catalog) Logical(name string) (LogicalFile, error) {
 
 // LogicalNames lists all logical files, sorted.
 func (c *Catalog) LogicalNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.logicalNamesLocked()
+}
+
+func (c *Catalog) logicalNamesLocked() []string {
 	out := make([]string, 0, len(c.files))
 	for n := range c.files {
 		out = append(out, n)
@@ -123,6 +146,8 @@ func (c *Catalog) LogicalNames() []string {
 // contains every key/value pair in want (the "specified characteristics"
 // lookup of §4.3).
 func (c *Catalog) FindByAttributes(want map[string]string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var out []string
 	for name, f := range c.files {
 		ok := true
@@ -142,6 +167,8 @@ func (c *Catalog) FindByAttributes(want map[string]string) []string {
 
 // Register adds a physical location for a logical file.
 func (c *Catalog) Register(name string, loc Location) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.files[name]; !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownLogical, name)
 	}
@@ -159,6 +186,8 @@ func (c *Catalog) Register(name string, loc Location) error {
 
 // Unregister removes a physical location record. It does not delete data.
 func (c *Catalog) Unregister(name string, host, path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.files[name]; !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownLogical, name)
 	}
@@ -175,6 +204,12 @@ func (c *Catalog) Unregister(name string, host, path string) error {
 // Locations returns all registered physical copies of a logical file —
 // "a list of physical locations for all registered copies" (§3.1).
 func (c *Catalog) Locations(name string) ([]Location, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.locationsLocked(name)
+}
+
+func (c *Catalog) locationsLocked(name string) ([]Location, error) {
 	if _, ok := c.files[name]; !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownLogical, name)
 	}
@@ -189,7 +224,9 @@ func (c *Catalog) Locations(name string) ([]Location, error) {
 
 // HostsWith returns the hosts holding a copy of the logical file, sorted.
 func (c *Catalog) HostsWith(name string) ([]string, error) {
-	locs, err := c.Locations(name)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	locs, err := c.locationsLocked(name)
 	if err != nil {
 		return nil, err
 	}

@@ -19,6 +19,8 @@ func (c *Catalog) CreateCollection(name string) error {
 	if name == "" {
 		return errors.New("replica: empty collection name")
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.collections == nil {
 		c.collections = make(map[string]map[string]bool)
 	}
@@ -31,6 +33,8 @@ func (c *Catalog) CreateCollection(name string) error {
 
 // DeleteCollection removes a collection (its member files are untouched).
 func (c *Catalog) DeleteCollection(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.collections[name]; !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownCollection, name)
 	}
@@ -40,6 +44,8 @@ func (c *Catalog) DeleteCollection(name string) error {
 
 // AddToCollection puts a logical file into a collection.
 func (c *Catalog) AddToCollection(collection, logical string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	members, ok := c.collections[collection]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownCollection, collection)
@@ -56,6 +62,8 @@ func (c *Catalog) AddToCollection(collection, logical string) error {
 
 // RemoveFromCollection takes a logical file out of a collection.
 func (c *Catalog) RemoveFromCollection(collection, logical string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	members, ok := c.collections[collection]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownCollection, collection)
@@ -69,6 +77,12 @@ func (c *Catalog) RemoveFromCollection(collection, logical string) error {
 
 // CollectionFiles lists a collection's members, sorted.
 func (c *Catalog) CollectionFiles(collection string) ([]string, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.collectionFilesLocked(collection)
+}
+
+func (c *Catalog) collectionFilesLocked(collection string) ([]string, error) {
 	members, ok := c.collections[collection]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownCollection, collection)
@@ -83,6 +97,12 @@ func (c *Catalog) CollectionFiles(collection string) ([]string, error) {
 
 // Collections lists all collection names, sorted.
 func (c *Catalog) Collections() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.collectionsLocked()
+}
+
+func (c *Catalog) collectionsLocked() []string {
 	out := make([]string, 0, len(c.collections))
 	for n := range c.collections {
 		out = append(out, n)
@@ -94,13 +114,15 @@ func (c *Catalog) Collections() []string {
 // CollectionSize sums the member files' sizes — what staging the whole
 // collection would transfer.
 func (c *Catalog) CollectionSize(collection string) (int64, error) {
-	members, err := c.CollectionFiles(collection)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	members, err := c.collectionFilesLocked(collection)
 	if err != nil {
 		return 0, err
 	}
 	var total int64
 	for _, m := range members {
-		f, err := c.Logical(m)
+		f, err := c.logicalLocked(m)
 		if err != nil {
 			return 0, err
 		}

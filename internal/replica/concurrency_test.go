@@ -1,0 +1,93 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCatalogConcurrentAccess hammers one logical name with parallel
+// Register/Unregister/Locations/HostsWith calls. Run under -race this
+// pins the catalog's concurrency contract: a real catalog server fields
+// many clients at once.
+func TestCatalogConcurrentAccess(t *testing.T) {
+	c := NewCatalog()
+	if err := c.CreateLogical(LogicalFile{Name: "f", SizeBytes: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	// A permanent copy keeps Locations from racing between "no replicas"
+	// and data; the workers churn their own private paths.
+	if err := c.Register("f", Location{Host: "anchor", Path: "/f"}); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const rounds = 200
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			host := fmt.Sprintf("h%d", w)
+			path := fmt.Sprintf("/copy-%d", w)
+			for i := 0; i < rounds; i++ {
+				loc := Location{Host: host, Path: path, RegisteredAt: time.Duration(i)}
+				if err := c.Register("f", loc); err != nil {
+					errCh <- fmt.Errorf("register: %w", err)
+					return
+				}
+				locs, err := c.Locations("f")
+				if err != nil {
+					errCh <- fmt.Errorf("locations: %w", err)
+					return
+				}
+				if len(locs) < 1 {
+					errCh <- errors.New("locations lost the anchor copy")
+					return
+				}
+				if _, err := c.HostsWith("f"); err != nil {
+					errCh <- fmt.Errorf("hostswith: %w", err)
+					return
+				}
+				if err := c.Unregister("f", host, path); err != nil {
+					errCh <- fmt.Errorf("unregister: %w", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+// TestUnregisterToEmptyThenLocations drains every copy of a logical file
+// and checks Locations reports the ErrNoReplicas sentinel via errors.Is.
+func TestUnregisterToEmptyThenLocations(t *testing.T) {
+	c := NewCatalog()
+	if err := c.CreateLogical(LogicalFile{Name: "f", SizeBytes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"/a", "/b"} {
+		if err := c.Register("f", Location{Host: "h1", Path: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range []string{"/a", "/b"} {
+		if err := c.Unregister("f", "h1", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Locations("f"); !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("Locations on emptied file: err = %v, want ErrNoReplicas", err)
+	}
+	if _, err := c.Locations("ghost"); !errors.Is(err, ErrUnknownLogical) {
+		t.Fatalf("Locations on unknown file: err = %v, want ErrUnknownLogical", err)
+	}
+}

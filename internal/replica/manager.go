@@ -207,7 +207,7 @@ func (m *Manager) Delete(name, host, path string) error {
 		return err
 	}
 	if len(locs) == 1 && locs[0].Host == host && locs[0].Path == path {
-		return fmt.Errorf("replica: refusing to delete the last copy of %q", name)
+		return fmt.Errorf("%w: %q", ErrLastReplica, name)
 	}
 	if err := m.catalog.Unregister(name, host, path); err != nil {
 		return err

@@ -18,13 +18,15 @@ type catalogDoc struct {
 // Save serializes the whole catalog (files, locations, collections) as a
 // JSON document.
 func (c *Catalog) Save(w io.Writer) error {
+	c.mu.RLock()
 	doc := catalogDoc{
 		Locations:   make(map[string][]Location, len(c.locations)),
 		Collections: make(map[string][]string, len(c.collections)),
 	}
-	for _, name := range c.LogicalNames() {
-		f, err := c.Logical(name)
+	for _, name := range c.logicalNamesLocked() {
+		f, err := c.logicalLocked(name)
 		if err != nil {
+			c.mu.RUnlock()
 			return err
 		}
 		doc.Files = append(doc.Files, f)
@@ -34,13 +36,15 @@ func (c *Catalog) Save(w io.Writer) error {
 			doc.Locations[name] = cp
 		}
 	}
-	for _, coll := range c.Collections() {
-		members, err := c.CollectionFiles(coll)
+	for _, coll := range c.collectionsLocked() {
+		members, err := c.collectionFilesLocked(coll)
 		if err != nil {
+			c.mu.RUnlock()
 			return err
 		}
 		doc.Collections[coll] = members
 	}
+	c.mu.RUnlock()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {

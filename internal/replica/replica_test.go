@@ -334,8 +334,8 @@ func TestDelete(t *testing.T) {
 	if err := m.Publish(LogicalFile{Name: "f", SizeBytes: 10}, "h1", "/a"); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Delete("f", "h1", "/a"); err == nil {
-		t.Fatal("deleting the last copy should be refused")
+	if err := m.Delete("f", "h1", "/a"); !errors.Is(err, ErrLastReplica) {
+		t.Fatalf("deleting the last copy: err = %v, want ErrLastReplica", err)
 	}
 	if err := m.Replicate("f", "h1", "h2", "/b", nil); err != nil {
 		t.Fatal(err)

@@ -231,6 +231,7 @@ type Ticker struct {
 	fn      func(now time.Duration)
 	ev      *Event
 	stopped bool
+	paused  bool
 }
 
 // NewTicker schedules fn to run periodically on the engine. period must be
@@ -262,7 +263,9 @@ func (t *Ticker) tick(now time.Duration) {
 	if t.stopped {
 		return
 	}
-	t.fn(now)
+	if !t.paused {
+		t.fn(now)
+	}
 	if t.stopped { // fn may have stopped the ticker
 		return
 	}
@@ -276,6 +279,17 @@ func (t *Ticker) tick(now time.Duration) {
 	}
 	t.ev = ev
 }
+
+// SetPaused suspends (or resumes) the ticker's callback without
+// disturbing its schedule: the tick events keep firing on the same
+// period grid, but fn is skipped while paused. That models a monitoring
+// process that has crashed — the rest of the simulation's event stream
+// is unchanged, which keeps runs with and without an outage comparable.
+// Pausing a stopped ticker has no effect.
+func (t *Ticker) SetPaused(paused bool) { t.paused = paused }
+
+// Paused reports whether the ticker's callback is currently suspended.
+func (t *Ticker) Paused() bool { return t.paused }
 
 // Stop cancels future ticks.
 func (t *Ticker) Stop() {

@@ -254,6 +254,38 @@ func TestTickerStopInsideCallback(t *testing.T) {
 	}
 }
 
+func TestTickerSetPaused(t *testing.T) {
+	e := NewEngine()
+	var ticks []time.Duration
+	tk, err := e.NewTicker(10, false, func(now time.Duration) { ticks = append(ticks, now) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pause over [25, 45): the ticks at 30 and 40 are skipped, but the
+	// schedule stays on the same grid, so 50 fires as usual.
+	if _, err := e.Schedule(25, func(time.Duration) { tk.SetPaused(true) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Schedule(45, func(time.Duration) {
+		if !tk.Paused() {
+			t.Error("ticker should report paused")
+		}
+		tk.SetPaused(false)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Schedule(55, func(time.Duration) { tk.Stop() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{10, 20, 50}
+	if len(ticks) != len(want) || ticks[0] != want[0] || ticks[1] != want[1] || ticks[2] != want[2] {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+}
+
 func TestTickerInvalidPeriod(t *testing.T) {
 	e := NewEngine()
 	if _, err := e.NewTicker(0, false, func(time.Duration) {}); err == nil {

@@ -1,0 +1,427 @@
+package simxfer
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/netsim"
+	"github.com/hpclab/datagrid/internal/simulation"
+)
+
+// RetryMode selects what a failover transfer does after a failed attempt.
+type RetryMode int
+
+const (
+	// NoRetry gives up after the first failed attempt — the historical
+	// client behavior the paper's era tooling exhibited.
+	NoRetry RetryMode = iota
+	// RetrySame retries the same source after a backoff, hoping the
+	// fault is transient (a link flap, a rebooting router).
+	RetrySame
+	// FailoverReselect re-ranks the surviving candidates after each
+	// failure and moves to the next-best replica.
+	FailoverReselect
+)
+
+func (m RetryMode) String() string {
+	switch m {
+	case NoRetry:
+		return "no-retry"
+	case RetrySame:
+		return "retry-same"
+	case FailoverReselect:
+		return "failover-reselect"
+	default:
+		return fmt.Sprintf("RetryMode(%d)", int(m))
+	}
+}
+
+// Failover engine defaults.
+const (
+	DefaultMaxAttempts    = 4
+	DefaultInitialBackoff = 500 * time.Millisecond
+	DefaultMaxBackoff     = 10 * time.Second
+	DefaultBackoffFactor  = 2.0
+)
+
+// FailoverPolicy arms a Request with mid-transfer failure detection and
+// recovery. Attempts run one at a time; after a failure the engine waits
+// a capped exponential backoff, picks the next source per Mode, and —
+// for MODE E transfers — resumes from the delivered-byte offset instead
+// of restarting (extended block mode is the only modeled protocol whose
+// framing makes partial transfers restartable).
+type FailoverPolicy struct {
+	// Mode picks the recovery strategy.
+	Mode RetryMode
+	// MaxAttempts bounds the total attempts; default DefaultMaxAttempts
+	// (forced to 1 under NoRetry).
+	MaxAttempts int
+	// InitialBackoff is the wait after the first failure; each further
+	// failure multiplies it by BackoffFactor up to MaxBackoff.
+	InitialBackoff time.Duration
+	// MaxBackoff caps the growth; default DefaultMaxBackoff.
+	MaxBackoff time.Duration
+	// BackoffFactor is the growth multiplier; default
+	// DefaultBackoffFactor, must be >= 1.
+	BackoffFactor float64
+	// AttemptTimeout, when positive, abandons an attempt (setup
+	// included) that has not completed in time — catching stalls the
+	// path-down detector cannot see. Zero disables it.
+	AttemptTimeout time.Duration
+	// Rank, when set and Mode is FailoverReselect, orders the surviving
+	// candidates best-first before each attempt — typically
+	// core.SelectionServer.RankHosts scoring a pinned grid-state
+	// snapshot. When nil the request's source order stands.
+	Rank func(now time.Duration, alive []string) []string
+}
+
+func (p *FailoverPolicy) fillDefaults() error {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = DefaultMaxAttempts
+	}
+	if p.Mode == NoRetry {
+		p.MaxAttempts = 1
+	}
+	if p.InitialBackoff == 0 {
+		p.InitialBackoff = DefaultInitialBackoff
+	}
+	if p.MaxBackoff == 0 {
+		p.MaxBackoff = DefaultMaxBackoff
+	}
+	if p.BackoffFactor == 0 {
+		p.BackoffFactor = DefaultBackoffFactor
+	}
+	if p.MaxAttempts < 0 || p.InitialBackoff < 0 || p.MaxBackoff < 0 ||
+		p.BackoffFactor < 1 || p.AttemptTimeout < 0 {
+		return fmt.Errorf("%w: bad policy value", ErrFailoverConfig)
+	}
+	return nil
+}
+
+// AttemptOutcome classifies one failover attempt.
+type AttemptOutcome int
+
+const (
+	// AttemptCompleted delivered the remaining payload.
+	AttemptCompleted AttemptOutcome = iota
+	// AttemptFailed lost its path mid-transfer (or at flow start).
+	AttemptFailed
+	// AttemptTimedOut hit the per-attempt timeout.
+	AttemptTimedOut
+)
+
+func (o AttemptOutcome) String() string {
+	switch o {
+	case AttemptCompleted:
+		return "completed"
+	case AttemptFailed:
+		return "failed"
+	case AttemptTimedOut:
+		return "timed-out"
+	default:
+		return fmt.Sprintf("AttemptOutcome(%d)", int(o))
+	}
+}
+
+// Attempt is one entry in a failover transfer's provenance log.
+type Attempt struct {
+	// Source is the host this attempt pulled from.
+	Source string
+	// Started and Ended are virtual timestamps (setup included).
+	Started, Ended time.Duration
+	// BytesDelivered is the payload landed before the attempt ended;
+	// for MODE E the next attempt resumed past it.
+	BytesDelivered int64
+	// Outcome classifies the attempt.
+	Outcome AttemptOutcome
+	// Err is the failure cause (nil when completed).
+	Err error
+}
+
+// failoverRun is the per-transfer state machine. It lives entirely on the
+// simulation goroutine: every transition happens inside an engine event.
+type failoverRun struct {
+	t        *Transferrer
+	req      Request
+	pol      FailoverPolicy
+	o        Options // filled defaults
+	overhead float64
+
+	started      time.Duration
+	attempts     []Attempt
+	failed       map[string]bool
+	resumeOffset int64
+	lastErr      error
+}
+
+// failoverAttempt tracks one in-flight attempt.
+type failoverAttempt struct {
+	source  string
+	started time.Duration
+	want    int64
+	flows   []*netsim.Flow
+	left    int
+	ended   bool
+	timeout *simulation.Event
+}
+
+// submitFailover validates and launches a failover transfer. The source
+// list is an ordered candidate list; co-allocation and striping do not
+// compose with failover.
+func (t *Transferrer) submitFailover(req Request) error {
+	if req.Bytes <= 0 {
+		return fmt.Errorf("%w, got %d", ErrNonPositiveSize, req.Bytes)
+	}
+	o := req.Options
+	if err := o.fillDefaults(); err != nil {
+		return err
+	}
+	if o.Stripes > 1 {
+		return fmt.Errorf("%w: striped transfer", ErrFailoverConfig)
+	}
+	if req.Scheme != SchemeStatic || req.ChunkBytes != 0 {
+		return fmt.Errorf("%w: co-allocation scheme", ErrFailoverConfig)
+	}
+	seen := map[string]bool{}
+	for _, s := range req.Sources {
+		if s == req.Dst {
+			return fmt.Errorf("%w: source %q", ErrSameEndpoint, s)
+		}
+		if seen[s] {
+			return fmt.Errorf("%w: %q", ErrDuplicateSource, s)
+		}
+		seen[s] = true
+		if _, err := t.tb.Host(s); err != nil {
+			return err
+		}
+	}
+	if _, err := t.tb.Host(req.Dst); err != nil {
+		return err
+	}
+	pol := *req.Failover
+	if err := pol.fillDefaults(); err != nil {
+		return err
+	}
+
+	r := &failoverRun{
+		t:        t,
+		req:      req,
+		pol:      pol,
+		o:        o,
+		overhead: modeEOverhead(o),
+		started:  t.tb.Engine().Now(),
+		failed:   make(map[string]bool, len(req.Sources)),
+	}
+	r.startAttempt()
+	return nil
+}
+
+// pickSource chooses the next attempt's source. NoRetry and RetrySame pin
+// the preferred (first) source; FailoverReselect takes the best surviving
+// candidate, re-admitting burned sources once every candidate has failed
+// (by then the fault may have cleared, and the attempt budget still
+// bounds the run).
+func (r *failoverRun) pickSource(now time.Duration) string {
+	if r.pol.Mode != FailoverReselect {
+		return r.req.Sources[0]
+	}
+	alive := make([]string, 0, len(r.req.Sources))
+	for _, s := range r.req.Sources {
+		if !r.failed[s] {
+			alive = append(alive, s)
+		}
+	}
+	if len(alive) == 0 {
+		r.failed = make(map[string]bool, len(r.req.Sources))
+		alive = append(alive, r.req.Sources...)
+	}
+	if r.pol.Rank != nil {
+		if ranked := r.pol.Rank(now, alive); len(ranked) > 0 {
+			return ranked[0]
+		}
+	}
+	return alive[0]
+}
+
+// backoff returns the wait before attempt n+1 (n = failures so far).
+func (r *failoverRun) backoff(n int) time.Duration {
+	d := r.pol.InitialBackoff
+	for i := 1; i < n; i++ {
+		d = time.Duration(float64(d) * r.pol.BackoffFactor)
+		if d >= r.pol.MaxBackoff {
+			return r.pol.MaxBackoff
+		}
+	}
+	if d > r.pol.MaxBackoff {
+		d = r.pol.MaxBackoff
+	}
+	return d
+}
+
+func (r *failoverRun) startAttempt() {
+	engine := r.t.tb.Engine()
+	now := engine.Now()
+	if r.resumeOffset >= r.req.Bytes {
+		// Everything landed across earlier attempts; nothing to resend.
+		r.finish(r.attempts[len(r.attempts)-1].Source, nil)
+		return
+	}
+	at := &failoverAttempt{
+		source:  r.pickSource(now),
+		started: now,
+		want:    r.req.Bytes - r.resumeOffset,
+	}
+	// The failover engine shares the consolidated path probe with
+	// RecommendStreams; setup cost derives from the probed RTT.
+	st, err := ProbePath(r.t.tb.Network(), at.source, r.req.Dst)
+	if err != nil {
+		r.endAttempt(at, AttemptFailed, err)
+		return
+	}
+	if r.pol.AttemptTimeout > 0 {
+		at.timeout, _ = engine.After(r.pol.AttemptTimeout, func(time.Duration) {
+			r.endAttempt(at, AttemptTimedOut, fmt.Errorf("%w after %v", ErrAttemptTimeout, r.pol.AttemptTimeout))
+		})
+	}
+	setup := time.Duration(setupRoundTrips(r.o.Protocol)) * st.RTT
+	if _, err := engine.After(setup, func(time.Duration) { r.launch(at) }); err != nil {
+		r.endAttempt(at, AttemptFailed, err)
+	}
+}
+
+// launch starts the attempt's data channels once session setup elapses.
+func (r *failoverRun) launch(at *failoverAttempt) {
+	if at.ended {
+		return
+	}
+	src, err := r.t.tb.Host(at.source)
+	if err != nil {
+		r.endAttempt(at, AttemptFailed, err)
+		return
+	}
+	dst, err := r.t.tb.Host(r.req.Dst)
+	if err != nil {
+		r.endAttempt(at, AttemptFailed, err)
+		return
+	}
+	net := r.t.tb.Network()
+	cap := endpointCapBps(src, dst, r.o.Streams, r.o.Streams)
+	per := at.want / int64(r.o.Streams)
+	at.left = r.o.Streams
+	for k := 0; k < r.o.Streams; k++ {
+		sz := per
+		if k == 0 {
+			sz += at.want % int64(r.o.Streams)
+		}
+		if sz <= 0 {
+			at.left--
+			continue
+		}
+		f, ferr := net.StartFlow(at.source, r.req.Dst, sz, netsim.FlowOptions{
+			WindowBytes:      r.o.TCPBufferBytes,
+			RateCapBps:       cap,
+			OverheadFraction: r.overhead,
+			FailOnDown:       true,
+		}, func(f *netsim.Flow) { r.onFlow(at, f) })
+		if ferr != nil {
+			// Typically ErrPathDown: the route broke during setup.
+			r.endAttempt(at, AttemptFailed, ferr)
+			return
+		}
+		at.flows = append(at.flows, f)
+	}
+	if at.left == 0 {
+		r.endAttempt(at, AttemptCompleted, nil)
+	}
+}
+
+func (r *failoverRun) onFlow(at *failoverAttempt, f *netsim.Flow) {
+	if at.ended {
+		return
+	}
+	if f.State() == netsim.FlowFailed {
+		r.endAttempt(at, AttemptFailed,
+			fmt.Errorf("%w: %s->%s", netsim.ErrPathDown, at.source, r.req.Dst))
+		return
+	}
+	at.left--
+	if at.left == 0 {
+		r.endAttempt(at, AttemptCompleted, nil)
+	}
+}
+
+// endAttempt closes the attempt exactly once, cancels its leftovers,
+// records provenance, and either finishes the transfer or schedules the
+// next attempt after backoff.
+func (r *failoverRun) endAttempt(at *failoverAttempt, outcome AttemptOutcome, err error) {
+	if at.ended {
+		return
+	}
+	at.ended = true
+	engine := r.t.tb.Engine()
+	if at.timeout != nil {
+		engine.Cancel(at.timeout)
+	}
+	net := r.t.tb.Network()
+	var delivered int64
+	for _, f := range at.flows {
+		if f.State() == netsim.FlowActive {
+			// Sibling channels of a failed or timed-out attempt are torn
+			// down with the session.
+			_ = net.CancelFlow(f)
+		}
+		delivered += f.DeliveredPayloadBytes()
+	}
+	now := engine.Now()
+	r.attempts = append(r.attempts, Attempt{
+		Source:         at.source,
+		Started:        at.started,
+		Ended:          now,
+		BytesDelivered: delivered,
+		Outcome:        outcome,
+		Err:            err,
+	})
+	if outcome == AttemptCompleted {
+		r.finish(at.source, nil)
+		return
+	}
+	r.lastErr = err
+	r.failed[at.source] = true
+	// MODE E block framing carries offsets, so a restarted session can
+	// extend a partial file; stream modes start over.
+	if r.o.Protocol == ProtoGridFTPModeE {
+		r.resumeOffset += delivered
+		if r.resumeOffset > r.req.Bytes {
+			r.resumeOffset = r.req.Bytes
+		}
+	}
+	if len(r.attempts) >= r.pol.MaxAttempts {
+		r.finish(at.source, fmt.Errorf("%w: %s after %d attempts: %v",
+			ErrTransferFailed, r.pol.Mode, len(r.attempts), r.lastErr))
+		return
+	}
+	failures := 0
+	for _, a := range r.attempts {
+		if a.Outcome != AttemptCompleted {
+			failures++
+		}
+	}
+	if _, err := engine.After(r.backoff(failures), func(time.Duration) { r.startAttempt() }); err != nil {
+		r.finish(at.source, fmt.Errorf("%w: %v", ErrTransferFailed, err))
+	}
+}
+
+func (r *failoverRun) finish(src string, err error) {
+	r.req.Done(Result{
+		Src:      src,
+		Dst:      r.req.Dst,
+		Bytes:    r.req.Bytes,
+		Options:  r.o,
+		Channels: r.o.Streams,
+		Started:  r.started,
+		Finished: r.t.tb.Engine().Now(),
+		Sources:  append([]string(nil), r.req.Sources...),
+		Attempts: r.attempts,
+		Err:      err,
+	})
+}

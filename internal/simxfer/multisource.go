@@ -1,11 +1,9 @@
 package simxfer
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
-	"github.com/hpclab/datagrid/internal/gridftp"
 	"github.com/hpclab/datagrid/internal/netsim"
 )
 
@@ -58,32 +56,52 @@ func (r MultiSourceResult) Duration() time.Duration { return r.Finished - r.Star
 // (they are independent GridFTP sessions), then serves its share — a
 // static slice or dynamically scheduled chunks. done fires when the last
 // byte lands.
+//
+// StartMultiSource is a thin shim over Submit's co-allocation path; new
+// code should build a Request instead.
 func (t *Transferrer) StartMultiSource(sources []string, dstHost string, bytes int64, o Options, scheme Scheme, chunkBytes int64, done func(MultiSourceResult)) error {
+	return t.submitMulti(Request{
+		Sources:    sources,
+		Dst:        dstHost,
+		Bytes:      bytes,
+		Options:    o,
+		Scheme:     scheme,
+		ChunkBytes: chunkBytes,
+		Done:       func(r Result) { done(r.MultiSource()) },
+	})
+}
+
+// submitMulti runs the co-allocation path. Unlike Submit it accepts a
+// one-element source list with the default scheme (degenerating to a
+// plain transfer), preserving StartMultiSource's historical semantics.
+func (t *Transferrer) submitMulti(req Request) error {
+	sources, dstHost, bytes := req.Sources, req.Dst, req.Bytes
+	o, scheme, chunkBytes := req.Options, req.Scheme, req.ChunkBytes
 	if len(sources) == 0 {
-		return errors.New("simxfer: no sources")
+		return ErrNoSources
 	}
 	if bytes <= 0 {
-		return fmt.Errorf("simxfer: transfer size must be positive, got %d", bytes)
+		return fmt.Errorf("%w, got %d", ErrNonPositiveSize, bytes)
 	}
 	if err := o.fillDefaults(); err != nil {
 		return err
 	}
 	if o.Stripes > 1 {
-		return errors.New("simxfer: striping and co-allocation do not compose")
+		return ErrStripedCoalloc
 	}
 	if chunkBytes == 0 {
 		chunkBytes = DefaultChunkBytes
 	}
 	if chunkBytes < 0 {
-		return fmt.Errorf("simxfer: negative chunk size %d", chunkBytes)
+		return fmt.Errorf("%w: chunk size %d", ErrNegativeOption, chunkBytes)
 	}
 	seen := map[string]bool{}
 	for _, s := range sources {
 		if s == dstHost {
-			return fmt.Errorf("simxfer: source %q equals destination", s)
+			return fmt.Errorf("%w: source %q", ErrSameEndpoint, s)
 		}
 		if seen[s] {
-			return fmt.Errorf("simxfer: duplicate source %q", s)
+			return fmt.Errorf("%w: %q", ErrDuplicateSource, s)
 		}
 		seen[s] = true
 		if _, err := t.tb.Host(s); err != nil {
@@ -109,14 +127,15 @@ func (t *Transferrer) StartMultiSource(sources []string, dstHost string, bytes i
 			return m
 		}(),
 	}
+	finish := func(mr MultiSourceResult) { req.Done(resultFromMulti(mr, o)) }
 
 	switch scheme {
 	case SchemeStatic:
-		return t.startStatic(sources, dstHost, bytes, o, &res, done)
+		return t.startStatic(sources, dstHost, bytes, o, &res, finish)
 	case SchemeDynamic:
-		return t.startDynamic(sources, dstHost, bytes, o, chunkBytes, &res, done)
+		return t.startDynamic(sources, dstHost, bytes, o, chunkBytes, &res, finish)
 	default:
-		return fmt.Errorf("simxfer: unknown scheme %v", scheme)
+		return fmt.Errorf("%w: %v", ErrUnknownScheme, scheme)
 	}
 }
 
@@ -129,7 +148,7 @@ func (t *Transferrer) startStatic(sources []string, dstHost string, bytes int64,
 			sz += bytes % int64(len(sources))
 		}
 		src := src
-		if err := t.Start(src, dstHost, sz, o, func(r Result) {
+		if err := t.startSingle(src, dstHost, sz, o, func(r Result) {
 			res.BytesBySource[src] += r.Bytes
 			if r.Finished > res.Finished {
 				res.Finished = r.Finished
@@ -153,10 +172,7 @@ func (t *Transferrer) startDynamic(sources []string, dstHost string, bytes int64
 	pending := nchunks
 	finished := false
 
-	overhead := 0.0
-	if o.Protocol == ProtoGridFTPModeE {
-		overhead = float64(gridftp.HeaderLen) / float64(o.BlockSize)
-	}
+	overhead := modeEOverhead(o)
 
 	// Each source runs a sequential chunk loop after its one-time session
 	// setup; endpoint caps are re-read per chunk so load changes matter.
@@ -179,12 +195,7 @@ func (t *Transferrer) startDynamic(sources []string, dstHost string, bytes int64
 		if err != nil {
 			return
 		}
-		srcCap := h.EffectiveDiskReadBps() * (cpuFloor + (1-cpuFloor)*h.CPUIdle()) / float64(o.Streams)
-		dstCap := dst.EffectiveDiskWriteBps() * (cpuFloor + (1-cpuFloor)*dst.CPUIdle()) / float64(o.Streams*len(sources))
-		cap := srcCap
-		if dstCap < cap {
-			cap = dstCap
-		}
+		cap := endpointCapBps(h, dst, o.Streams, o.Streams*len(sources))
 		remaining := o.Streams
 		for k := 0; k < o.Streams; k++ {
 			flowSz := sz / int64(o.Streams)
@@ -241,10 +252,7 @@ func (t *Transferrer) startDynamic(sources []string, dstHost string, bytes int64
 		}
 		return d
 	}
-	setupRTTs := ftpSetupRoundTrips
-	if o.Protocol != ProtoFTP {
-		setupRTTs += gridftpExtraRoundTrips
-	}
+	setupRTTs := setupRoundTrips(o.Protocol)
 	for _, src := range sources {
 		src := src
 		if _, err := engine.After(time.Duration(setupRTTs)*rtt(src), func(time.Duration) {

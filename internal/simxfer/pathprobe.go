@@ -1,0 +1,48 @@
+package simxfer
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/netsim"
+)
+
+// PathStats bundles the per-path measurements that transfer planning
+// needs: stream tuning (RecommendStreams) and the failover engine both
+// consume them, and probing once through this helper keeps the two from
+// issuing duplicate route resolutions for the same decision.
+type PathStats struct {
+	// RTT is the round-trip time along the current route.
+	RTT time.Duration
+	// LossRate is the end-to-end packet loss probability.
+	LossRate float64
+	// BottleneckBps is the narrowest link's line rate.
+	BottleneckBps float64
+	// AvailableBps is the bandwidth currently left over by background
+	// load and competing flows.
+	AvailableBps float64
+}
+
+// ProbePath measures the route from src to dst in one pass. The four
+// probes share a single route resolution failure mode: the first probe
+// that cannot resolve the pair reports the error for all of them.
+func ProbePath(net *netsim.Network, src, dst string) (PathStats, error) {
+	if net == nil {
+		return PathStats{}, fmt.Errorf("simxfer: nil network")
+	}
+	var st PathStats
+	var err error
+	if st.RTT, err = net.PathRTT(src, dst); err != nil {
+		return PathStats{}, err
+	}
+	if st.LossRate, err = net.PathLossRate(src, dst); err != nil {
+		return PathStats{}, err
+	}
+	if st.BottleneckBps, err = net.BottleneckBps(src, dst); err != nil {
+		return PathStats{}, err
+	}
+	if st.AvailableBps, err = net.AvailableBps(src, dst); err != nil {
+		return PathStats{}, err
+	}
+	return st, nil
+}

@@ -1,0 +1,85 @@
+package simxfer
+
+// Request is the single description of a simulated transfer, unifying the
+// historical entry points (Start, StartMultiSource, ReplicaTransfer): one
+// or many sources, an optional co-allocation scheme, and an optional
+// failover policy, all completing through one typed Result.
+type Request struct {
+	// Sources is the serving host list. One element is a plain transfer;
+	// several are either co-allocated servers (no Failover) or an ordered
+	// failover candidate list (Failover set — one source active at a
+	// time, the rest standing by).
+	Sources []string
+	// Dst is the receiving host.
+	Dst string
+	// Bytes is the payload size.
+	Bytes int64
+	// Options carries the protocol parameters.
+	Options Options
+	// Scheme picks the co-allocation split policy when several sources
+	// serve concurrently. Zero (SchemeStatic) with one source and no
+	// ChunkBytes means a plain single-source transfer.
+	Scheme Scheme
+	// ChunkBytes is the SchemeDynamic work-queue granularity; zero means
+	// DefaultChunkBytes. Setting it (or a non-static Scheme) routes a
+	// one-element source list through the co-allocation path.
+	ChunkBytes int64
+	// Failover, when non-nil, arms mid-transfer failure detection and
+	// the retry/failover engine. Incompatible with co-allocation.
+	Failover *FailoverPolicy
+	// Done receives the terminal Result exactly once. Failover requests
+	// deliver it on success and on exhaustion (check Result.Err); legacy
+	// requests always succeed once Submit returns nil.
+	Done func(Result)
+}
+
+// Submit validates the request and starts the transfer; done callbacks
+// fire later on the simulation goroutine. The error return covers
+// failures to start only.
+func (t *Transferrer) Submit(req Request) error {
+	if req.Done == nil {
+		return ErrNilDone
+	}
+	if len(req.Sources) == 0 {
+		return ErrNoSources
+	}
+	if req.Failover != nil {
+		return t.submitFailover(req)
+	}
+	if len(req.Sources) == 1 && req.Scheme == SchemeStatic && req.ChunkBytes == 0 {
+		return t.startSingle(req.Sources[0], req.Dst, req.Bytes, req.Options, req.Done)
+	}
+	return t.submitMulti(req)
+}
+
+// MultiSource views the result as the historical MultiSourceResult shape.
+func (r Result) MultiSource() MultiSourceResult {
+	srcs := r.Sources
+	if len(srcs) == 0 && r.Src != "" {
+		srcs = []string{r.Src}
+	}
+	return MultiSourceResult{
+		Sources:       srcs,
+		Dst:           r.Dst,
+		Bytes:         r.Bytes,
+		Scheme:        r.Scheme,
+		Started:       r.Started,
+		Finished:      r.Finished,
+		BytesBySource: r.BytesBySource,
+	}
+}
+
+// resultFromMulti lifts a co-allocation outcome into the unified Result.
+func resultFromMulti(mr MultiSourceResult, o Options) Result {
+	return Result{
+		Dst:           mr.Dst,
+		Bytes:         mr.Bytes,
+		Options:       o,
+		Channels:      len(mr.Sources) * o.Streams,
+		Started:       mr.Started,
+		Finished:      mr.Finished,
+		Sources:       mr.Sources,
+		Scheme:        mr.Scheme,
+		BytesBySource: mr.BytesBySource,
+	}
+}

@@ -90,10 +90,10 @@ func (o *Options) fillDefaults() error {
 		o.Stripes = 1
 	}
 	if o.Streams < 0 || o.Stripes < 0 || o.TCPBufferBytes < 0 || o.BlockSize < 0 {
-		return errors.New("simxfer: negative option")
+		return ErrNegativeOption
 	}
 	if o.Protocol != ProtoGridFTPModeE && (o.Streams > 1 || o.Stripes > 1) {
-		return fmt.Errorf("simxfer: %v supports a single data channel", o.Protocol)
+		return fmt.Errorf("%w: %v", ErrSingleChannel, o.Protocol)
 	}
 	if o.TCPBufferBytes == 0 {
 		o.TCPBufferBytes = netsim.DefaultWindowBytes
@@ -117,18 +117,40 @@ func GridFTPOptions(streams int) Options {
 	return Options{Protocol: ProtoGridFTPModeE, Streams: streams}
 }
 
-// Result describes a completed simulated transfer.
+// Result describes a finished simulated transfer, whatever entry point
+// produced it: a plain single-source run, a co-allocated multi-source
+// download, or a failover transfer that walked a candidate list.
 type Result struct {
-	// Src and Dst are the endpoint hosts.
-	Src, Dst string
+	// Src is the serving host — for failover transfers, the source of
+	// the final attempt. Empty for multi-source transfers (see Sources).
+	Src string
+	// Dst is the receiving host.
+	Dst string
 	// Bytes is the payload size.
 	Bytes int64
 	// Options echoes the transfer parameters.
 	Options Options
-	// Channels is the total data-channel count used (streams x stripes).
+	// Channels is the total data-channel count used (streams x stripes,
+	// or streams x sources for co-allocation).
 	Channels int
 	// Started and Finished are virtual timestamps.
 	Started, Finished time.Duration
+	// Sources lists the participating hosts: the stripe movers of a
+	// single-source run, the servers of a co-allocated download, or the
+	// candidate list handed to a failover transfer.
+	Sources []string
+	// Scheme is the co-allocation split policy (multi-source only).
+	Scheme Scheme
+	// BytesBySource records each server's contribution (multi-source
+	// only; nil otherwise).
+	BytesBySource map[string]int64
+	// Attempts is the failover attempt log, in order; nil when the
+	// request carried no failover policy.
+	Attempts []Attempt
+	// Err is the terminal error: nil on success, ErrTransferFailed
+	// (wrapped) once a failover transfer exhausts its attempts. Legacy
+	// non-failover transfers always complete and report nil.
+	Err error
 }
 
 // Duration returns the end-to-end transfer time (setup included).
@@ -156,16 +178,58 @@ func New(tb *cluster.Testbed) (*Transferrer, error) {
 	return &Transferrer{tb: tb}, nil
 }
 
+// setupRoundTrips counts the control-channel round trips a session pays
+// before data moves.
+func setupRoundTrips(p Protocol) int {
+	n := ftpSetupRoundTrips
+	if p != ProtoFTP {
+		n += gridftpExtraRoundTrips
+	}
+	return n
+}
+
+// modeEOverhead is the per-payload-byte MODE E framing overhead fraction
+// (zero for stream-mode protocols).
+func modeEOverhead(o Options) float64 {
+	if o.Protocol == ProtoGridFTPModeE {
+		return float64(gridftp.HeaderLen) / float64(o.BlockSize)
+	}
+	return 0
+}
+
+// endpointCapBps is the per-channel rate cap from the endpoints' state:
+// the sender's disk read rate scaled by CPU business and split across its
+// srcChannels, against the receiver's disk write rate split across all
+// dstChannels, whichever binds.
+func endpointCapBps(src, dst *cluster.Host, srcChannels, dstChannels int) float64 {
+	srcCap := src.EffectiveDiskReadBps() * (cpuFloor + (1-cpuFloor)*src.CPUIdle()) / float64(srcChannels)
+	dstCap := dst.EffectiveDiskWriteBps() * (cpuFloor + (1-cpuFloor)*dst.CPUIdle()) / float64(dstChannels)
+	if dstCap < srcCap {
+		return dstCap
+	}
+	return srcCap
+}
+
 // Start begins a simulated transfer of bytes from srcHost to dstHost and
 // invokes done on completion. The error return covers failures to start;
 // once started the transfer always completes (the flow model has no
-// mid-transfer failures).
+// mid-transfer failures unless a failover policy opts in — see Submit).
+//
+// Start is a thin shim over Submit's single-source path; new code should
+// build a Request instead.
 func (t *Transferrer) Start(srcHost, dstHost string, bytes int64, o Options, done func(Result)) error {
+	return t.startSingle(srcHost, dstHost, bytes, o, done)
+}
+
+// startSingle is the legacy single-source (optionally striped) transfer
+// path. Its event sequence is the simulator's reference behavior: the
+// experiment suite is byte-identical against it.
+func (t *Transferrer) startSingle(srcHost, dstHost string, bytes int64, o Options, done func(Result)) error {
 	if bytes <= 0 {
-		return fmt.Errorf("simxfer: transfer size must be positive, got %d", bytes)
+		return fmt.Errorf("%w, got %d", ErrNonPositiveSize, bytes)
 	}
 	if srcHost == dstHost {
-		return fmt.Errorf("simxfer: src and dst are both %q", srcHost)
+		return fmt.Errorf("%w: src and dst are both %q", ErrSameEndpoint, srcHost)
 	}
 	if err := o.fillDefaults(); err != nil {
 		return err
@@ -204,16 +268,8 @@ func (t *Transferrer) Start(srcHost, dstHost string, bytes int64, o Options, don
 	stripes := len(sources)
 	channels := stripes * o.Streams
 
-	setupRTTs := ftpSetupRoundTrips
-	if o.Protocol != ProtoFTP {
-		setupRTTs += gridftpExtraRoundTrips
-	}
-	setup := time.Duration(setupRTTs) * rtt
-
-	overhead := 0.0
-	if o.Protocol == ProtoGridFTPModeE {
-		overhead = float64(gridftp.HeaderLen) / float64(o.BlockSize)
-	}
+	setup := time.Duration(setupRoundTrips(o.Protocol)) * rtt
+	overhead := modeEOverhead(o)
 
 	engine := t.tb.Engine()
 	started := engine.Now()
@@ -231,15 +287,7 @@ func (t *Transferrer) Start(srcHost, dstHost string, bytes int64, o Options, don
 			if derr != nil {
 				continue
 			}
-			// Endpoint caps, split across this host's channels: the
-			// sender's disk read rate scaled by CPU business, and the
-			// receiver's disk write rate split across all channels.
-			srcCap := h.EffectiveDiskReadBps() * (cpuFloor + (1-cpuFloor)*h.CPUIdle()) / float64(o.Streams)
-			dstCap := dst.EffectiveDiskWriteBps() * (cpuFloor + (1-cpuFloor)*dst.CPUIdle()) / float64(channels)
-			cap := srcCap
-			if dstCap < cap {
-				cap = dstCap
-			}
+			cap := endpointCapBps(h, dst, o.Streams, channels)
 			for k := 0; k < o.Streams; k++ {
 				sz := per
 				if si == 0 && k == 0 {
@@ -263,6 +311,7 @@ func (t *Transferrer) Start(srcHost, dstHost string, bytes int64, o Options, don
 							Src: srcHost, Dst: dstHost, Bytes: bytes,
 							Options: o, Channels: channels,
 							Started: started, Finished: finished,
+							Sources: sources,
 						})
 					}
 				})
@@ -279,6 +328,7 @@ func (t *Transferrer) Start(srcHost, dstHost string, bytes int64, o Options, don
 				Src: srcHost, Dst: dstHost, Bytes: bytes,
 				Options: o, Channels: channels,
 				Started: started, Finished: engine.Now(),
+				Sources: sources,
 			})
 		}
 	})
@@ -289,6 +339,12 @@ func (t *Transferrer) Start(srcHost, dstHost string, bytes int64, o Options, don
 // used by the replica manager and the core application pipeline.
 func (t *Transferrer) ReplicaTransfer(o Options) replica.Transfer {
 	return func(srcHost, srcPath, dstHost, dstPath string, bytes int64, done func(error)) error {
-		return t.Start(srcHost, dstHost, bytes, o, func(Result) { done(nil) })
+		return t.Submit(Request{
+			Sources: []string{srcHost},
+			Dst:     dstHost,
+			Bytes:   bytes,
+			Options: o,
+			Done:    func(r Result) { done(r.Err) },
+		})
 	}
 }

@@ -1,7 +1,6 @@
 package simxfer
 
 import (
-	"fmt"
 	"math"
 
 	"github.com/hpclab/datagrid/internal/netsim"
@@ -19,43 +18,29 @@ const MaxRecommendedStreams = 16
 // data; deriving it from measurements answers the spirit of the paper's
 // future work on smarter transfer configuration.
 func RecommendStreams(net *netsim.Network, src, dst string, windowBytes int, maxStreams int) (int, error) {
-	if net == nil {
-		return 0, fmt.Errorf("simxfer: nil network")
-	}
 	if windowBytes <= 0 {
 		windowBytes = netsim.DefaultWindowBytes
 	}
 	if maxStreams <= 0 {
 		maxStreams = MaxRecommendedStreams
 	}
-	rtt, err := net.PathRTT(src, dst)
+	st, err := ProbePath(net, src, dst)
 	if err != nil {
 		return 0, err
 	}
-	loss, err := net.PathLossRate(src, dst)
-	if err != nil {
-		return 0, err
-	}
-	bottleneck, err := net.BottleneckBps(src, dst)
-	if err != nil {
-		return 0, err
-	}
-	avail, err := net.AvailableBps(src, dst)
-	if err != nil {
-		return 0, err
-	}
+	avail := st.AvailableBps
 	// Never plan for less than a tenth of the line rate: a momentarily
 	// saturated link still deserves a fair-share attempt.
-	if avail < bottleneck/10 {
-		avail = bottleneck / 10
+	if avail < st.BottleneckBps/10 {
+		avail = st.BottleneckBps / 10
 	}
 
 	perStream := math.Inf(1)
-	if rtt > 0 {
-		perStream = float64(windowBytes) * 8 / rtt.Seconds()
+	if st.RTT > 0 {
+		perStream = float64(windowBytes) * 8 / st.RTT.Seconds()
 		// Mathis limit with the standard MSS.
-		if loss > 0 {
-			if m := netsim.DefaultMSS * 8 / rtt.Seconds() * 1.22 / math.Sqrt(loss); m < perStream {
+		if st.LossRate > 0 {
+			if m := netsim.DefaultMSS * 8 / st.RTT.Seconds() * 1.22 / math.Sqrt(st.LossRate); m < perStream {
 				perStream = m
 			}
 		}

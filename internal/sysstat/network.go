@@ -72,6 +72,12 @@ func NewNetCollector(engine *simulation.Engine, host string, read NetReader, per
 // Stop halts sampling.
 func (c *NetCollector) Stop() { c.ticker.Stop() }
 
+// SetPaused suspends (or resumes) sampling without discarding history.
+func (c *NetCollector) SetPaused(paused bool) { c.ticker.SetPaused(paused) }
+
+// Paused reports whether sampling is currently suspended.
+func (c *NetCollector) Paused() bool { return c.ticker.Paused() }
+
 // History returns a copy of the samples, oldest first.
 func (c *NetCollector) History() []NetRecord { return append([]NetRecord(nil), c.history...) }
 

@@ -127,6 +127,15 @@ func (c *Collector) Host() string { return c.host }
 // Stop halts sampling; history remains readable.
 func (c *Collector) Stop() { c.ticker.Stop() }
 
+// SetPaused suspends (or resumes) sampling without discarding history —
+// the fault plane's model of a crashed sadc daemon. While paused the
+// revision counter stops moving, so snapshot consumers see the data go
+// stale.
+func (c *Collector) SetPaused(paused bool) { c.ticker.SetPaused(paused) }
+
+// Paused reports whether sampling is currently suspended.
+func (c *Collector) Paused() bool { return c.ticker.Paused() }
+
 // sample synthesizes the full sar/iostat column set from the target's two
 // scalar load figures, with small deterministic jitter so the columns look
 // like real measurements rather than copies of each other.
