@@ -4,7 +4,7 @@ GO ?= go
 # BENCH_netsim.json (see docs/PERFORMANCE.md).
 BENCH_LABEL ?= local
 
-.PHONY: all build vet lint test race bench bench-netsim bench-suite bench-select bench-faults figures examples clean
+.PHONY: all build vet lint test race bench bench-netsim bench-suite bench-select bench-faults bench-diff bench-diff-netsim bench-diff-select figures examples clean
 
 all: build vet test
 
@@ -15,8 +15,9 @@ vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/gridlint ./...
 
-# Domain-specific static analysis (wallclock, determinism,
-# lockedcallback, errcheck) — see docs/STATIC_ANALYSIS.md.
+# Domain-specific static analysis (wallclock, determinism, seedflow,
+# lockedcallback, enginesharing, errcheck, snapshotdiscipline,
+# eventlifetime) — see docs/STATIC_ANALYSIS.md.
 lint:
 	$(GO) run ./cmd/gridlint ./...
 
@@ -53,6 +54,25 @@ bench-suite:
 bench-select:
 	$(GO) test -run='^$$' -bench='SelectionThroughput' -benchmem -timeout 600s . \
 		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -out BENCH_select.json
+
+# Regression gates: re-run the benchmarks and compare against the
+# committed baselines without touching them; exit non-zero when any
+# compared metric regresses by more than 15%. allocs/op is
+# machine-independent; ns/op only means something on hardware comparable
+# to the baseline's, so override BENCH_DIFF_METRICS locally as needed.
+BENCH_DIFF_METRICS ?= allocs/op
+
+bench-diff: bench-diff-netsim bench-diff-select
+
+bench-diff-netsim:
+	$(GO) test -run='^$$' -bench='Netsim|Reallocate|RouteCold' -benchmem -timeout 600s . ./internal/netsim \
+		| $(GO) run ./cmd/benchjson -diff -against pr2-optimized \
+			-metrics '$(BENCH_DIFF_METRICS)' -out BENCH_netsim.json
+
+bench-diff-select:
+	$(GO) test -run='^$$' -bench='SelectionThroughput' -benchmem -timeout 600s . \
+		| $(GO) run ./cmd/benchjson -diff -against container-1cpu \
+			-metrics '$(BENCH_DIFF_METRICS)' -out BENCH_select.json
 
 # Record the fault-tolerance sweep (the `gridbench -faults` workload:
 # no-retry vs retry-same vs failover-reselect under rising fault

@@ -11,6 +11,17 @@
 //	go test -run='^$' -bench='Netsim' -benchmem . ./internal/netsim |
 //	    go run ./cmd/benchjson -label after-foo -out BENCH_netsim.json
 //
+// With -diff the tool compares instead of recording: the current run on
+// stdin is checked against a committed baseline run in the -out file
+// (-against selects the label; default is the last recorded run that
+// contains each benchmark) and the process exits 1 when any compared
+// metric regresses by more than -threshold percent. The baseline file is
+// never modified in -diff mode, so CI can gate on it:
+//
+//	go test -run='^$' -bench='Netsim' -benchmem ./internal/netsim |
+//	    go run ./cmd/benchjson -diff -against pr2-optimized \
+//	        -metrics allocs/op -out BENCH_netsim.json
+//
 // See docs/PERFORMANCE.md for the recording/compare workflow.
 package main
 
@@ -55,9 +66,13 @@ type File struct {
 const fileComment = "benchmark trajectory recorded by cmd/benchjson; see docs/PERFORMANCE.md"
 
 func main() {
-	out := flag.String("out", "BENCH_netsim.json", "JSON file to create or merge into")
+	out := flag.String("out", "BENCH_netsim.json", "JSON file to create or merge into (or compare against with -diff)")
 	label := flag.String("label", "local", "label identifying this run (same label replaces)")
 	note := flag.String("note", "", "optional free-form note stored with the run")
+	diff := flag.Bool("diff", false, "compare stdin against the baseline in -out instead of recording; exit 1 on regression")
+	against := flag.String("against", "", "with -diff: baseline run label (default: last recorded run containing each benchmark)")
+	threshold := flag.Float64("threshold", 15, "with -diff: regression threshold in percent")
+	metrics := flag.String("metrics", "ns/op,allocs/op", "with -diff: comma-separated metrics to compare")
 	flag.Parse()
 
 	benches, err := parse(os.Stdin, os.Stdout)
@@ -69,12 +84,119 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
 	}
+	if *diff {
+		regressions, err := compare(*out, benches, *against, *threshold, splitMetrics(*metrics))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s\n", r)
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) beyond %.0f%% vs %s\n",
+				len(regressions), *threshold, *out)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no regressions beyond %.0f%% vs %s\n", *threshold, *out)
+		return
+	}
 	run := Run{Label: *label, GoVersion: runtime.Version(), Note: *note, Benchmarks: benches}
 	if err := merge(*out, run); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: recorded %d benchmarks as %q in %s\n", len(benches), *label, *out)
+}
+
+func splitMetrics(s string) []string {
+	var out []string
+	for _, m := range strings.Split(s, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// compare checks the current benchmarks against a baseline run in the
+// JSON file at path and returns one description per regressed metric.
+// The file is read, never written. A benchmark missing from the baseline
+// is skipped (new benchmarks are not regressions); a baseline value of
+// zero with a non-zero current value counts as a regression (the ratio
+// is unbounded).
+func compare(path string, current []Benchmark, against string, threshold float64, metrics []string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s is not valid benchjson output: %w", path, err)
+	}
+	if len(f.Runs) == 0 {
+		return nil, fmt.Errorf("%s contains no recorded runs", path)
+	}
+	if against != "" {
+		found := false
+		for _, r := range f.Runs {
+			if r.Label == against {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("%s has no run labeled %q", path, against)
+		}
+	}
+	var regressions []string
+	for _, b := range current {
+		base, label, ok := baselineFor(f, b.Name, against)
+		if !ok {
+			continue
+		}
+		for _, metric := range metrics {
+			cur, haveCur := b.Metrics[metric]
+			old, haveOld := base.Metrics[metric]
+			if !haveCur || !haveOld {
+				continue
+			}
+			if old == 0 {
+				if cur > 0 {
+					regressions = append(regressions, fmt.Sprintf(
+						"%s %s: baseline (%s) is 0, now %g", b.Name, metric, label, cur))
+				}
+				continue
+			}
+			if pct := (cur - old) / old * 100; pct > threshold {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s %s: %g -> %g (+%.1f%% vs %s, threshold %.0f%%)",
+					b.Name, metric, old, cur, pct, label, threshold))
+			}
+		}
+	}
+	return regressions, nil
+}
+
+// baselineFor finds the baseline benchmark: from the run labeled
+// `against` when set, otherwise from the newest (last) run that contains
+// the benchmark.
+func baselineFor(f File, name, against string) (Benchmark, string, bool) {
+	for i := len(f.Runs) - 1; i >= 0; i-- {
+		r := f.Runs[i]
+		if against != "" && r.Label != against {
+			continue
+		}
+		for _, b := range r.Benchmarks {
+			if b.Name == name {
+				return b, r.Label, true
+			}
+		}
+		if against != "" {
+			return Benchmark{}, "", false
+		}
+	}
+	return Benchmark{}, "", false
 }
 
 // parse scans go test -bench output, echoing every line to echo and

@@ -94,3 +94,95 @@ func TestMergeReplacesSameLabel(t *testing.T) {
 		t.Fatalf("label b lost: %+v", f.Runs[1])
 	}
 }
+
+func writeBaseline(t *testing.T, runs []Run) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	data, err := json.MarshalIndent(&File{Comment: fileComment, Runs: runs}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	path := writeBaseline(t, []Run{{
+		Label: "container-1cpu",
+		Benchmarks: []Benchmark{
+			{Name: "SelectionThroughput", Metrics: map[string]float64{"ns/op": 1000, "allocs/op": 100}},
+		},
+	}})
+	current := []Benchmark{
+		{Name: "SelectionThroughput", Metrics: map[string]float64{"ns/op": 1100, "allocs/op": 130}},
+	}
+	regs, err := compare(path, current, "container-1cpu", 15, []string{"ns/op", "allocs/op"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ns/op +10% is under the 15% threshold; allocs/op +30% is over.
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("regressions = %v, want exactly the allocs/op one", regs)
+	}
+	// The baseline file must never be rewritten in diff mode.
+	before, _ := os.ReadFile(path)
+	if _, err := compare(path, current, "container-1cpu", 15, []string{"allocs/op"}); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.ReadFile(path)
+	if string(before) != string(after) {
+		t.Fatal("compare modified the baseline file")
+	}
+}
+
+func TestCompareZeroBaselineIsRegression(t *testing.T) {
+	path := writeBaseline(t, []Run{{
+		Label: "base",
+		Benchmarks: []Benchmark{
+			{Name: "X", Metrics: map[string]float64{"allocs/op": 0}},
+		},
+	}})
+	regs, err := compare(path, []Benchmark{{Name: "X", Metrics: map[string]float64{"allocs/op": 3}}},
+		"base", 15, []string{"allocs/op"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("zero baseline with non-zero current must regress, got %v", regs)
+	}
+}
+
+func TestCompareDefaultsToNewestRunWithBenchmark(t *testing.T) {
+	path := writeBaseline(t, []Run{
+		{Label: "old", Benchmarks: []Benchmark{
+			{Name: "A", Metrics: map[string]float64{"ns/op": 100}},
+			{Name: "B", Metrics: map[string]float64{"ns/op": 100}},
+		}},
+		{Label: "new", Benchmarks: []Benchmark{
+			{Name: "A", Metrics: map[string]float64{"ns/op": 200}},
+		}},
+	})
+	// A compares against "new" (200 -> 210 is fine); B only exists in
+	// "old" (100 -> 210 regresses). New benchmarks are skipped.
+	current := []Benchmark{
+		{Name: "A", Metrics: map[string]float64{"ns/op": 210}},
+		{Name: "B", Metrics: map[string]float64{"ns/op": 210}},
+		{Name: "C", Metrics: map[string]float64{"ns/op": 999}},
+	}
+	regs, err := compare(path, current, "", 15, []string{"ns/op"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "B ns/op") {
+		t.Fatalf("regressions = %v, want exactly B against the old run", regs)
+	}
+}
+
+func TestCompareUnknownLabel(t *testing.T) {
+	path := writeBaseline(t, []Run{{Label: "base"}})
+	if _, err := compare(path, []Benchmark{{Name: "X"}}, "nosuch", 15, []string{"ns/op"}); err == nil {
+		t.Fatal("unknown -against label must be an error")
+	}
+}

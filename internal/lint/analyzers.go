@@ -5,8 +5,11 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		Wallclock,
 		Determinism,
+		Seedflow,
 		LockedCallback,
 		EngineSharing,
 		ErrcheckLite,
+		Snapshotdiscipline,
+		Eventlifetime,
 	}
 }

@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"go/ast"
+	"go/token"
 	"strings"
 )
 
@@ -10,23 +12,50 @@ import (
 //
 //	//gridlint:<name>-ok [reason]
 //
-// appears on the same line as the finding or on the line immediately
-// above it. The reason is free text and strongly encouraged: directives
-// are meant to record *why* a site is exempt (e.g. "real socket
-// deadline, not simulated time"), not to silence the tool. A bare
-// //gridlint:ok suppresses every analyzer on that line and exists for
-// generated code only.
+// appears as a trailing comment on the finding's own line, or as a
+// standalone comment on the line immediately above it. The two placements
+// are exclusive: a trailing directive covers only its own line, and a
+// standalone directive covers only the next line, so one directive can
+// never accidentally silence findings on two adjacent lines. The reason
+// is free text and strongly encouraged: directives are meant to record
+// *why* a site is exempt (e.g. "real socket deadline, not simulated
+// time"), not to silence the tool. A bare //gridlint:ok suppresses every
+// analyzer on its target line and exists for generated code only.
+//
+// Directives that no longer suppress anything are themselves findings
+// (analyzer name "unuseddirective"): a stale directive is a claim about
+// code that no longer exists, and leaving it around masks the next real
+// finding introduced on that line.
 
 const directivePrefix = "gridlint:"
 
-// suppressedLines maps analyzer name -> set of line numbers in one file
-// on which that analyzer is suppressed. The wildcard key "*" applies to
-// all analyzers.
-type suppressedLines map[string]map[int]bool
+// UnusedDirectiveName is the analyzer name under which stale suppression
+// directives are reported.
+const UnusedDirectiveName = "unuseddirective"
 
-func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
-	byFile := map[string]suppressedLines{}
+// Directive is one parsed //gridlint:<name>-ok comment.
+type Directive struct {
+	// Analyzer is the suppressed analyzer name, or "*" for the wildcard
+	// form //gridlint:ok.
+	Analyzer string
+	// Pos is the directive comment's own position.
+	Pos token.Position
+	// End is the comment's end position (used to delete stale directives).
+	End token.Position
+	// Target is the line the directive suppresses: its own line for a
+	// trailing directive, the next line for a standalone one.
+	Target int
+	// Standalone records whether the directive is alone on its line.
+	Standalone bool
+}
+
+// collectDirectives parses every suppression directive in the package.
+// A directive sharing its line with code is trailing (suppresses that
+// line); a directive alone on its line suppresses the following line.
+func collectDirectives(pkg *Package) []Directive {
+	var out []Directive
 	for _, f := range pkg.Files {
+		code := codeLines(pkg.Fset, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				name, ok := parseDirective(c.Text)
@@ -34,35 +63,127 @@ func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				sl := byFile[pos.Filename]
-				if sl == nil {
-					sl = suppressedLines{}
-					byFile[pos.Filename] = sl
+				d := Directive{
+					Analyzer:   name,
+					Pos:        pos,
+					End:        pkg.Fset.Position(c.End()),
+					Standalone: !code[pos.Line],
 				}
-				if sl[name] == nil {
-					sl[name] = map[int]bool{}
+				if d.Standalone {
+					d.Target = pos.Line + 1
+				} else {
+					d.Target = pos.Line
 				}
-				sl[name][pos.Line] = true
+				out = append(out, d)
 			}
 		}
 	}
-	var kept []Diagnostic
-	for _, d := range diags {
-		sl := byFile[d.Pos.Filename]
-		if sl.matches(d.Analyzer, d.Pos.Line) || sl.matches(d.Analyzer, d.Pos.Line-1) ||
-			sl.matches("*", d.Pos.Line) || sl.matches("*", d.Pos.Line-1) {
-			continue
-		}
-		kept = append(kept, d)
-	}
-	return kept
+	return out
 }
 
-func (sl suppressedLines) matches(name string, line int) bool {
-	if sl == nil {
-		return false
+// codeLines reports which lines of the file contain non-comment tokens,
+// so a directive can be classified as trailing (shares a line with code)
+// or standalone.
+func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup, *ast.File:
+			return true
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		lines[fset.Position(n.End()).Line] = true
+		return true
+	})
+	return lines
+}
+
+// filterSuppressed drops diagnostics covered by a directive and returns
+// the survivors plus the directives that suppressed nothing. Staleness
+// is only judged for directives whose analyzer actually ran (names in
+// ran, with the wildcard judged against any diagnostic): running a
+// subset of the suite must not condemn directives for the analyzers
+// that were skipped.
+func filterSuppressed(pkg *Package, diags []Diagnostic, ran []string) ([]Diagnostic, []Directive) {
+	directives := collectDirectives(pkg)
+	used := make([]bool, len(directives))
+	var kept []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for i, dir := range directives {
+			if dir.Pos.Filename != d.Pos.Filename || dir.Target != d.Pos.Line {
+				continue
+			}
+			if dir.Analyzer == d.Analyzer || dir.Analyzer == "*" {
+				used[i] = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
 	}
-	return sl[name][line]
+	ranSet := map[string]bool{}
+	for _, name := range ran {
+		ranSet[name] = true
+	}
+	var unused []Directive
+	for i, dir := range directives {
+		if used[i] {
+			continue
+		}
+		if dir.Analyzer == "*" {
+			// The wildcard is judged only when the full default suite ran;
+			// any single analyzer could have been its reason to exist.
+			if len(ranSet) >= len(All()) {
+				unused = append(unused, dir)
+			}
+			continue
+		}
+		if ranSet[dir.Analyzer] {
+			unused = append(unused, dir)
+		}
+	}
+	return kept, unused
+}
+
+// UnusedDirectiveDiagnostics converts stale directives into findings,
+// each carrying a suggested fix that deletes the directive comment (and
+// its whole line when it stands alone).
+func UnusedDirectiveDiagnostics(pkg *Package, unused []Directive) []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range unused {
+		name := dir.Analyzer
+		if name == "*" {
+			name = "ok"
+		}
+		start := dir.Pos.Offset
+		end := dir.End.Offset
+		if dir.Standalone {
+			// Delete the whole line: backtrack over the indentation and
+			// take the trailing newline with it.
+			start -= dir.Pos.Column - 1
+			end++
+		}
+		out = append(out, Diagnostic{
+			Analyzer: UnusedDirectiveName,
+			Pos:      dir.Pos,
+			Message: "directive //gridlint:" + displayDirective(dir.Analyzer) +
+				" suppresses no finding; remove it (analyzer " + name + " is clean here)",
+			Fixes: []SuggestedFix{{
+				Message: "delete the stale directive",
+				Edits:   []TextEdit{{Filename: dir.Pos.Filename, Start: start, End: end, NewText: ""}},
+			}},
+		})
+	}
+	return out
+}
+
+func displayDirective(analyzer string) string {
+	if analyzer == "*" {
+		return "ok"
+	}
+	return analyzer + "-ok"
 }
 
 // parseDirective extracts the analyzer name from a //gridlint:<name>-ok

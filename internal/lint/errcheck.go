@@ -67,7 +67,8 @@ func runErrcheckLite(pass *Pass) {
 			if !returnsError(pass, call) {
 				return true
 			}
-			pass.Report(call.Pos(),
+			fix := pass.Fix("discard the error explicitly", stmt.Pos(), stmt.Pos(), "_ = ")
+			pass.ReportFix(call.Pos(), []SuggestedFix{fix},
 				"error from %s.%s is dropped; handle it or discard explicitly with `_ =`",
 				exprString(sel.X), sel.Sel.Name)
 			return true

@@ -1,0 +1,453 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Eventlifetime enforces the engine's event free-list contract
+// (internal/simulation, PR 2): event structs are pooled, so a *Event
+// handle is dead the moment its event fires or is canceled, and a dead
+// handle passed to Cancel later can kill an unrelated recycled event.
+// The client-side rules the analyzer checks:
+//
+//   - a handle handed to Engine.Cancel must be cleared (set to nil) by
+//     the immediately following statement — the netsim/simxfer owner
+//     fields all follow this pattern — and the analyzer's suggested fix
+//     inserts the clear;
+//   - a handle must not be read again after Cancel until it is
+//     reassigned;
+//   - handles live in exactly one documented owner field (or a local):
+//     appending them to slices, storing them in maps, sending them over
+//     channels, or parking them in package-level variables creates
+//     aliases the free list cannot see;
+//   - passing a handle to a function that retains it (the analyzer
+//     exports a "retainsEvent" fact for those) transfers ownership; the
+//     caller must not use the handle afterwards.
+//
+// internal/simulation itself is exempt: the engine and its free list
+// are the pool's owner, and Ticker is part of the implementation.
+// Event handles are matched as pointers to a named type Event that has
+// a Canceled method, so test stubs work without importing the real
+// package (and value types like faults.Event are never matched).
+var Eventlifetime = &Analyzer{
+	Name: "eventlifetime",
+	Doc: "enforces the event free-list handle rules: clear handles after Cancel, no reads of " +
+		"dead handles, no storage outside a single owner field, no aliasing through " +
+		"retaining functions",
+	Applies: func(pkgPath string) bool {
+		if strings.Contains(pkgPath, "/cmd/") || strings.Contains(pkgPath, "/examples/") {
+			return false
+		}
+		return !PathHasSuffix(pkgPath, "internal/simulation")
+	},
+	Run: runEventLifetime,
+}
+
+func runEventLifetime(pass *Pass) {
+	retainers := localEventRetainers(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.FuncDecl:
+				if v.Body != nil {
+					es := &eventScan{pass: pass, retainers: retainers}
+					es.block(v.Body.List)
+				}
+			case *ast.FuncLit:
+				es := &eventScan{pass: pass, retainers: retainers}
+				es.block(v.Body.List)
+			}
+			return true
+		})
+		checkEventStorage(pass, f)
+	}
+}
+
+// isEventHandle reports whether t is a pointer to a named type Event
+// that has a Canceled method — the engine handle shape.
+func isEventHandle(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	p, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != "Event" {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "Canceled" {
+			return true
+		}
+	}
+	return false
+}
+
+// localEventRetainers computes, for this package's functions, whether
+// they store a *Event parameter anywhere (field, slice, map, global) —
+// i.e. retain it past the call. Exported retainers get a "retainsEvent"
+// fact so callers in other packages see the ownership transfer.
+func localEventRetainers(pass *Pass) map[*types.Func]bool {
+	out := map[*types.Func]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Name == nil {
+				continue
+			}
+			obj, ok := pass.ObjectOf(fn.Name).(*types.Func)
+			if !ok {
+				continue
+			}
+			sig, ok := obj.Type().(*types.Signature)
+			if !ok {
+				continue
+			}
+			params := map[types.Object]bool{}
+			for i := 0; i < sig.Params().Len(); i++ {
+				if isEventHandle(sig.Params().At(i).Type()) {
+					params[sig.Params().At(i)] = true
+				}
+			}
+			if len(params) == 0 {
+				continue
+			}
+			if retainsAny(pass, fn.Body, params) {
+				out[obj] = true
+				pass.ExportFact(obj, "retainsEvent", "stores its *Event argument")
+			}
+		}
+	}
+	return out
+}
+
+// retainsAny reports whether the body stores one of the given objects
+// into a field, slice, map, channel or global.
+func retainsAny(pass *Pass, body *ast.BlockStmt, params map[types.Object]bool) bool {
+	isParam := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		o := pass.ObjectOf(id)
+		return o != nil && params[o]
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range v.Rhs {
+				if !isParam(rhs) || i >= len(v.Lhs) {
+					continue
+				}
+				switch v.Lhs[i].(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					found = true
+				case *ast.Ident:
+					if isPkgLevelVar(pass, v.Lhs[i].(*ast.Ident)) {
+						found = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "append" {
+				for _, arg := range v.Args[1:] {
+					if isParam(arg) {
+						found = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if isParam(v.Value) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkEventStorage flags *Event values escaping into slices, maps,
+// channels, package-level variables, or slice/map composite literals —
+// anywhere but the single documented owner field.
+func checkEventStorage(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range v.Rhs {
+				if i >= len(v.Lhs) || !isEventHandle(pass.TypeOf(rhs)) {
+					continue
+				}
+				switch l := v.Lhs[i].(type) {
+				case *ast.IndexExpr:
+					pass.Report(l.Pos(),
+						"*Event stored into an indexed collection; pooled event handles must live "+
+							"in a single owner field so they can be cleared when the event dies")
+				case *ast.Ident:
+					if isPkgLevelVar(pass, l) {
+						pass.Report(l.Pos(),
+							"*Event stored into a package-level variable; pooled event handles must "+
+								"live in a single owner field tied to the component's lifetime")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "append" && len(v.Args) > 1 {
+				for _, arg := range v.Args[1:] {
+					if isEventHandle(pass.TypeOf(arg)) {
+						pass.Report(arg.Pos(),
+							"*Event appended to a slice; pooled event handles must live in a single "+
+								"owner field, not collections the free list cannot see")
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if isEventHandle(pass.TypeOf(v.Value)) {
+				pass.Report(v.Value.Pos(),
+					"*Event sent over a channel; the handle dies when the event fires — send "+
+						"results, not event handles")
+			}
+		case *ast.CompositeLit:
+			t := pass.TypeOf(v)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Array, *types.Map:
+				for _, el := range v.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						el = kv.Value
+					}
+					if isEventHandle(pass.TypeOf(el)) {
+						pass.Report(el.Pos(),
+							"*Event stored in a collection literal; pooled event handles must live "+
+								"in a single owner field")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// eventScan performs the linear per-block liveness scan: handles become
+// dead after Cancel (or after being handed to a retaining function) and
+// reads of dead handles are reported. Nested blocks get fresh scans —
+// conservative, like lockedcallback's lockScan.
+type eventScan struct {
+	pass      *Pass
+	retainers map[*types.Func]bool
+	// dead maps rendered handle expressions to why they died.
+	dead map[string]string
+}
+
+func (es *eventScan) block(stmts []ast.Stmt) {
+	es.dead = map[string]string{}
+	for i, stmt := range stmts {
+		es.stmt(stmt, stmts, i)
+	}
+}
+
+func (es *eventScan) stmt(s ast.Stmt, list []ast.Stmt, i int) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if handle, ok := es.cancelArg(call); ok {
+				es.checkReads(call.Args[0]) // the handle may already be dead
+				name := exprString(handle)
+				var next ast.Stmt
+				if i+1 < len(list) {
+					next = list[i+1]
+				}
+				if !clearsHandle(next, name) {
+					// Tab-indented source: column is 1-based, so the statement
+					// sits behind Column-1 tabs.
+					indent := strings.Repeat("\t", es.pass.Fset.Position(st.Pos()).Column-1)
+					fix := es.pass.Fix("clear the handle after Cancel",
+						st.End(), st.End(), "\n"+indent+name+" = nil")
+					es.pass.ReportFix(call.Pos(), []SuggestedFix{fix},
+						"%s is not cleared after Cancel; the engine recycles canceled events, so a "+
+							"stale handle here can later cancel an unrelated event — set it to nil "+
+							"immediately", name)
+				}
+				es.dead[name] = "canceled"
+				return
+			}
+		}
+		es.checkReads(st.X)
+		es.noteRetention(st.X)
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			es.checkReads(rhs)
+			es.noteRetention(rhs)
+		}
+		// Assignment revives the target (typically `h = nil` or a fresh
+		// Schedule/After result).
+		for _, lhs := range st.Lhs {
+			delete(es.dead, exprString(lhs))
+		}
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			es.checkReads(r)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			es.stmt(st.Init, nil, 0)
+		}
+		es.checkReads(st.Cond)
+		saved := es.dead
+		sub := &eventScan{pass: es.pass, retainers: es.retainers}
+		sub.block(st.Body.List)
+		if st.Else != nil {
+			sub2 := &eventScan{pass: es.pass, retainers: es.retainers}
+			if blk, ok := st.Else.(*ast.BlockStmt); ok {
+				sub2.block(blk.List)
+			} else {
+				sub2.dead = map[string]string{}
+				sub2.stmt(st.Else, nil, 0)
+			}
+		}
+		// A branch may have revived or killed handles; forgetting the
+		// dead set after a branch keeps the scan conservative (no false
+		// positives from path merging).
+		es.dead = map[string]string{}
+		_ = saved
+	case *ast.ForStmt:
+		sub := &eventScan{pass: es.pass, retainers: es.retainers}
+		sub.block(st.Body.List)
+		es.dead = map[string]string{}
+	case *ast.RangeStmt:
+		sub := &eventScan{pass: es.pass, retainers: es.retainers}
+		sub.block(st.Body.List)
+		es.dead = map[string]string{}
+	case *ast.BlockStmt:
+		sub := &eventScan{pass: es.pass, retainers: es.retainers}
+		sub.block(st.List)
+		es.dead = map[string]string{}
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if cc, ok := n.(*ast.CaseClause); ok {
+				sub := &eventScan{pass: es.pass, retainers: es.retainers}
+				sub.block(cc.Body)
+				return false
+			}
+			if cc, ok := n.(*ast.CommClause); ok {
+				sub := &eventScan{pass: es.pass, retainers: es.retainers}
+				sub.block(cc.Body)
+				return false
+			}
+			return true
+		})
+		es.dead = map[string]string{}
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Runs later / elsewhere; liveness does not flow.
+	case *ast.DeclStmt:
+		// var declarations introduce fresh handles.
+	case *ast.LabeledStmt:
+		es.stmt(st.Stmt, list, i)
+	}
+}
+
+// cancelArg matches Engine.Cancel(handle) and returns the handle
+// expression when it is a clearable ident or selector.
+func (es *eventScan) cancelArg(call *ast.CallExpr) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Cancel" || len(call.Args) != 1 {
+		return nil, false
+	}
+	if recvTypeName(es.pass, sel.X) != "Engine" {
+		return nil, false
+	}
+	if !isEventHandle(es.pass.TypeOf(call.Args[0])) {
+		return nil, false
+	}
+	switch call.Args[0].(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		return call.Args[0], true
+	}
+	return nil, false
+}
+
+// clearsHandle reports whether the statement is `<name> = nil`.
+func clearsHandle(s ast.Stmt, name string) bool {
+	asg, ok := s.(*ast.AssignStmt)
+	if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	if id, ok := asg.Rhs[0].(*ast.Ident); !ok || id.Name != "nil" {
+		return false
+	}
+	return exprString(asg.Lhs[0]) == name
+}
+
+// checkReads reports uses of dead handles inside the expression.
+func (es *eventScan) checkReads(e ast.Expr) {
+	if e == nil || len(es.dead) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		switch expr.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+		default:
+			return true
+		}
+		if !isEventHandle(es.pass.TypeOf(expr)) {
+			return true
+		}
+		name := exprString(expr)
+		if why, dead := es.dead[name]; dead {
+			es.pass.Report(expr.Pos(),
+				"%s is read after it was %s; the engine recycles dead events, so this handle "+
+					"may now alias an unrelated event — clear it and take a fresh handle from "+
+					"Schedule/After", name, why)
+			delete(es.dead, name) // one report per death
+			return false
+		}
+		return true
+	})
+}
+
+// noteRetention marks handles passed to retaining functions as dead for
+// the remainder of the block: ownership moved.
+func (es *eventScan) noteRetention(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var callee *types.Func
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			callee, _ = es.pass.ObjectOf(fun).(*types.Func)
+		case *ast.SelectorExpr:
+			callee, _ = es.pass.ObjectOf(fun.Sel).(*types.Func)
+		}
+		if callee == nil {
+			return true
+		}
+		if !es.retainers[callee] && !es.pass.HasFact(callee, "retainsEvent") {
+			return true
+		}
+		for _, arg := range call.Args {
+			switch arg.(type) {
+			case *ast.Ident, *ast.SelectorExpr:
+				if isEventHandle(es.pass.TypeOf(arg)) {
+					es.dead[exprString(arg)] = "handed to " + callee.Name() + ", which retains it"
+				}
+			}
+		}
+		return true
+	})
+}

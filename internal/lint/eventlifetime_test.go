@@ -1,0 +1,37 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/hpclab/datagrid/internal/lint"
+	"github.com/hpclab/datagrid/internal/lint/linttest"
+)
+
+func TestEventlifetime(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), lint.Eventlifetime, "internal/flows")
+}
+
+// TestEventlifetimeFixes round-trips the suggested fixes (insert the
+// missing `= nil` clears) against the golden eventlt.go.fixed.
+func TestEventlifetimeFixes(t *testing.T) {
+	linttest.RunFixes(t, linttest.TestData(), lint.Eventlifetime, "internal/flows")
+}
+
+func TestEventlifetimeScope(t *testing.T) {
+	cases := []struct {
+		pkg  string
+		want bool
+	}{
+		{"github.com/hpclab/datagrid/internal/simxfer", true},
+		{"github.com/hpclab/datagrid/internal/netsim", true},
+		{"github.com/hpclab/datagrid/internal/faults", true},
+		// The engine owns the free list; its internals are the exemption.
+		{"github.com/hpclab/datagrid/internal/simulation", false},
+		{"github.com/hpclab/datagrid/cmd/gridbench", false},
+	}
+	for _, c := range cases {
+		if got := lint.Eventlifetime.Applies(c.pkg); got != c.want {
+			t.Errorf("Eventlifetime.Applies(%q) = %v, want %v", c.pkg, got, c.want)
+		}
+	}
+}

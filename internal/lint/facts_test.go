@@ -1,0 +1,78 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/hpclab/datagrid/internal/lint"
+	"github.com/hpclab/datagrid/internal/lint/linttest"
+)
+
+// TestFactsRoundTrip proves the whole fact pipeline: analyzing the
+// deriver package exports a seedDeriver fact, the fact survives
+// Encode/Decode, and a decoded store changes the diagnostics of a
+// dependent package — i.e. serialized facts are actually honored.
+func TestFactsRoundTrip(t *testing.T) {
+	src := filepath.Join(linttest.TestData(), "src")
+	loader := lint.NewTestLoader(src)
+
+	runnerPkg, err := loader.LoadDir(filepath.Join(src, "internal/runner"), "internal/runner")
+	if err != nil {
+		t.Fatalf("loading runner fixture: %v", err)
+	}
+	store := lint.NewFactStore()
+	if diags, _ := lint.RunFacts(runnerPkg, []*lint.Analyzer{lint.Seedflow}, store); len(diags) != 0 {
+		t.Fatalf("runner fixture should be clean, got %v", diags)
+	}
+	if _, ok := store.Lookup("seedflow", "internal/runner", "DeriveSeed", "seedDeriver"); !ok {
+		t.Fatalf("expected seedDeriver fact for runner.DeriveSeed; store has %v", store.All())
+	}
+	if _, ok := store.Lookup("seedflow", "internal/runner", "Version", "seedDeriver"); ok {
+		t.Fatalf("runner.Version ignores its (absent) inputs and must not be a seed deriver")
+	}
+
+	data, err := store.Encode()
+	if err != nil {
+		t.Fatalf("encoding facts: %v", err)
+	}
+	decoded, err := lint.DecodeFacts(data)
+	if err != nil {
+		t.Fatalf("decoding facts: %v", err)
+	}
+	if got, want := len(decoded.All()), len(store.All()); got != want {
+		t.Fatalf("decoded store has %d facts, want %d", got, want)
+	}
+
+	wlPkg, err := loader.LoadDir(filepath.Join(src, "internal/workload"), "internal/workload")
+	if err != nil {
+		t.Fatalf("loading workload fixture: %v", err)
+	}
+	withFacts, _ := lint.RunFacts(wlPkg, []*lint.Analyzer{lint.Seedflow}, decoded)
+	without, _ := lint.RunFacts(wlPkg, []*lint.Analyzer{lint.Seedflow}, lint.NewFactStore())
+	if len(without) != len(withFacts)+1 {
+		t.Fatalf("the DeriveSeed fact should suppress exactly one finding: with facts %d, without %d",
+			len(withFacts), len(without))
+	}
+	found := false
+	for _, d := range without {
+		if !contains(withFacts, d) {
+			found = true
+			if want := "seed does not trace to a config seed"; !strings.Contains(d.Message, want) {
+				t.Errorf("the fact-dependent finding should be about seed provenance, got %q", d.Message)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("could not identify the fact-dependent finding")
+	}
+}
+
+func contains(diags []lint.Diagnostic, d lint.Diagnostic) bool {
+	for _, x := range diags {
+		if x.Pos == d.Pos && x.Message == d.Message {
+			return true
+		}
+	}
+	return false
+}

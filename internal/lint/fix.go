@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// TextEdit is one byte-range replacement inside a source file. Start ==
+// End is a pure insertion. Offsets are resolved against the file
+// contents the diagnostic was produced from.
+type TextEdit struct {
+	Filename string `json:"filename"`
+	Start    int    `json:"start"` // byte offset, inclusive
+	End      int    `json:"end"`   // byte offset, exclusive
+	NewText  string `json:"new_text"`
+}
+
+// SuggestedFix is a machine-applicable remedy attached to a diagnostic.
+// gridlint -fix previews the edits as a diff and applies them with -w;
+// linttest verifies them against golden .fixed files.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// Fix builds a SuggestedFix from token positions, for use with
+// Pass.ReportFix. The replacement spans [pos, end); pass end == pos to
+// insert.
+func (p *Pass) Fix(message string, pos, end token.Pos, newText string) SuggestedFix {
+	start := p.Fset.Position(pos)
+	stop := p.Fset.Position(end)
+	return SuggestedFix{
+		Message: message,
+		Edits: []TextEdit{{
+			Filename: start.Filename,
+			Start:    start.Offset,
+			End:      stop.Offset,
+			NewText:  newText,
+		}},
+	}
+}
+
+// ReportFix records a finding carrying suggested fixes.
+func (p *Pass) ReportFix(pos token.Pos, fixes []SuggestedFix, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Fixes:    fixes,
+	})
+}
+
+// ApplyFixes applies every suggested fix carried by diags and returns
+// the new contents of each touched file. readFile supplies the current
+// contents (nil means os.ReadFile). Overlapping edits are an error: two
+// analyzers proposing conflicting rewrites need a human.
+func ApplyFixes(diags []Diagnostic, readFile func(string) ([]byte, error)) (map[string][]byte, error) {
+	if readFile == nil {
+		readFile = os.ReadFile
+	}
+	byFile := map[string][]TextEdit{}
+	for _, d := range diags {
+		for _, f := range d.Fixes {
+			for _, e := range f.Edits {
+				byFile[e.Filename] = append(byFile[e.Filename], e)
+			}
+		}
+	}
+	out := make(map[string][]byte, len(byFile))
+	for name, edits := range byFile {
+		src, err := readFile(name)
+		if err != nil {
+			return nil, err
+		}
+		fixed, err := applyEdits(src, edits)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out[name] = fixed
+	}
+	return out, nil
+}
+
+// applyEdits applies edits to src back-to-front so earlier offsets stay
+// valid. Identical duplicate edits (two diagnostics proposing the same
+// insertion) collapse to one; genuinely overlapping edits fail.
+func applyEdits(src []byte, edits []TextEdit) ([]byte, error) {
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].Start != edits[j].Start {
+			return edits[i].Start < edits[j].Start
+		}
+		return edits[i].End < edits[j].End
+	})
+	deduped := edits[:0]
+	for i, e := range edits {
+		if i > 0 && e == edits[i-1] {
+			continue
+		}
+		deduped = append(deduped, e)
+	}
+	edits = deduped
+	for i, e := range edits {
+		if e.Start < 0 || e.End < e.Start || e.End > len(src) {
+			return nil, fmt.Errorf("edit [%d,%d) out of range (file is %d bytes)", e.Start, e.End, len(src))
+		}
+		if i > 0 && e.Start < edits[i-1].End {
+			return nil, fmt.Errorf("overlapping suggested fixes at offsets %d and %d", edits[i-1].Start, e.Start)
+		}
+		// Two pure insertions at the same offset are ambiguous too.
+		if i > 0 && e.Start == edits[i-1].Start {
+			return nil, fmt.Errorf("conflicting suggested fixes at offset %d", e.Start)
+		}
+	}
+	var out []byte
+	last := 0
+	for _, e := range edits {
+		out = append(out, src[last:e.Start]...)
+		out = append(out, e.NewText...)
+		last = e.End
+	}
+	out = append(out, src[last:]...)
+	return out, nil
+}
+
+// Diff renders a minimal unified-style diff between two versions of one
+// file: the longest common prefix and suffix of the line slices are
+// elided and the single changed region is printed as one hunk. That is
+// exactly the shape analyzer fixes produce (small localized edits), and
+// it keeps the dry-run output reviewable.
+func Diff(name string, before, after []byte) string {
+	if string(before) == string(after) {
+		return ""
+	}
+	a := splitLines(string(before))
+	b := splitLines(string(after))
+	pre := 0
+	for pre < len(a) && pre < len(b) && a[pre] == b[pre] {
+		pre++
+	}
+	suf := 0
+	for suf < len(a)-pre && suf < len(b)-pre && a[len(a)-1-suf] == b[len(b)-1-suf] {
+		suf++
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- %s\n+++ %s (fixed)\n", name, name)
+	fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", pre+1, len(a)-pre-suf, pre+1, len(b)-pre-suf)
+	for _, l := range a[pre : len(a)-suf] {
+		sb.WriteString("-" + l + "\n")
+	}
+	for _, l := range b[pre : len(b)-suf] {
+		sb.WriteString("+" + l + "\n")
+	}
+	return sb.String()
+}
+
+func splitLines(s string) []string {
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestApplyEdits(t *testing.T) {
+	src := []byte("alpha\nbeta\ngamma\n")
+	t.Run("insert and replace", func(t *testing.T) {
+		out, err := applyEdits(src, []TextEdit{
+			{Start: 0, End: 0, NewText: "_ = "},  // insertion
+			{Start: 6, End: 10, NewText: "BETA"}, // replacement
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := string(out), "_ = alpha\nBETA\ngamma\n"; got != want {
+			t.Errorf("applyEdits = %q, want %q", got, want)
+		}
+	})
+	t.Run("identical duplicates collapse", func(t *testing.T) {
+		out, err := applyEdits(src, []TextEdit{
+			{Start: 0, End: 0, NewText: "x"},
+			{Start: 0, End: 0, NewText: "x"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := string(out), "xalpha\nbeta\ngamma\n"; got != want {
+			t.Errorf("applyEdits = %q, want %q", got, want)
+		}
+	})
+	t.Run("overlap is an error", func(t *testing.T) {
+		if _, err := applyEdits(src, []TextEdit{
+			{Start: 0, End: 5, NewText: "a"},
+			{Start: 3, End: 8, NewText: "b"},
+		}); err == nil || !strings.Contains(err.Error(), "overlapping") {
+			t.Errorf("want overlapping-fix error, got %v", err)
+		}
+	})
+	t.Run("conflicting insertions are an error", func(t *testing.T) {
+		if _, err := applyEdits(src, []TextEdit{
+			{Start: 2, End: 2, NewText: "a"},
+			{Start: 2, End: 2, NewText: "b"},
+		}); err == nil || !strings.Contains(err.Error(), "conflicting") {
+			t.Errorf("want conflicting-fix error, got %v", err)
+		}
+	})
+	t.Run("out of range is an error", func(t *testing.T) {
+		if _, err := applyEdits(src, []TextEdit{
+			{Start: 10, End: 100, NewText: ""},
+		}); err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Errorf("want out-of-range error, got %v", err)
+		}
+	})
+}
+
+func TestDiff(t *testing.T) {
+	before := []byte("a\nb\nc\nd\n")
+	after := []byte("a\nb\nB2\nc\nd\n")
+	d := Diff("f.go", before, after)
+	if !strings.Contains(d, "+B2") {
+		t.Errorf("diff should contain the inserted line, got:\n%s", d)
+	}
+	if strings.Contains(d, "-a") || strings.Contains(d, "-d") {
+		t.Errorf("diff should elide the common prefix and suffix, got:\n%s", d)
+	}
+	if Diff("f.go", before, before) != "" {
+		t.Errorf("identical contents must produce an empty diff")
+	}
+}

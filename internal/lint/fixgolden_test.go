@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/hpclab/datagrid/internal/lint"
+	"github.com/hpclab/datagrid/internal/lint/linttest"
+)
+
+// TestErrcheckFixes round-trips the `_ = ` discard fix against the
+// golden errcheck.go.fixed.
+func TestErrcheckFixes(t *testing.T) {
+	linttest.RunFixes(t, linttest.TestData(), lint.ErrcheckLite, "internal/ftp")
+}

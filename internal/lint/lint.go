@@ -49,13 +49,16 @@ type Pass struct {
 	PkgPath  string
 
 	diags *[]Diagnostic
+	facts *FactStore
 }
 
-// Diagnostic is a single finding.
+// Diagnostic is a single finding. Fixes, when present, carry
+// machine-applicable edits (see fix.go).
 type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	Fixes    []SuggestedFix
 }
 
 func (d Diagnostic) String() string {
@@ -94,13 +97,31 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 }
 
 // Run executes the analyzers over a loaded package and returns the
-// surviving (non-suppressed) diagnostics sorted by position.
+// surviving (non-suppressed) diagnostics sorted by position. Facts are
+// accumulated into a throwaway store; use RunFacts when analyzing
+// multiple packages that exchange facts.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunFacts(pkg, analyzers, NewFactStore())
+	return diags
+}
+
+// RunFacts executes the analyzers over a loaded package with a shared
+// fact store: facts exported by previously analyzed packages are visible
+// through Pass.HasFact, and facts this package exports land in the store
+// for its importers. It returns the surviving (non-suppressed)
+// diagnostics sorted by position, plus the directives that suppressed
+// nothing (see UnusedDirectiveDiagnostics).
+func RunFacts(pkg *Package, analyzers []*Analyzer, facts *FactStore) ([]Diagnostic, []Directive) {
+	if facts == nil {
+		facts = NewFactStore()
+	}
 	var diags []Diagnostic
+	ran := make([]string, 0, len(analyzers))
 	for _, a := range analyzers {
 		if a.Applies != nil && !a.Applies(pkg.Path) {
 			continue
 		}
+		ran = append(ran, a.Name)
 		pass := &Pass{
 			Analyzer: a,
 			Fset:     pkg.Fset,
@@ -109,10 +130,11 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Info:     pkg.Info,
 			PkgPath:  pkg.Path,
 			diags:    &diags,
+			facts:    facts,
 		}
 		a.Run(pass)
 	}
-	diags = filterSuppressed(pkg, diags)
+	diags, unused := filterSuppressed(pkg, diags, ran)
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].Pos.Filename != diags[j].Pos.Filename {
 			return diags[i].Pos.Filename < diags[j].Pos.Filename
@@ -122,7 +144,7 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags
+	return diags, unused
 }
 
 // PathHasSuffix reports whether pkgPath equals suffix or ends in

@@ -36,6 +36,9 @@ type Loader struct {
 	Fset    *token.FileSet
 	modPath string
 	modRoot string
+	// srcRoot, when set, resolves any import whose directory exists under
+	// it (testdata trees: import "a" -> <srcRoot>/a). See NewTestLoader.
+	srcRoot string
 	std     types.Importer
 	pkgs    map[string]*Package
 	loading map[string]bool
@@ -85,6 +88,28 @@ func NewStdLoader() *Loader {
 	}
 }
 
+// NewTestLoader creates a loader rooted at a testdata source tree: an
+// import path whose directory exists under srcRoot resolves there
+// (import "seedlib" -> <srcRoot>/seedlib), everything else comes from
+// GOROOT source. This is what lets linttest fixtures import sibling
+// fixture packages, exercising the cross-package facts layer.
+func NewTestLoader(srcRoot string) *Loader {
+	l := NewStdLoader()
+	l.srcRoot = srcRoot
+	return l
+}
+
+// Loaded returns every package the loader has parsed and type-checked so
+// far (module-local and testdata-local; standard-library packages are
+// handled by the source importer and never appear here).
+func (l *Loader) Loaded() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	return out
+}
+
 func readModulePath(gomod string) (string, error) {
 	data, err := os.ReadFile(gomod)
 	if err != nil {
@@ -110,6 +135,16 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 			return nil, err
 		}
 		return pkg.Types, nil
+	}
+	if l.srcRoot != "" {
+		dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+		if names, err := goFilesIn(dir); err == nil && len(names) > 0 {
+			pkg, err := l.LoadDir(dir, path)
+			if err != nil {
+				return nil, err
+			}
+			return pkg.Types, nil
+		}
 	}
 	return l.std.Import(path)
 }

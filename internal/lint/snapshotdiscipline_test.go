@@ -1,0 +1,32 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/hpclab/datagrid/internal/lint"
+	"github.com/hpclab/datagrid/internal/lint/linttest"
+)
+
+func TestSnapshotdiscipline(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), lint.Snapshotdiscipline, "internal/experiments")
+}
+
+func TestSnapshotdisciplineScope(t *testing.T) {
+	cases := []struct {
+		pkg  string
+		want bool
+	}{
+		{"github.com/hpclab/datagrid/internal/experiments", true},
+		{"github.com/hpclab/datagrid/internal/simxfer", true},
+		{"github.com/hpclab/datagrid/internal/info", true},
+		// The defining packages own the snapshot state by design.
+		{"github.com/hpclab/datagrid/internal/gridstate", false},
+		{"github.com/hpclab/datagrid/internal/core", false},
+		{"github.com/hpclab/datagrid/cmd/gridbench", false},
+	}
+	for _, c := range cases {
+		if got := lint.Snapshotdiscipline.Applies(c.pkg); got != c.want {
+			t.Errorf("Snapshotdiscipline.Applies(%q) = %v, want %v", c.pkg, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+// Package evreg (testdata) is an event-retaining dependency: Track
+// stores its *Event argument, so eventlifetime must export a
+// "retainsEvent" fact for it that importing fixtures honor — a handle
+// handed to Track is dead for its caller.
+package evreg
+
+import "simstub"
+
+// Registry keeps every event handed to it.
+type Registry struct {
+	evs []*simstub.Event
+}
+
+// Track retains e: ownership transfers to the registry.
+func (r *Registry) Track(e *simstub.Event) {
+	r.evs = append(r.evs, e)
+}
+
+// Peek does not retain its argument; no fact, no ownership transfer.
+func Peek(e *simstub.Event) bool {
+	return e != nil && !e.Canceled()
+}

@@ -1,0 +1,99 @@
+// Package flows (testdata) exercises the eventlifetime analyzer: event
+// handles must be cleared right after Cancel, never read while dead,
+// and never stored anywhere but the single documented owner field.
+package flows
+
+import (
+	"evreg"
+	"simstub"
+)
+
+type flow struct {
+	ev *simstub.Event
+}
+
+var lastEv *simstub.Event
+
+var parked []*simstub.Event
+
+// good: the owner-field pattern — cancel, then clear immediately.
+func stopClean(g *simstub.Engine, f *flow) {
+	if f.ev != nil {
+		g.Cancel(f.ev)
+		f.ev = nil
+	}
+}
+
+// bad: the handle survives Cancel; the suggested fix inserts the clear.
+func stopLeaky(g *simstub.Engine, f *flow) {
+	g.Cancel(f.ev) // want `f\.ev is not cleared after Cancel`
+}
+
+// bad: reading a handle after Cancel — it may alias a recycled event.
+func reuse(g *simstub.Engine, ev *simstub.Event) bool {
+	g.Cancel(ev)         // want `ev is not cleared after Cancel`
+	return ev.Canceled() // want `ev is read after it was canceled`
+}
+
+// good: reassignment revives the handle.
+func rearm(g *simstub.Engine, f *flow) {
+	if f.ev != nil {
+		g.Cancel(f.ev)
+		f.ev = nil
+	}
+	f.ev = g.Schedule(g.Now()+10, nil)
+}
+
+// bad: collections alias the handle behind the free list's back.
+func stash(g *simstub.Engine, evs []*simstub.Event, m map[int]*simstub.Event, ch chan *simstub.Event) {
+	e := g.Schedule(10, nil)
+	evs = append(evs, e) // want `\*Event appended to a slice`
+	m[0] = e             // want `\*Event stored into an indexed collection`
+	ch <- e              // want `\*Event sent over a channel`
+	lastEv = e           // want `\*Event stored into a package-level variable`
+}
+
+// bad: a collection literal is storage too.
+func batch(g *simstub.Engine) []*simstub.Event {
+	e := g.Schedule(5, nil)
+	return []*simstub.Event{e} // want `\*Event stored in a collection literal`
+}
+
+// keep retains into package state — a package-local retainer.
+func keep(e *simstub.Event) {
+	parked = append(parked, e) // want `\*Event appended to a slice`
+}
+
+// bad: local retainers transfer ownership without needing a fact.
+func parkAndPoke(g *simstub.Engine) {
+	e := g.Schedule(2, nil)
+	keep(e)
+	_ = e.Canceled() // want `e is read after it was handed to keep, which retains it`
+}
+
+// bad: evreg.Track carries a cross-package retainsEvent fact.
+func handOff(g *simstub.Engine, r *evreg.Registry) {
+	e := g.Schedule(1, nil)
+	r.Track(e)
+	_ = e.Canceled() // want `e is read after it was handed to Track, which retains it`
+}
+
+// good: evreg.Peek does not retain; the handle stays live.
+func inspect(g *simstub.Engine, r *evreg.Registry) bool {
+	e := g.Schedule(1, nil)
+	return evreg.Peek(e)
+}
+
+type ticker struct {
+	ev      *simstub.Event
+	stopped bool
+}
+
+// suppressed: the stopped guard makes the stale handle unreachable.
+func (t *ticker) stop(g *simstub.Engine) {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	g.Cancel(t.ev) //gridlint:eventlifetime-ok stopped guard keeps the handle from being reused
+}

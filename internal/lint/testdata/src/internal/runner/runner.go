@@ -1,0 +1,21 @@
+// Package runner (testdata) stands in for the real experiment runner:
+// DeriveSeed is the canonical seed-deriving function, and the seedflow
+// analyzer must export a "seedDeriver" fact for it that importing
+// fixture packages can consume.
+package runner
+
+// DeriveSeed mixes a root seed with labels — a pure function of its
+// parameters, so seedflow exports a seedDeriver fact for it.
+func DeriveSeed(root int64, labels ...string) int64 {
+	h := root
+	for _, l := range labels {
+		for i := 0; i < len(l); i++ {
+			h = h*1099511628211 + int64(l[i])
+		}
+	}
+	return h
+}
+
+// Version ignores its inputs entirely (it has none), so it must NOT get
+// a seedDeriver fact: a seed produced by it traces to nothing.
+func Version() int64 { return 3 }

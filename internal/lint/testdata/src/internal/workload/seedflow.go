@@ -1,0 +1,89 @@
+// Package workload (testdata) exercises the seedflow analyzer inside
+// the determinism scope: every RNG construction must trace its seed to
+// a parameter, a seed-named field, or a seed-deriving function; global
+// math/rand functions and hard-coded or untraceable seeds are flagged.
+package workload
+
+import (
+	"math/rand"
+
+	"internal/runner"
+)
+
+// Config carries the experiment seed, the blessed provenance root.
+type Config struct {
+	Seed      int64
+	TrialSeed int64
+	Arrival   float64
+}
+
+// package-level RNG state: constructed before any config exists.
+var frozen = rand.NewSource(7) // want `package-level initializer cannot trace to the experiment seed`
+
+var counter int64
+
+// good: seed is a parameter.
+func fromParam(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// good: seed comes from a field named like a seed.
+func fromConfig(cfg Config) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.TrialSeed))
+}
+
+// good: locals assigned from blessed values stay blessed, including
+// through arithmetic.
+func fromLocal(cfg Config) *rand.Rand {
+	s := cfg.Seed + 1
+	shifted := s ^ 0x7f4a7c15
+	return rand.New(rand.NewSource(shifted))
+}
+
+// good: a cross-package seed deriver (seedDeriver fact on
+// runner.DeriveSeed) applied to a blessed argument yields a blessed seed.
+func fromDeriver(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(runner.DeriveSeed(seed, "warmup")))
+}
+
+// mix is a package-local seed deriver: pure function of its parameters.
+func mix(a, b int64) int64 { return a*31 ^ b }
+
+// good: local derivers are recognized without facts.
+func fromLocalDeriver(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(mix(seed, 17)))
+}
+
+// bad: a hard-coded seed ignores the experiment's -seed entirely.
+func hardcoded() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `seed does not trace to a config seed`
+}
+
+// bad: runner.Version carries no seedDeriver fact — its result traces
+// to nothing.
+func fromNonDeriver() rand.Source {
+	return rand.NewSource(runner.Version()) // want `seed does not trace to a config seed`
+}
+
+// bad: package-level state is not seed provenance.
+func fromGlobalState() rand.Source {
+	s := counter
+	return rand.NewSource(s) // want `seed does not trace to a config seed`
+}
+
+// bad: package-level math/rand draws from the process-global source.
+func globalRand(n int) int {
+	return rand.Intn(n) // want `rand\.Intn draws from the process-global source`
+}
+
+// good: methods on a seeded *rand.Rand draw from their own source.
+func methods(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.1, 1, 1<<20)
+	return float64(z.Uint64()) + rng.Float64()
+}
+
+// suppressed: provenance established outside what the analyzer can see.
+func pinned() rand.Source {
+	return rand.NewSource(1234) //gridlint:seedflow-ok frozen golden stream pinned by the regression fixture
+}

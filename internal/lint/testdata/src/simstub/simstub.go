@@ -1,0 +1,23 @@
+// Package simstub (testdata) stubs the simulation engine's event API:
+// the eventlifetime analyzer matches *Event by name plus the Canceled
+// method, and Engine by name, so fixtures exercise the free-list rules
+// without importing the real engine.
+package simstub
+
+// Event is a pooled event handle; it is dead after firing or Cancel.
+type Event struct{ canceled bool }
+
+// Canceled reports whether the event was canceled — the method the
+// analyzer keys on to tell engine events apart from other Event types.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Engine is the scheduling stub.
+type Engine struct{ now int64 }
+
+func (g *Engine) Now() int64 { return g.now }
+
+// Schedule registers fn at time `at` and returns the live handle.
+func (g *Engine) Schedule(at int64, fn func(int64)) *Event { return &Event{} }
+
+// Cancel kills the event; the handle must be cleared right after.
+func (g *Engine) Cancel(e *Event) { e.canceled = true }

@@ -361,6 +361,7 @@ func (r *failoverRun) endAttempt(at *failoverAttempt, outcome AttemptOutcome, er
 	engine := r.t.tb.Engine()
 	if at.timeout != nil {
 		engine.Cancel(at.timeout)
+		at.timeout = nil
 	}
 	net := r.t.tb.Network()
 	var delivered int64
