@@ -4,7 +4,7 @@ GO ?= go
 # BENCH_netsim.json (see docs/PERFORMANCE.md).
 BENCH_LABEL ?= local
 
-.PHONY: all build vet lint test race bench bench-netsim bench-suite bench-select bench-faults bench-diff bench-diff-netsim bench-diff-select figures examples clean
+.PHONY: all build vet lint test race bench bench-netsim bench-suite bench-select bench-faults bench-scale bench-diff bench-diff-netsim bench-diff-select bench-diff-scale figures examples clean
 
 all: build vet test
 
@@ -35,7 +35,7 @@ bench: bench-netsim
 # new labels append: run with BENCH_LABEL=<change-id> before and after an
 # optimization (docs/PERFORMANCE.md documents the workflow).
 bench-netsim:
-	$(GO) test -run='^$$' -bench='Netsim|Reallocate|RouteCold' -benchmem -timeout 600s . ./internal/netsim \
+	$(GO) test -run='^$$' -bench='Netsim|Reallocate|RouteTree|AddLinkBulk' -benchmem -timeout 600s . ./internal/netsim \
 		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -out BENCH_netsim.json
 
 # Record the full-suite harness benchmark (the `gridbench -all` workload
@@ -62,10 +62,10 @@ bench-select:
 # to the baseline's, so override BENCH_DIFF_METRICS locally as needed.
 BENCH_DIFF_METRICS ?= allocs/op
 
-bench-diff: bench-diff-netsim bench-diff-select
+bench-diff: bench-diff-netsim bench-diff-select bench-diff-scale
 
 bench-diff-netsim:
-	$(GO) test -run='^$$' -bench='Netsim|Reallocate|RouteCold' -benchmem -timeout 600s . ./internal/netsim \
+	$(GO) test -run='^$$' -bench='Netsim|Reallocate|RouteTree|AddLinkBulk' -benchmem -timeout 600s . ./internal/netsim \
 		| $(GO) run ./cmd/benchjson -diff -against pr2-optimized \
 			-metrics '$(BENCH_DIFF_METRICS)' -out BENCH_netsim.json
 
@@ -82,6 +82,21 @@ bench-diff-select:
 bench-faults:
 	$(GO) test -run='^$$' -bench='FaultsSweep' -benchmem -timeout 600s . \
 		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -out BENCH_faults.json
+
+# Record the planet-scale sweep (the `gridbench -scale` workload: 20 to
+# 200 sites, 400 to 10k hosts, 10k- to million-entry catalogs through
+# route trees, the sharded catalog and hierarchical selection) into
+# BENCH_scale.json. The 200-site row's dijkstra-savings-x is the
+# headline: per-pair Dijkstra runs each tree sweep replaced
+# (docs/PERFORMANCE.md documents the workflow).
+bench-scale:
+	$(GO) test -run='^$$' -bench='ScaleSweep' -benchmem -timeout 1200s . \
+		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -out BENCH_scale.json
+
+bench-diff-scale:
+	$(GO) test -run='^$$' -bench='ScaleSweep' -benchmem -timeout 1200s . \
+		| $(GO) run ./cmd/benchjson -diff -against container-1cpu \
+			-metrics '$(BENCH_DIFF_METRICS)' -out BENCH_scale.json
 
 # Regenerate every paper artifact (Fig. 3, Fig. 4, Table 1, ablations,
 # extensions) in the text form EXPERIMENTS.md quotes.

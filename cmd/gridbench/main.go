@@ -49,7 +49,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ablations  = fs.Bool("ablations", false, "run the ablation studies")
 		extensions = fs.Bool("extensions", false, "run the extension experiments")
 		faults     = fs.Bool("faults", false, "run the fault-tolerance sweep (not part of -all)")
-		all        = fs.Bool("all", false, "run everything except the fault-tolerance sweep")
+		scale      = fs.Bool("scale", false, "run the planet-scale sweep (not part of -all)")
+		all        = fs.Bool("all", false, "run everything except the fault-tolerance and planet-scale sweeps")
 		asCSV      = fs.Bool("csv", false, "emit the selected figure/table as CSV (for plotting)")
 		seed       = fs.Int64("seed", 42, "simulation seed")
 		parallel   = fs.Int("parallel", runtime.NumCPU(), "worker pool size (1 = sequential; output is identical at any value)")
@@ -68,14 +69,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *asCSV {
-		if err := emitCSV(*fig, *table, *faults, *seed, *parallel, stdout); err != nil {
+		if err := emitCSV(*fig, *table, *faults, *scale, *seed, *parallel, stdout); err != nil {
 			fmt.Fprintf(stderr, "gridbench: %v\n", err)
 			return 1
 		}
 		return 0
 	}
 
-	entries := selectEntries(*all, *fig, *table, *ablations, *extensions, *faults)
+	entries := selectEntries(*all, *fig, *table, *ablations, *extensions, *faults, *scale)
 	if len(entries) == 0 {
 		fs.Usage()
 		return 2
@@ -112,10 +113,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // selectEntries filters the suite registry down to the flag selection,
-// preserving registry (historical -all) order. The fault-tolerance
-// sweep is opt-in only: -all keeps printing exactly what it always has,
-// so its output stays byte-comparable across releases.
-func selectEntries(all bool, fig, table int, ablations, extensions, faults bool) []experiments.SuiteEntry {
+// preserving registry (historical -all) order. The fault-tolerance and
+// planet-scale sweeps are opt-in only: -all keeps printing exactly what
+// it always has, so its output stays byte-comparable across releases.
+func selectEntries(all bool, fig, table int, ablations, extensions, faults, scale bool) []experiments.SuiteEntry {
 	var out []experiments.SuiteEntry
 	for _, e := range experiments.Suite() {
 		keep := all
@@ -132,6 +133,8 @@ func selectEntries(all bool, fig, table int, ablations, extensions, faults bool)
 			keep = keep || extensions
 		case experiments.GroupFaults:
 			keep = faults
+		case experiments.GroupScale:
+			keep = scale
 		}
 		if keep {
 			out = append(out, e)
@@ -141,7 +144,7 @@ func selectEntries(all bool, fig, table int, ablations, extensions, faults bool)
 }
 
 // emitCSV writes the selected artifact's structured rows as CSV.
-func emitCSV(fig, table int, faults bool, seed int64, workers int, out io.Writer) error {
+func emitCSV(fig, table int, faults, scale bool, seed int64, workers int, out io.Writer) error {
 	w := csv.NewWriter(out)
 	defer w.Flush()
 	switch {
@@ -221,8 +224,40 @@ func emitCSV(fig, table int, faults bool, seed int64, workers int, out io.Writer
 				return err
 			}
 		}
+	case scale:
+		rows, _, err := experiments.ExtensionPlanetScale(seed, experiments.WithWorkers(workers))
+		if err != nil {
+			return err
+		}
+		if err := w.Write([]string{
+			"grid", "sites", "hosts", "regions", "files", "queries", "flows",
+			"tree_builds", "pair_dijkstras", "dijkstra_savings", "regions_consulted",
+			"hosts_scanned", "max_single_rank", "mean_xfer_sec",
+		}); err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if err := w.Write([]string{
+				r.Label,
+				strconv.Itoa(r.Sites),
+				strconv.Itoa(r.Hosts),
+				strconv.Itoa(r.Regions),
+				strconv.Itoa(r.Files),
+				strconv.Itoa(r.Queries),
+				strconv.Itoa(r.Flows),
+				strconv.FormatUint(r.TreeBuilds, 10),
+				strconv.FormatUint(r.PathBuilds, 10),
+				strconv.FormatFloat(r.DijkstraSavings(), 'f', 1, 64),
+				strconv.FormatUint(r.RegionsConsulted, 10),
+				strconv.FormatUint(r.HostsScanned, 10),
+				strconv.Itoa(r.MaxSingleRank),
+				strconv.FormatFloat(r.MeanTransferSec, 'f', 3, 64),
+			}); err != nil {
+				return err
+			}
+		}
 	default:
-		return fmt.Errorf("-csv needs -fig 3, -fig 4, -table 1 or -faults")
+		return fmt.Errorf("-csv needs -fig 3, -fig 4, -table 1, -faults or -scale")
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/hpclab/datagrid/internal/experiments"
 	"github.com/hpclab/datagrid/internal/workload"
 )
 
@@ -41,7 +42,7 @@ func TestEmitCSV(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var buf bytes.Buffer
-			err := emitCSV(tc.fig, tc.table, false, 42, 2, &buf)
+			err := emitCSV(tc.fig, tc.table, false, false, 42, 2, &buf)
 			if tc.wantErr {
 				if err == nil {
 					t.Fatal("emitCSV should have errored")
@@ -59,6 +60,25 @@ func TestEmitCSV(t *testing.T) {
 				t.Errorf("data rows = %d, want %d", got, tc.rows)
 			}
 		})
+	}
+}
+
+// TestOptInGroupsStayOutOfAll pins the selection contract: -all never
+// picks up the opt-in sweeps (their output is not part of the pinned
+// byte-identical suite), and each opt-in flag selects exactly its group.
+func TestOptInGroupsStayOutOfAll(t *testing.T) {
+	for _, e := range selectEntries(true, 0, 0, false, false, false, false) {
+		if e.Group == experiments.GroupFaults || e.Group == experiments.GroupScale {
+			t.Errorf("-all selected opt-in entry %q", e.Name)
+		}
+	}
+	scale := selectEntries(false, 0, 0, false, false, false, true)
+	if len(scale) != 1 || scale[0].Name != "planet scale" {
+		t.Errorf("-scale selected %d entries, want only planet scale", len(scale))
+	}
+	faults := selectEntries(false, 0, 0, false, false, true, false)
+	if len(faults) != 1 || faults[0].Name != "fault tolerance" {
+		t.Errorf("-faults selected %d entries, want only fault tolerance", len(faults))
 	}
 }
 

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/gridstate"
+	"github.com/hpclab/datagrid/internal/info"
+	"github.com/hpclab/datagrid/internal/replica"
+)
+
+// SnapshotSource yields epoch-stamped grid-state snapshots. Both
+// *info.Server (the full NWS/MDS/sysstat monitoring stack) and
+// *gridstate.Publisher (a bare publisher over any Builder) satisfy it,
+// so a region selector can run against either — the full stack in
+// paper-scale worlds, a thin publisher at planet scale where deploying
+// per-host monitors would dominate the simulation.
+type SnapshotSource interface {
+	Snapshot(now time.Duration) *gridstate.Snapshot
+}
+
+// RegionSelector is the lower tier of hierarchical selection: it ranks
+// ONLY its region's catalog shard against its region's snapshot — a
+// GIIS-style aggregation point. It never sees other regions' hosts, so
+// its cost is bounded by the shard, not the grid.
+//
+// Must run on the simulation goroutine (pinning a snapshot may rebuild
+// it); the per-epoch memo follows the SnapshotView discipline.
+type RegionSelector struct {
+	region  string
+	shard   *replica.Catalog
+	source  SnapshotSource
+	weights Weights
+
+	snap *gridstate.Snapshot
+	memo map[string]viewEntry
+
+	// scanned counts candidate locations scored since creation; maxRank
+	// is the largest single Rank's location count — the proof obligation
+	// that no rank ever exceeded the shard.
+	scanned uint64
+	maxRank int
+}
+
+// NewRegionSelector wires a selector for one region. shard must be the
+// region's replica shard (replica.ShardedCatalog.Shard), source the
+// region's snapshot source covering the region's hosts.
+func NewRegionSelector(region string, shard *replica.Catalog, source SnapshotSource, weights Weights) (*RegionSelector, error) {
+	if region == "" {
+		return nil, errors.New("core: region selector needs a region name")
+	}
+	if shard == nil {
+		return nil, fmt.Errorf("core: region selector %q needs a catalog shard", region)
+	}
+	if source == nil {
+		return nil, fmt.Errorf("core: region selector %q needs a snapshot source", region)
+	}
+	if err := weights.Validate(); err != nil {
+		return nil, err
+	}
+	return &RegionSelector{region: region, shard: shard, source: source, weights: weights}, nil
+}
+
+// Region returns the region this selector aggregates.
+func (r *RegionSelector) Region() string { return r.region }
+
+// pin refreshes the per-epoch memo when the region snapshot moved.
+func (r *RegionSelector) pin(now time.Duration) {
+	snap := r.source.Snapshot(now)
+	if snap == r.snap {
+		return
+	}
+	memo := make(map[string]viewEntry, len(snap.Hosts()))
+	for _, h := range snap.Hosts() {
+		rep, err := info.ReportFrom(snap, h)
+		if err != nil {
+			memo[h] = viewEntry{err: err}
+			continue
+		}
+		memo[h] = viewEntry{report: rep, score: Score(rep, r.weights)}
+	}
+	r.snap, r.memo = snap, memo
+}
+
+// Rank scores the region's replicas of the logical file against the
+// region snapshot, sorted best-first with SelectionServer.Rank's exact
+// semantics (unmonitored replicas skipped; ErrNoUsableReplica when none
+// remain). The scan is bounded by the shard's location list.
+func (r *RegionSelector) Rank(logical string, now time.Duration) ([]Candidate, error) {
+	locs, err := r.shard.Locations(logical)
+	if err != nil {
+		return nil, err
+	}
+	r.pin(now)
+	r.scanned += uint64(len(locs))
+	if len(locs) > r.maxRank {
+		r.maxRank = len(locs)
+	}
+	cands := make([]Candidate, 0, len(locs))
+	for _, loc := range locs {
+		e, ok := r.memo[loc.Host]
+		if !ok {
+			continue
+		}
+		if e.err != nil {
+			if errors.Is(e.err, info.ErrNoData) {
+				continue
+			}
+			return nil, e.err
+		}
+		cands = append(cands, Candidate{Location: loc, Report: e.report, Score: e.score})
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("%w: %q has %d replicas in %s, none monitored",
+			ErrNoUsableReplica, logical, len(locs), r.region)
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		return cands[i].Location.String() < cands[j].Location.String()
+	})
+	return cands, nil
+}
+
+// Best returns the region's top candidate — what the selector reports
+// upward to the merge tier.
+func (r *RegionSelector) Best(logical string, now time.Duration) (Candidate, error) {
+	cands, err := r.Rank(logical, now)
+	if err != nil {
+		return Candidate{}, err
+	}
+	return cands[0], nil
+}
+
+// HierarchyStats is the hierarchical server's cumulative scan
+// accounting — the observable proof that selection work is bounded by
+// shards, not the world.
+type HierarchyStats struct {
+	// Selections is the number of SelectBest/Rank calls served.
+	Selections uint64
+	// RegionsConsulted is the total region selectors asked (only regions
+	// actually holding a replica are ever consulted).
+	RegionsConsulted uint64
+	// HostsScanned is the total candidate locations scored across all
+	// region ranks.
+	HostsScanned uint64
+	// MaxSingleRank is the largest location count any single region rank
+	// scanned — must never exceed the largest shard.
+	MaxSingleRank int
+}
+
+// HierarchicalServer is the thin top tier: it asks RegionsWith for the
+// regions holding the file, collects each region selector's best, and
+// merges per-region bests by (score desc, location asc) — the same
+// order the flat server sorts by, so for the cost-model selector the
+// hierarchical choice equals the flat choice while scanning only the
+// involved shards.
+type HierarchicalServer struct {
+	catalog  *replica.ShardedCatalog
+	weights  Weights
+	selector Selector
+	regions  map[string]*RegionSelector
+	stats    HierarchyStats
+}
+
+// NewHierarchicalServer wires the top tier over a sharded catalog.
+// selector defaults to the cost model with the given weights when nil.
+func NewHierarchicalServer(catalog *replica.ShardedCatalog, weights Weights, selector Selector) (*HierarchicalServer, error) {
+	if catalog == nil {
+		return nil, errors.New("core: hierarchical server needs a sharded catalog")
+	}
+	if err := weights.Validate(); err != nil {
+		return nil, err
+	}
+	if selector == nil {
+		selector = CostModelSelector{Weights: weights}
+	}
+	return &HierarchicalServer{
+		catalog:  catalog,
+		weights:  weights,
+		selector: selector,
+		regions:  make(map[string]*RegionSelector),
+	}, nil
+}
+
+// AddRegion registers the snapshot source for one region and builds its
+// selector over the region's shard. The shard must already exist (at
+// least one replica registered in the region).
+func (h *HierarchicalServer) AddRegion(region string, source SnapshotSource) error {
+	if _, dup := h.regions[region]; dup {
+		return fmt.Errorf("core: region %q already registered", region)
+	}
+	shard := h.catalog.Shard(region)
+	if shard == nil {
+		return fmt.Errorf("core: region %q has no catalog shard yet", region)
+	}
+	sel, err := NewRegionSelector(region, shard, source, h.weights)
+	if err != nil {
+		return err
+	}
+	h.regions[region] = sel
+	return nil
+}
+
+// Regions lists the registered regions, sorted.
+func (h *HierarchicalServer) Regions() []string {
+	out := make([]string, 0, len(h.regions))
+	for r := range h.regions {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns the cumulative scan accounting.
+func (h *HierarchicalServer) Stats() HierarchyStats { return h.stats }
+
+// Rank returns the per-region bests of the logical file merged
+// best-first. Regions whose replicas are all unmonitored are skipped;
+// ErrNoUsableReplica is returned when every region is. A region holding
+// replicas but never registered via AddRegion is an error — silently
+// ignoring it would hide misconfiguration.
+func (h *HierarchicalServer) Rank(logical string, now time.Duration) ([]Candidate, error) {
+	regions, err := h.catalog.RegionsWith(logical)
+	if err != nil {
+		return nil, err
+	}
+	h.stats.Selections++
+	merged := make([]Candidate, 0, len(regions))
+	for _, region := range regions {
+		sel, ok := h.regions[region]
+		if !ok {
+			return nil, fmt.Errorf("core: %q has replicas in unregistered region %q", logical, region)
+		}
+		h.stats.RegionsConsulted++
+		before := sel.scanned
+		best, err := sel.Best(logical, now)
+		h.stats.HostsScanned += sel.scanned - before
+		if sel.maxRank > h.stats.MaxSingleRank {
+			h.stats.MaxSingleRank = sel.maxRank
+		}
+		if err != nil {
+			if errors.Is(err, ErrNoUsableReplica) {
+				continue
+			}
+			return nil, err
+		}
+		merged = append(merged, best)
+	}
+	if len(merged) == 0 {
+		return nil, fmt.Errorf("%w: %q monitored in none of its %d regions",
+			ErrNoUsableReplica, logical, len(regions))
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		if merged[i].Score != merged[j].Score {
+			return merged[i].Score > merged[j].Score
+		}
+		return merged[i].Location.String() < merged[j].Location.String()
+	})
+	return merged, nil
+}
+
+// SelectBest applies the configured selector to the merged per-region
+// bests. With the cost-model selector this equals flat selection's
+// choice: the globally best candidate is necessarily its own region's
+// best, so it survives the merge, and both tiers order by (score desc,
+// location asc).
+func (h *HierarchicalServer) SelectBest(logical string, now time.Duration) (Candidate, error) {
+	merged, err := h.Rank(logical, now)
+	if err != nil {
+		return Candidate{}, err
+	}
+	i, err := h.selector.Select(merged)
+	if err != nil {
+		return Candidate{}, err
+	}
+	if i < 0 || i >= len(merged) {
+		return Candidate{}, fmt.Errorf("core: selector %q returned out-of-range index %d", h.selector.Name(), i)
+	}
+	return merged[i], nil
+}

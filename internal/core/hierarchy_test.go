@@ -1,0 +1,236 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/gridstate"
+	"github.com/hpclab/datagrid/internal/info"
+	"github.com/hpclab/datagrid/internal/replica"
+)
+
+// Both the full monitoring stack and a bare publisher must plug into the
+// region tier.
+var (
+	_ SnapshotSource = (*info.Server)(nil)
+	_ SnapshotSource = (*gridstate.Publisher)(nil)
+)
+
+func hierRegionOf(host string) string {
+	if i := strings.IndexByte(host, '-'); i > 0 {
+		return host[:i]
+	}
+	return host
+}
+
+// hierBuilder derives deterministic per-host perf from the host name, so
+// the flat reference below can recompute the same scores independently.
+type hierBuilder struct{ local string }
+
+func hostSig(host string) float64 {
+	var s float64
+	for _, c := range host {
+		s += float64(c)
+	}
+	return s
+}
+
+func (b hierBuilder) BuildHostPerf(host string, now time.Duration) (gridstate.HostPerf, error) {
+	if strings.HasSuffix(host, "blind") {
+		return gridstate.HostPerf{}, fmt.Errorf("%w: %s unmonitored", info.ErrNoData, host)
+	}
+	sig := hostSig(host)
+	return gridstate.HostPerf{
+		Host: host, Local: b.local,
+		BandwidthPercent: 20 + float64(int(sig)%80),
+		CPUIdlePercent:   float64(int(sig*3) % 100),
+		IOIdlePercent:    float64(int(sig*7) % 100),
+		At:               now,
+	}, nil
+}
+
+// hierWorld builds a 3-region sharded world with per-region publishers.
+func hierWorld(t *testing.T) (*replica.ShardedCatalog, *HierarchicalServer, []string) {
+	t.Helper()
+	cat := replica.NewSharded(hierRegionOf)
+	regions := []string{"ap", "eu", "us"}
+	hostsByRegion := map[string][]string{}
+	for _, r := range regions {
+		for i := 0; i < 4; i++ {
+			hostsByRegion[r] = append(hostsByRegion[r], fmt.Sprintf("%s-h%d", r, i))
+		}
+		hostsByRegion[r] = append(hostsByRegion[r], r+"-blind")
+	}
+	files := []struct {
+		name  string
+		hosts []string
+	}{
+		{"all-regions", []string{"ap-h0", "ap-h2", "eu-h1", "eu-h3", "us-h0", "us-h1"}},
+		{"two-regions", []string{"eu-h0", "eu-h2", "us-h3"}},
+		{"one-region", []string{"ap-h1", "ap-h3"}},
+		{"blind-region", []string{"ap-blind", "eu-h1"}},
+		{"all-blind", []string{"ap-blind", "eu-blind"}},
+	}
+	var names []string
+	for _, f := range files {
+		if err := cat.CreateLogical(replica.LogicalFile{Name: f.name, SizeBytes: 1 << 20}); err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range f.hosts {
+			if err := cat.Register(f.name, replica.Location{Host: h, Path: "/d/" + f.name}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		names = append(names, f.name)
+	}
+	h, err := NewHierarchicalServer(cat, PaperWeights, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range regions {
+		pub, err := gridstate.NewPublisher("client."+r, hostsByRegion[r], hierBuilder{local: "client." + r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.AddRegion(r, pub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat, h, names
+}
+
+// flatBest recomputes the globally best candidate the flat path would
+// pick: score every monitored location with the same builder math, order
+// by (score desc, location asc).
+func flatBest(t *testing.T, cat *replica.ShardedCatalog, logical string) (replica.Location, float64, bool) {
+	t.Helper()
+	locs, err := cat.Locations(logical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type scored struct {
+		loc   replica.Location
+		score float64
+	}
+	var all []scored
+	for _, loc := range locs {
+		if strings.HasSuffix(loc.Host, "blind") {
+			continue
+		}
+		perf, err := hierBuilder{local: "client." + hierRegionOf(loc.Host)}.BuildHostPerf(loc.Host, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := info.HostReport{
+			BandwidthPercent: perf.BandwidthPercent,
+			CPUIdlePercent:   perf.CPUIdlePercent,
+			IOIdlePercent:    perf.IOIdlePercent,
+		}
+		all = append(all, scored{loc: loc, score: Score(rep, PaperWeights)})
+	}
+	if len(all) == 0 {
+		return replica.Location{}, 0, false
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].loc.String() < all[j].loc.String()
+	})
+	return all[0].loc, all[0].score, true
+}
+
+// TestHierarchicalEqualsFlat is the correctness anchor: for the
+// cost-model selector, merging per-region bests picks exactly the
+// candidate a flat scan of every replica would pick.
+func TestHierarchicalEqualsFlat(t *testing.T) {
+	cat, h, names := hierWorld(t)
+	for _, name := range names {
+		best, err := h.SelectBest(name, 0)
+		wantLoc, wantScore, ok := flatBest(t, cat, name)
+		if !ok {
+			if !errors.Is(err, ErrNoUsableReplica) {
+				t.Errorf("%s: err = %v, want ErrNoUsableReplica", name, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if best.Location != wantLoc || best.Score != wantScore {
+			t.Errorf("%s: hierarchical chose %v (%.2f), flat reference %v (%.2f)",
+				name, best.Location, best.Score, wantLoc, wantScore)
+		}
+	}
+}
+
+// TestHierarchicalScanBounds pins the scale property: a selection only
+// consults the regions holding the file, and no single rank ever scans
+// more hosts than the largest shard's replica list.
+func TestHierarchicalScanBounds(t *testing.T) {
+	cat, h, _ := hierWorld(t)
+	if _, err := h.SelectBest("one-region", 0); err != nil {
+		t.Fatal(err)
+	}
+	st := h.Stats()
+	if st.Selections != 1 || st.RegionsConsulted != 1 {
+		t.Errorf("one-region: consulted %d regions in %d selections, want 1 in 1", st.RegionsConsulted, st.Selections)
+	}
+	if st.HostsScanned != 2 {
+		t.Errorf("one-region: scanned %d hosts, want its 2 replicas only", st.HostsScanned)
+	}
+	if _, err := h.SelectBest("two-regions", 0); err != nil {
+		t.Fatal(err)
+	}
+	st = h.Stats()
+	if st.RegionsConsulted != 3 {
+		t.Errorf("cumulative regions consulted %d, want 3 (1+2)", st.RegionsConsulted)
+	}
+	// MaxSingleRank is bounded by the largest per-region replica list of
+	// any ranked file (2 here), far below the world's host count.
+	if st.MaxSingleRank > 2 {
+		t.Errorf("MaxSingleRank = %d, want <= 2", st.MaxSingleRank)
+	}
+	// Sanity: the world is 15 hosts; nothing ever scanned it.
+	if got, _ := cat.Locations("all-regions"); st.MaxSingleRank >= len(got) {
+		t.Errorf("a single rank scanned %d >= the file's full location list %d", st.MaxSingleRank, len(got))
+	}
+}
+
+func TestHierarchicalErrors(t *testing.T) {
+	cat, h, _ := hierWorld(t)
+	if _, err := h.SelectBest("missing", 0); !errors.Is(err, replica.ErrUnknownLogical) {
+		t.Errorf("unknown logical: %v", err)
+	}
+	if _, err := h.SelectBest("all-blind", 0); !errors.Is(err, ErrNoUsableReplica) {
+		t.Errorf("all-blind: %v, want ErrNoUsableReplica", err)
+	}
+	// blind-region: ap's only replica is unmonitored, eu's works — the
+	// merge must skip ap and still answer.
+	best, err := h.SelectBest("blind-region", 0)
+	if err != nil || best.Location.Host != "eu-h1" {
+		t.Errorf("blind-region: %v, %v; want eu-h1", best.Location, err)
+	}
+	// A replica in a region never registered with AddRegion is an error.
+	if err := cat.CreateLogical(replica.LogicalFile{Name: "stray", SizeBytes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Register("stray", replica.Location{Host: "sa-h0", Path: "/d/stray"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.SelectBest("stray", 0); err == nil || !strings.Contains(err.Error(), "unregistered region") {
+		t.Errorf("stray region: %v, want unregistered-region error", err)
+	}
+	// AddRegion validation.
+	if err := h.AddRegion("ap", nil); err == nil {
+		t.Error("duplicate AddRegion should fail")
+	}
+	if err := h.AddRegion("nowhere", nil); err == nil {
+		t.Error("AddRegion without a shard should fail")
+	}
+}

@@ -1,0 +1,364 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/cluster"
+	"github.com/hpclab/datagrid/internal/core"
+	"github.com/hpclab/datagrid/internal/gridstate"
+	"github.com/hpclab/datagrid/internal/metrics"
+	"github.com/hpclab/datagrid/internal/netsim"
+	"github.com/hpclab/datagrid/internal/replica"
+	"github.com/hpclab/datagrid/internal/runner"
+	"github.com/hpclab/datagrid/internal/simulation"
+	"github.com/hpclab/datagrid/internal/topo"
+	"github.com/hpclab/datagrid/internal/workload"
+)
+
+// PlanetScaleResult is one grid size of the planet-scale sweep. Every field is
+// a virtual-time or count measurement, so the rendered table is
+// byte-identical at any -parallel value; wall-clock cost lives in
+// BENCH_scale.json, not here.
+type PlanetScaleResult struct {
+	// Label names the grid point ("200-site").
+	Label string
+	// Sites, Hosts, Regions, Files describe the generated world.
+	Sites   int
+	Hosts   int
+	Regions int
+	Files   int
+	// Queries and Flows are the workload sizes.
+	Queries int
+	Flows   int
+	// TreeBuilds is the number of per-source Dijkstra sweeps netsim ran;
+	// PathBuilds is the number of distinct (src,dst) paths materialized —
+	// exactly the Dijkstra runs the old per-pair cache would have paid.
+	TreeBuilds uint64
+	PathBuilds uint64
+	// RegionsConsulted and HostsScanned are the hierarchical selection
+	// totals; MaxSingleRank is the largest single region rank, which must
+	// stay bounded by the file replica count, never the world.
+	RegionsConsulted uint64
+	HostsScanned     uint64
+	MaxSingleRank    int
+	// MeanTransferSec averages the cross-region flows' virtual transfer
+	// times.
+	MeanTransferSec float64
+}
+
+// DijkstraSavings is PathBuilds/TreeBuilds: how many single-pair
+// Dijkstra runs each shortest-path-tree sweep replaced.
+func (r PlanetScaleResult) DijkstraSavings() float64 {
+	if r.TreeBuilds == 0 {
+		return 0
+	}
+	return float64(r.PathBuilds) / float64(r.TreeBuilds)
+}
+
+// scalePoint is one sweep entry: the topology spec plus catalog and
+// workload sizes.
+type scalePoint struct {
+	label    string
+	spec     topo.Spec // Seed filled per point from the experiment seed
+	files    int
+	replicas int
+	queries  int
+	flows    int
+}
+
+// scaleSweep is the sites x flows x catalog-size grid. The last point is
+// the acceptance scenario: 200 sites, 10k hosts, a million-entry
+// catalog.
+var scaleSweep = []scalePoint{
+	{
+		label:    "20-site",
+		spec:     topo.Spec{Regions: 4, SitesPerRegion: 5, ClustersPerSite: 2, HostsPerCluster: 10},
+		files:    10_000,
+		replicas: 3,
+		queries:  200,
+		flows:    24,
+	},
+	{
+		label:    "80-site",
+		spec:     topo.Spec{Regions: 8, SitesPerRegion: 10, ClustersPerSite: 2, HostsPerCluster: 15},
+		files:    100_000,
+		replicas: 3,
+		queries:  300,
+		flows:    48,
+	},
+	{
+		label:    "200-site",
+		spec:     topo.Spec{Regions: 10, SitesPerRegion: 20, ClustersPerSite: 2, HostsPerCluster: 25},
+		files:    1_000_000,
+		replicas: 3,
+		queries:  400,
+		flows:    64,
+	},
+}
+
+const (
+	scaleFlowBytes = 64 * workload.MB
+	scaleFlowGap   = 2 * time.Second
+)
+
+// scaleBuilder derives a region host's HostPerf from the simulated
+// grid, observed from the region's hub switch. Rooting every probe at
+// the hub means all of a region's routes come from ONE shortest-path
+// tree — the planet-scale analogue of a GIIS measuring its own region.
+type scaleBuilder struct {
+	tb  *cluster.Testbed
+	hub string
+}
+
+func (b scaleBuilder) BuildHostPerf(host string, now time.Duration) (gridstate.HostPerf, error) {
+	net := b.tb.Network()
+	theo, err := net.BottleneckBps(b.hub, host)
+	if err != nil {
+		return gridstate.HostPerf{}, err
+	}
+	avail, err := net.AvailableBps(b.hub, host)
+	if err != nil {
+		return gridstate.HostPerf{}, err
+	}
+	h, err := b.tb.Host(host)
+	if err != nil {
+		return gridstate.HostPerf{}, err
+	}
+	return gridstate.HostPerf{
+		Host:             host,
+		Local:            b.hub,
+		BandwidthMbps:    avail / 1e6,
+		TheoreticalMbps:  theo / 1e6,
+		BandwidthPercent: 100 * avail / theo,
+		CPUIdlePercent:   100 * h.CPUIdle(),
+		IOIdlePercent:    100 * h.IOIdle(),
+		At:               now,
+	}, nil
+}
+
+// scaleWorld is one generated grid point wired end to end: topology,
+// testbed, sharded catalog, per-region publishers federated under a
+// hierarchical selection server.
+type scaleWorld struct {
+	top *topo.Topology
+	tb  *cluster.Testbed
+	cat *replica.ShardedCatalog
+	fed *gridstate.Federation
+	srv *core.HierarchicalServer
+}
+
+// buildScaleWorld generates and wires one grid point. All randomness
+// comes from rngs seeded off pointSeed, so the world is a pure function
+// of (seed, point).
+func buildScaleWorld(pointSeed int64, p scalePoint) (*scaleWorld, error) {
+	spec := p.spec
+	spec.Seed = pointSeed
+	top, err := topo.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	tb, err := top.Build(simulation.NewEngine())
+	if err != nil {
+		return nil, err
+	}
+	// Background load draws follow region order, then generation order
+	// within a region — one fixed draw sequence.
+	rng := rand.New(rand.NewSource(pointSeed + 1))
+	for _, region := range top.Regions {
+		for _, hn := range top.HostsByRegion[region] {
+			h, err := tb.Host(hn)
+			if err != nil {
+				return nil, err
+			}
+			if err := h.SetBaseCPULoad(0.05 + 0.85*rng.Float64()); err != nil {
+				return nil, err
+			}
+			if err := h.SetBaseIOLoad(0.05 + 0.85*rng.Float64()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	cat := replica.NewSharded(topo.RegionOfHost)
+	if err := top.PlaceFiles(cat, p.files, p.replicas, 2048*workload.MB); err != nil {
+		return nil, err
+	}
+	srv, err := core.NewHierarchicalServer(cat, core.PaperWeights, nil)
+	if err != nil {
+		return nil, err
+	}
+	fed := gridstate.NewFederation()
+	for _, region := range top.Regions {
+		pub, err := gridstate.NewPublisher(
+			top.HubSwitch[region], top.HostsByRegion[region],
+			scaleBuilder{tb: tb, hub: top.HubSwitch[region]})
+		if err != nil {
+			return nil, err
+		}
+		if err := fed.Add(region, pub); err != nil {
+			return nil, err
+		}
+		if err := srv.AddRegion(region, pub); err != nil {
+			return nil, err
+		}
+	}
+	return &scaleWorld{top: top, tb: tb, cat: cat, fed: fed, srv: srv}, nil
+}
+
+// runScalePoint measures one grid size: a query phase (hierarchical
+// selection over the sharded catalog) and a flow phase (cross-region
+// transfers of the selected replicas), then collects the route-tree and
+// hierarchy counters.
+func runScalePoint(pointSeed int64, p scalePoint) (PlanetScaleResult, error) {
+	w, err := buildScaleWorld(pointSeed, p)
+	if err != nil {
+		return PlanetScaleResult{}, err
+	}
+	eng := w.tb.Engine()
+	res := PlanetScaleResult{
+		Label:   p.label,
+		Sites:   p.spec.Sites(),
+		Hosts:   p.spec.Hosts(),
+		Regions: p.spec.Regions,
+		Files:   p.files,
+		Queries: p.queries,
+		Flows:   p.flows,
+	}
+
+	// Query phase: rank seeded-random files through the hierarchy. Every
+	// host is monitored, so every query must answer.
+	rng := rand.New(rand.NewSource(pointSeed + 2))
+	pick := func() string { return fmt.Sprintf("lfn:d%d", rng.Intn(p.files)) }
+	for q := 0; q < p.queries; q++ {
+		if _, err := w.srv.SelectBest(pick(), eng.Now()); err != nil {
+			return PlanetScaleResult{}, fmt.Errorf("query %d: %w", q, err)
+		}
+	}
+	// The scan bound is the whole point of the hierarchy: no single rank
+	// may ever exceed the file replica count, let alone a shard or the
+	// world.
+	if st := w.srv.Stats(); st.MaxSingleRank > p.replicas {
+		return PlanetScaleResult{}, fmt.Errorf("hierarchy scanned %d hosts in one rank, replica bound is %d",
+			st.MaxSingleRank, p.replicas)
+	}
+
+	// Flow phase: select a replica for each of p.flows files and pull it
+	// to a seeded-random host in a different region. Pairs are fixed up
+	// front; launches are staggered on the virtual clock.
+	type flowPlan struct {
+		src, dst string
+		at       time.Duration
+	}
+	plans := make([]flowPlan, 0, p.flows)
+	for f := 0; f < p.flows; f++ {
+		best, err := w.srv.SelectBest(pick(), eng.Now())
+		if err != nil {
+			return PlanetScaleResult{}, fmt.Errorf("flow pick %d: %w", f, err)
+		}
+		src := best.Location.Host
+		dstRegion := w.top.Regions[rng.Intn(len(w.top.Regions))]
+		for dstRegion == topo.RegionOfHost(src) {
+			dstRegion = w.top.Regions[rng.Intn(len(w.top.Regions))]
+		}
+		dsts := w.top.HostsByRegion[dstRegion]
+		plans = append(plans, flowPlan{
+			src: src,
+			dst: dsts[rng.Intn(len(dsts))],
+			at:  time.Duration(f) * scaleFlowGap,
+		})
+	}
+	done := 0
+	var totalSec float64
+	var runErr error
+	for _, pl := range plans {
+		pl := pl
+		if _, err := eng.After(pl.at, func(time.Duration) {
+			_, err := w.tb.Network().StartFlow(pl.src, pl.dst, scaleFlowBytes,
+				netsim.FlowOptions{WindowBytes: 1 << 20}, func(fl *netsim.Flow) {
+					totalSec += (eng.Now() - pl.at).Seconds()
+					done++
+				})
+			if err != nil && runErr == nil {
+				runErr = fmt.Errorf("flow %s -> %s: %w", pl.src, pl.dst, err)
+			}
+		}); err != nil {
+			return PlanetScaleResult{}, err
+		}
+	}
+	deadline := eng.Now()
+	for done < len(plans) && runErr == nil {
+		deadline += time.Hour
+		if deadline > 1000*time.Hour {
+			return PlanetScaleResult{}, fmt.Errorf("planet-scale flows stalled at %d/%d", done, len(plans))
+		}
+		if err := eng.RunUntil(deadline); err != nil {
+			return PlanetScaleResult{}, err
+		}
+	}
+	if runErr != nil {
+		return PlanetScaleResult{}, runErr
+	}
+	if done > 0 {
+		res.MeanTransferSec = totalSec / float64(done)
+	}
+
+	rs := w.tb.Network().RouteStats()
+	hs := w.srv.Stats()
+	res.TreeBuilds = rs.TreeBuilds
+	res.PathBuilds = rs.PathBuilds
+	res.RegionsConsulted = hs.RegionsConsulted
+	res.HostsScanned = hs.HostsScanned
+	res.MaxSingleRank = hs.MaxSingleRank
+	return res, nil
+}
+
+// ExtensionPlanetScale sweeps grid size from 20 to 200 sites (400 to
+// 10,000 hosts, 10k- to million-entry catalogs), exercising the three
+// planet-scale mechanisms together: per-source route trees in netsim,
+// the region-sharded replica catalog, and two-level hierarchical
+// selection. Each grid point is an independent world; results are pure
+// counts and virtual times, identical at any worker count.
+func ExtensionPlanetScale(seed int64, opts ...Option) ([]PlanetScaleResult, string, error) {
+	cfg := buildConfig(opts)
+	jobs := make([]runner.Job[PlanetScaleResult], len(scaleSweep))
+	for i, p := range scaleSweep {
+		i, p := i, p
+		jobs[i] = runner.Job[PlanetScaleResult]{
+			Name: "planetscale/" + p.label,
+			Run: func(runner.Context) (PlanetScaleResult, error) {
+				return runScalePoint(seed+int64(i+1)*104729, p)
+			},
+		}
+	}
+	out, err := runPoints(seed, cfg, jobs)
+	if err != nil {
+		return nil, "", err
+	}
+	// The acceptance bar for the route-tree cache: at the largest grid,
+	// one tree sweep must replace at least 5 per-pair Dijkstra runs.
+	for _, r := range out {
+		if r.Sites >= 200 && r.DijkstraSavings() < 5 {
+			return nil, "", fmt.Errorf("route trees saved only %.1fx Dijkstra runs at %d sites, want >= 5x",
+				r.DijkstraSavings(), r.Sites)
+		}
+	}
+	tb := metrics.NewTable(
+		"Extension: planet scale (sharded hierarchical selection + per-source route trees)",
+		"grid", "sites", "hosts", "files", "queries", "flows",
+		"tree builds", "pair dijkstras", "savings", "hosts/rank max", "mean xfer (s)")
+	for _, r := range out {
+		tb.AddRow(r.Label,
+			fmt.Sprintf("%d", r.Sites),
+			fmt.Sprintf("%d", r.Hosts),
+			fmt.Sprintf("%d", r.Files),
+			fmt.Sprintf("%d", r.Queries),
+			fmt.Sprintf("%d", r.Flows),
+			fmt.Sprintf("%d", r.TreeBuilds),
+			fmt.Sprintf("%d", r.PathBuilds),
+			fmt.Sprintf("%.1fx", r.DijkstraSavings()),
+			fmt.Sprintf("%d", r.MaxSingleRank),
+			fmt.Sprintf("%.2f", r.MeanTransferSec))
+	}
+	return out, tb.String(), nil
+}

@@ -22,6 +22,12 @@ const (
 	// and the sweep simulates 12 faulted worlds. gridbench selects it
 	// with its own -faults flag.
 	GroupFaults = "faults"
+	// GroupScale is the planet-scale sweep (hundreds of sites, tens of
+	// thousands of hosts, million-entry catalogs). Like GroupFaults it is
+	// deliberately NOT part of -all — the historical -all output stays
+	// pinned byte-for-byte, and the sweep builds worlds far larger than
+	// the paper's. gridbench selects it with its own -scale flag.
+	GroupScale = "planetscale"
 )
 
 // Metric is one named scalar an experiment produced — the hook that lets
@@ -67,6 +73,7 @@ func Suite() []SuiteEntry {
 		{Name: "replication extension", Group: GroupExtensions, Run: runReplication},
 		{Name: "coallocation extension", Group: GroupExtensions, Run: runCoallocation},
 		{Name: "fault tolerance", Group: GroupFaults, Run: runFaults},
+		{Name: "planet scale", Group: GroupScale, Run: runPlanetScale},
 	}
 }
 
@@ -373,6 +380,24 @@ func runFaults(seed int64, opts ...Option) (string, []Metric, error) {
 			Metric{key + "/completed", float64(r.Completed)},
 			Metric{key + "/mean_sec", r.MeanSeconds},
 			Metric{key + "/attempts", float64(r.Attempts)})
+	}
+	return out, ms, nil
+}
+
+func runPlanetScale(seed int64, opts ...Option) (string, []Metric, error) {
+	rows, out, err := ExtensionPlanetScale(seed, opts...)
+	if err != nil {
+		return "", nil, err
+	}
+	var ms []Metric
+	for _, r := range rows {
+		key := fmt.Sprintf("planetscale/%s", r.Label)
+		ms = append(ms,
+			Metric{key + "/tree_builds", float64(r.TreeBuilds)},
+			Metric{key + "/pair_dijkstras", float64(r.PathBuilds)},
+			Metric{key + "/dijkstra_savings", r.DijkstraSavings()},
+			Metric{key + "/max_single_rank", float64(r.MaxSingleRank)},
+			Metric{key + "/mean_xfer_sec", r.MeanTransferSec})
 	}
 	return out, ms, nil
 }

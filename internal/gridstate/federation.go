@@ -1,0 +1,66 @@
+package gridstate
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Federation groups per-region Publishers into one GIIS-style two-level
+// information plane: each region publishes snapshots of its own hosts
+// only, and the federation is the directory the top selection tier uses
+// to reach them. It adds no aggregation of its own — hierarchical
+// selection deliberately consumes per-region snapshots so no consumer
+// ever needs a world view.
+//
+// Add must run during setup (before concurrent readers exist); lookups
+// after that are read-only and safe from any goroutine, while driving a
+// member Publisher keeps that publisher's own threading contract.
+type Federation struct {
+	regions map[string]*Publisher
+}
+
+// NewFederation returns an empty federation.
+func NewFederation() *Federation {
+	return &Federation{regions: make(map[string]*Publisher)}
+}
+
+// Add registers a region's publisher.
+func (f *Federation) Add(region string, p *Publisher) error {
+	if region == "" {
+		return errors.New("gridstate: empty region name")
+	}
+	if p == nil {
+		return fmt.Errorf("gridstate: region %q needs a publisher", region)
+	}
+	if _, dup := f.regions[region]; dup {
+		return fmt.Errorf("gridstate: region %q already federated", region)
+	}
+	f.regions[region] = p
+	return nil
+}
+
+// Region returns the region's publisher, or nil when unknown.
+func (f *Federation) Region(region string) *Publisher { return f.regions[region] }
+
+// Regions lists the federated regions, sorted.
+func (f *Federation) Regions() []string {
+	out := make([]string, 0, len(f.regions))
+	for r := range f.regions {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PublishAll republishes every region's snapshot at now, in sorted
+// region order, and returns the snapshots keyed by region — one aligned
+// epoch across the federation. Must run on the simulation goroutine.
+func (f *Federation) PublishAll(now time.Duration) map[string]*Snapshot {
+	out := make(map[string]*Snapshot, len(f.regions))
+	for _, r := range f.Regions() {
+		out[r] = f.regions[r].Publish(now)
+	}
+	return out
+}

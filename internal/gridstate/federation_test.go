@@ -1,0 +1,56 @@
+package gridstate
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFederation(t *testing.T) {
+	f := NewFederation()
+	mk := func(local string, hosts []string) *Publisher {
+		p, err := NewPublisher(local, hosts, &fakeBuilder{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	eu := mk("client.eu", []string{"eu-h0", "eu-h1"})
+	us := mk("client.us", []string{"us-h0"})
+	if err := f.Add("eu", eu); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add("us", us); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add("eu", eu); err == nil {
+		t.Error("duplicate Add should fail")
+	}
+	if err := f.Add("", eu); err == nil {
+		t.Error("empty region should fail")
+	}
+	if err := f.Add("sa", nil); err == nil {
+		t.Error("nil publisher should fail")
+	}
+	if got := f.Regions(); len(got) != 2 || got[0] != "eu" || got[1] != "us" {
+		t.Errorf("Regions() = %v, want [eu us]", got)
+	}
+	if f.Region("eu") != eu || f.Region("nope") != nil {
+		t.Error("Region lookup wrong")
+	}
+	snaps := f.PublishAll(5 * time.Second)
+	if len(snaps) != 2 {
+		t.Fatalf("PublishAll returned %d snapshots, want 2", len(snaps))
+	}
+	for r, s := range snaps {
+		if s.At() != 5*time.Second {
+			t.Errorf("region %s snapshot at %v, want 5s", r, s.At())
+		}
+		if f.Region(r).Current() != s {
+			t.Errorf("region %s Current() is not the published snapshot", r)
+		}
+	}
+	// Each region's snapshot covers only its own hosts.
+	if _, err := snaps["eu"].Lookup("us-h0"); err == nil {
+		t.Error("eu snapshot should not cover us-h0")
+	}
+}

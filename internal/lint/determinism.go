@@ -17,6 +17,7 @@ var determinismScope = []string{
 	"internal/runner",
 	"internal/gridstate",
 	"internal/faults",
+	"internal/topo",
 }
 
 // Determinism flags the two classic sources of run-to-run jitter in the

@@ -299,6 +299,42 @@ type nodeHeapEntry struct {
 	node int
 }
 
+// routeTree is one source's cached shortest-path tree: a full Dijkstra run
+// from src answers every destination, so an N-destination fan-out costs one
+// tree build instead of N per-pair computations. Paths are materialized
+// lazily per destination and memoized; the tree is discarded wholesale when
+// the topology generation moves (AddNode/AddLink), never mutated in place.
+//
+// The per-destination paths are byte-identical to the historical per-pair
+// Dijkstra: the algorithm is deterministic (pops ordered by distance then
+// node name, strict relaxation), and in Dijkstra with non-negative weights
+// a node's distance and predecessor are final when it is popped — so
+// whether the run stops at one destination or sweeps the whole graph, every
+// popped node's predecessor chain is the same.
+type routeTree struct {
+	gen  uint64
+	dist []time.Duration
+	prev []*Link
+	// paths memoizes the reconstructed path per dense destination index;
+	// nil means not yet materialized (unreachable destinations stay nil and
+	// are answered from dist).
+	paths [][]*Link
+}
+
+// RouteStats counts routing work, exposed so benchmarks and the scale
+// experiments can quantify the tree cache: PathBuilds is what a per-pair
+// Dijkstra implementation would have run, TreeBuilds is what the tree cache
+// actually ran.
+type RouteStats struct {
+	// Queries is the total number of Route calls (cache hits included).
+	Queries uint64
+	// TreeBuilds is the number of Dijkstra sweeps executed.
+	TreeBuilds uint64
+	// PathBuilds is the number of distinct (src,dst) paths materialized —
+	// the Dijkstra count of the per-pair scheme this cache replaced.
+	PathBuilds uint64
+}
+
 // Network is the simulated WAN.
 type Network struct {
 	engine *simulation.Engine
@@ -314,7 +350,13 @@ type Network struct {
 	// water-filling round.
 	active []*Flow
 	nextID int64
-	routes map[linkKey][]*Link
+	// trees caches one shortest-path tree per source node (keyed by dense
+	// node index). Trees are invalidated by comparing their generation
+	// against topoGen — bulk topology construction bumps a counter instead
+	// of reallocating cache maps on every AddLink.
+	trees   map[int]*routeTree
+	topoGen uint64
+	stats   RouteStats
 
 	// Routing graph, rebuilt lazily after topology changes.
 	nodeIdx   map[string]int
@@ -326,13 +368,11 @@ type Network struct {
 	// level state indexed by Link.idx, the drained-flow batch of the
 	// completion handler, and the Dijkstra working set indexed by dense
 	// node index.
-	remCap   []float64
-	remCnt   []int
-	doneBuf  []*Flow
-	dist     []time.Duration
-	prevLink []*Link
-	visited  []bool
-	heapBuf  []nodeHeapEntry
+	remCap  []float64
+	remCnt  []int
+	doneBuf []*Flow
+	visited []bool
+	heapBuf []nodeHeapEntry
 
 	settled      time.Duration
 	nextEv       *simulation.Event
@@ -348,7 +388,7 @@ func New(engine *simulation.Engine, seed int64) *Network {
 		rng:     rand.New(rand.NewSource(seed)),
 		nodes:   make(map[string]bool),
 		links:   make(map[linkKey]*Link),
-		routes:  make(map[linkKey][]*Link),
+		trees:   make(map[int]*routeTree),
 		nodeIdx: make(map[string]int),
 	}
 	n.completionFn = n.onCompletion
@@ -369,10 +409,9 @@ func (n *Network) AddNode(name string) error {
 	n.nodes[name] = true
 	n.nodeIdx[name] = len(n.nodeNames)
 	n.nodeNames = append(n.nodeNames, name)
-	n.dist = append(n.dist, 0)
-	n.prevLink = append(n.prevLink, nil)
 	n.visited = append(n.visited, false)
 	n.adjValid = false
+	n.topoGen++
 	return nil
 }
 
@@ -428,7 +467,11 @@ func (n *Network) addDirected(from, to string, cfg LinkConfig) error {
 	n.linkList = append(n.linkList, l)
 	n.remCap = append(n.remCap, 0)
 	n.remCnt = append(n.remCnt, 0)
-	n.routes = make(map[linkKey][]*Link) // invalidate route cache
+	// Invalidate the route cache by bumping the topology generation:
+	// cached trees carry the generation they were built under and stop
+	// matching, so an N-link bulk build costs one counter increment per
+	// link instead of reallocating a cache map N times.
+	n.topoGen++
 	n.adjValid = false
 	return nil
 }
@@ -535,8 +578,16 @@ func (n *Network) rebuildAdjacency() {
 	n.adjValid = true
 }
 
+// unreached marks a node the Dijkstra sweep never relaxed.
+const unreached = time.Duration(math.MaxInt64)
+
 // Route returns the directed links on the lowest-latency path src->dst
 // (Dijkstra on propagation delay, hop count as tie-break via tiny epsilon).
+// Paths are served from the source's cached shortest-path tree: the first
+// query from a source runs one Dijkstra sweep that answers every later
+// destination, and topology changes (AddNode/AddLink) invalidate trees by
+// generation counter. The returned paths are identical, link for link, to
+// the per-pair Dijkstra this cache replaced.
 func (n *Network) Route(src, dst string) ([]*Link, error) {
 	if !n.nodes[src] {
 		return nil, fmt.Errorf("netsim: unknown node %q", src)
@@ -547,76 +598,90 @@ func (n *Network) Route(src, dst string) ([]*Link, error) {
 	if src == dst {
 		return nil, fmt.Errorf("netsim: src == dst (%q)", src)
 	}
-	if r, ok := n.routes[linkKey{src, dst}]; ok {
-		return r, nil
+	n.stats.Queries++
+	si, di := n.nodeIdx[src], n.nodeIdx[dst]
+	t := n.trees[si]
+	if t == nil || t.gen != n.topoGen {
+		t = n.computeTree(si)
+		n.trees[si] = t
 	}
-	path, err := n.computeRoute(src, dst)
-	if err != nil {
-		return nil, err
+	if t.dist[di] == unreached {
+		return nil, fmt.Errorf("%w: %s->%s", ErrNoRoute, src, dst)
 	}
-	n.routes[linkKey{src, dst}] = path
+	if p := t.paths[di]; p != nil {
+		return p, nil
+	}
+	// Materialize the path from the predecessor chain: count the hops,
+	// then fill the exact-size slice back-to-front — one allocation per
+	// distinct (src,dst), exactly what the per-pair scheme paid.
+	n.stats.PathBuilds++
+	hops := 0
+	for at := di; at != si; at = n.nodeIdx[t.prev[at].from] {
+		hops++
+	}
+	path := make([]*Link, hops)
+	for at, i := di, hops-1; at != si; i-- {
+		l := t.prev[at]
+		path[i] = l
+		at = n.nodeIdx[l.from]
+	}
+	t.paths[di] = path
 	return path, nil
 }
 
-// computeRoute runs Dijkstra over the prebuilt adjacency list with a
-// binary heap. Distances are exact (integer time.Duration sums), pops are
-// ordered by (distance, node name) and relaxations improve strictly, so
-// the chosen path is deterministic and identical to the reference
-// implementation's scan-all-links version. The working arrays live on the
-// Network and are reused across calls.
-func (n *Network) computeRoute(src, dst string) ([]*Link, error) {
+// RouteStats returns cumulative routing-work counters.
+func (n *Network) RouteStats() RouteStats { return n.stats }
+
+// computeTree runs one full Dijkstra sweep from the dense node index si
+// over the prebuilt adjacency list with a binary heap. Distances are exact
+// (integer time.Duration sums), pops are ordered by (distance, node name)
+// and relaxations improve strictly, so every node's predecessor chain is
+// deterministic and identical to the reference implementation's
+// scan-all-links version. The visited/heap working arrays live on the
+// Network and are reused across builds; dist/prev land in the tree, which
+// outlives the call as the source's route cache.
+func (n *Network) computeTree(si int) *routeTree {
 	if !n.adjValid {
 		n.rebuildAdjacency()
 	}
+	n.stats.TreeBuilds++
 	const hopPenalty = time.Microsecond
-	const unreached = time.Duration(math.MaxInt64)
-	for i := range n.dist {
-		n.dist[i] = unreached
-		n.prevLink[i] = nil
+	nn := len(n.nodeNames)
+	t := &routeTree{
+		gen:   n.topoGen,
+		dist:  make([]time.Duration, nn),
+		prev:  make([]*Link, nn),
+		paths: make([][]*Link, nn),
+	}
+	for i := range t.dist {
+		t.dist[i] = unreached
+	}
+	for i := range n.visited {
 		n.visited[i] = false
 	}
-	si, di := n.nodeIdx[src], n.nodeIdx[dst]
-	n.dist[si] = 0
+	t.dist[si] = 0
 	h := n.heapBuf[:0]
 	h = n.heapPush(h, nodeHeapEntry{0, si})
 	for len(h) > 0 {
 		var top nodeHeapEntry
 		top, h = n.heapPop(h)
 		u := top.node
-		if u == di {
-			break
-		}
 		if n.visited[u] {
 			continue // stale entry superseded by a shorter one
 		}
 		n.visited[u] = true
-		du := n.dist[u]
+		du := t.dist[u]
 		for _, e := range n.adj[u] {
 			nd := du + e.link.cfg.Delay + hopPenalty
-			if nd < n.dist[e.to] {
-				n.dist[e.to] = nd
-				n.prevLink[e.to] = e.link
+			if nd < t.dist[e.to] {
+				t.dist[e.to] = nd
+				t.prev[e.to] = e.link
 				h = n.heapPush(h, nodeHeapEntry{nd, e.to})
 			}
 		}
 	}
 	n.heapBuf = h[:0]
-	if n.dist[di] == unreached {
-		return nil, fmt.Errorf("%w: %s->%s", ErrNoRoute, src, dst)
-	}
-	// Count the hops, then fill the exact-size path back-to-front; the
-	// result slice is the computation's only allocation.
-	hops := 0
-	for at := di; at != si; at = n.nodeIdx[n.prevLink[at].from] {
-		hops++
-	}
-	path := make([]*Link, hops)
-	for at, i := di, hops-1; at != si; i-- {
-		l := n.prevLink[at]
-		path[i] = l
-		at = n.nodeIdx[l.from]
-	}
-	return path, nil
+	return t
 }
 
 // heapLess orders queue entries by distance, then node name — the same

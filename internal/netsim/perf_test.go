@@ -86,20 +86,50 @@ func benchGridNet(tb testing.TB, size int) *Network {
 	return n
 }
 
-// BenchmarkRouteCold measures an uncached shortest-path computation
-// (adjacency-list Dijkstra with a binary heap) corner-to-corner across an
-// 8x8 grid graph.
-func BenchmarkRouteCold(b *testing.B) {
+// BenchmarkRouteTreeCold measures an uncached route: one full Dijkstra
+// sweep (shortest-path tree build) plus the first path materialization,
+// corner-to-corner across an 8x8 grid graph. The generation bump at the
+// top of each iteration discards the cached tree, so every Route call
+// pays the cold cost.
+func BenchmarkRouteTreeCold(b *testing.B) {
 	n := benchGridNet(b, 8)
-	if _, err := n.computeRoute("n00", "n77"); err != nil {
+	if _, err := n.Route("n00", "n77"); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := n.computeRoute("n00", "n77"); err != nil {
+		n.topoGen++
+		if _, err := n.Route("n00", "n77"); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRouteTreeWarm measures the steady-state route lookup: the tree
+// and the path are cached, so a query is two map/slice lookups.
+func BenchmarkRouteTreeWarm(b *testing.B) {
+	n := benchGridNet(b, 8)
+	if _, err := n.Route("n00", "n77"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Route("n00", "n77"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAddLinkBulkBuild measures topology construction (the 8x8 grid:
+// 64 nodes, 112 duplex links). Before the generation-counter switch every
+// addDirected reallocated the route-cache map, so an N-link build churned
+// 2N maps; now invalidation is one integer bump per link.
+func BenchmarkAddLinkBulkBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchGridNet(b, 8)
 	}
 }
 
@@ -119,22 +149,57 @@ func TestReallocateSteadyStateAllocs(t *testing.T) {
 	}
 }
 
-// TestRouteColdSteadyStateAllocs pins the Dijkstra scratch reuse: after a
-// warm-up call, an uncached route computation should only allocate the
-// returned path slice.
-func TestRouteColdSteadyStateAllocs(t *testing.T) {
+// TestRouteTreeColdAllocs pins the Dijkstra scratch reuse: after warm-up,
+// a cold route (tree rebuild + first path) may only allocate the tree —
+// the routeTree struct, its dist/prev/paths arrays, the cache-map insert —
+// and the exact-size path slice. The visited and heap working arrays are
+// shared Network scratch and must not reallocate.
+func TestRouteTreeColdAllocs(t *testing.T) {
 	n := benchGridNet(t, 8)
-	if _, err := n.computeRoute("n00", "n77"); err != nil {
+	if _, err := n.Route("n00", "n77"); err != nil {
 		t.Fatal(err)
 	}
 	avg := testing.AllocsPerRun(100, func() {
-		if _, err := n.computeRoute("n00", "n77"); err != nil {
+		n.topoGen++
+		if _, err := n.Route("n00", "n77"); err != nil {
 			t.Fatal(err)
 		}
 	})
-	// The exact-size result path slice is the only permitted allocation.
-	if avg > 1 {
-		t.Fatalf("steady-state computeRoute allocates %v objects/op, want <= 1", avg)
+	if avg > 6 {
+		t.Fatalf("cold route allocates %v objects/op, want <= 6 (tree + path only)", avg)
+	}
+}
+
+// TestRouteTreeWarmAllocs pins the steady state: with the tree built and
+// the path memoized, a route query must not allocate at all.
+func TestRouteTreeWarmAllocs(t *testing.T) {
+	n := benchGridNet(t, 8)
+	if _, err := n.Route("n00", "n77"); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := n.Route("n00", "n77"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warm route allocates %v objects/op, want 0", avg)
+	}
+}
+
+// TestAddLinkBulkBuildAllocs pins the bulk-build cost of topology
+// construction. The old per-(src,dst) route cache reallocated its map on
+// every addDirected (2 per AddLink), so the 8x8 grid's 112 links paid 224
+// throwaway map headers on top of the real work; generation-counter
+// invalidation pays none. The bound covers both builds (591 measured
+// plain, 739 under -race instrumentation) and sits below the old
+// churn's >= 815 floor.
+func TestAddLinkBulkBuildAllocs(t *testing.T) {
+	avg := testing.AllocsPerRun(10, func() {
+		benchGridNet(t, 8)
+	})
+	if avg > 800 {
+		t.Fatalf("8x8 grid bulk build allocates %v objects/op, want <= 800", avg)
 	}
 }
 
@@ -340,7 +405,7 @@ func TestRouteMatchesReferenceDijkstra(t *testing.T) {
 			if src == dst {
 				continue
 			}
-			path, err := n.computeRoute(src, dst)
+			path, err := n.Route(src, dst)
 			if err != nil {
 				t.Fatalf("route %s->%s: %v", src, dst, err)
 			}

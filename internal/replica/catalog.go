@@ -46,6 +46,12 @@ type Catalog struct {
 	files       map[string]*LogicalFile
 	locations   map[string][]Location
 	collections map[string]map[string]bool
+	// attrIndex is the inverted attribute index: key -> value -> set of
+	// logical names carrying that exact pair. FindByAttributes intersects
+	// index sets instead of scanning the catalog; the index is maintained
+	// on CreateLogical/DeleteLogical from the catalog's private attribute
+	// copies, so caller-side map mutation cannot corrupt it.
+	attrIndex map[string]map[string]map[string]bool
 }
 
 // NewCatalog returns an empty catalog.
@@ -54,6 +60,7 @@ func NewCatalog() *Catalog {
 		files:       make(map[string]*LogicalFile),
 		locations:   make(map[string][]Location),
 		collections: make(map[string]map[string]bool),
+		attrIndex:   make(map[string]map[string]map[string]bool),
 	}
 }
 
@@ -87,6 +94,19 @@ func (c *Catalog) CreateLogical(f LogicalFile) error {
 		cp.Attributes[k] = v
 	}
 	c.files[f.Name] = &cp
+	for k, v := range cp.Attributes {
+		vals := c.attrIndex[k]
+		if vals == nil {
+			vals = make(map[string]map[string]bool)
+			c.attrIndex[k] = vals
+		}
+		names := vals[v]
+		if names == nil {
+			names = make(map[string]bool)
+			vals[v] = names
+		}
+		names[f.Name] = true
+	}
 	return nil
 }
 
@@ -95,13 +115,25 @@ func (c *Catalog) CreateLogical(f LogicalFile) error {
 func (c *Catalog) DeleteLogical(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.files[name]; !ok {
+	f, ok := c.files[name]
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownLogical, name)
 	}
 	delete(c.files, name)
 	delete(c.locations, name)
 	for _, members := range c.collections {
 		delete(members, name)
+	}
+	for k, v := range f.Attributes {
+		if names := c.attrIndex[k][v]; names != nil {
+			delete(names, name)
+			if len(names) == 0 {
+				delete(c.attrIndex[k], v)
+				if len(c.attrIndex[k]) == 0 {
+					delete(c.attrIndex, k)
+				}
+			}
+		}
 	}
 	return nil
 }
@@ -144,25 +176,68 @@ func (c *Catalog) logicalNamesLocked() []string {
 
 // FindByAttributes returns the names of logical files whose metadata
 // contains every key/value pair in want (the "specified characteristics"
-// lookup of §4.3).
+// lookup of §4.3). As before the inverted index, a pair with an empty
+// value matches files that either carry the key with an empty value or
+// lack the key entirely (Go's zero-value map lookup semantics).
+//
+// The query intersects inverted-index sets instead of scanning the
+// catalog: candidates come from the smallest index set among the
+// non-empty-valued pairs, then each candidate is verified against the
+// full query. Cost is proportional to the rarest attribute's popularity,
+// not the catalog size. Results are collected and sorted, so output stays
+// deterministic regardless of map iteration order.
 func (c *Catalog) FindByAttributes(want map[string]string) []string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	// Seed candidates from the smallest index set among pairs with
+	// non-empty values; empty-valued pairs can match unindexed (absent)
+	// keys, so they only verify, never seed.
+	var seed map[string]bool
+	seeded := false
+	for k, v := range want {
+		if v == "" {
+			continue
+		}
+		names := c.attrIndex[k][v]
+		if !seeded || len(names) < len(seed) {
+			seed, seeded = names, true
+		}
+		if len(names) == 0 {
+			break // some required pair matches nothing
+		}
+	}
 	var out []string
-	for name, f := range c.files {
-		ok := true
-		for k, v := range want {
-			if f.Attributes[k] != v {
-				ok = false
-				break
+	if seeded {
+		for name := range seed {
+			if c.matchesLocked(name, want) {
+				out = append(out, name)
 			}
 		}
-		if ok {
-			out = append(out, name)
+	} else {
+		// Only empty-valued (or no) constraints: the index cannot
+		// enumerate key-absent files, so scan — the pre-index behavior
+		// for exactly this query shape.
+		for name := range c.files {
+			if c.matchesLocked(name, want) {
+				out = append(out, name)
+			}
 		}
 	}
 	sort.Strings(out)
 	return out
+}
+
+func (c *Catalog) matchesLocked(name string, want map[string]string) bool {
+	f, ok := c.files[name]
+	if !ok {
+		return false
+	}
+	for k, v := range want {
+		if f.Attributes[k] != v {
+			return false
+		}
+	}
+	return true
 }
 
 // Register adds a physical location for a logical file.

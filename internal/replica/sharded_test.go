@@ -1,0 +1,169 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// regionByPrefix maps hosts named "<region>-..." to their region.
+func regionByPrefix(host string) string {
+	if i := strings.IndexByte(host, '-'); i > 0 {
+		return host[:i]
+	}
+	return host
+}
+
+func newShardedFixture(t *testing.T) *ShardedCatalog {
+	t.Helper()
+	s := NewSharded(regionByPrefix)
+	files := []LogicalFile{
+		{Name: "nr", SizeBytes: 100, Attributes: map[string]string{"type": "bio"}},
+		{Name: "est", SizeBytes: 200, Attributes: map[string]string{"type": "bio"}},
+		{Name: "run-1", SizeBytes: 300, Attributes: map[string]string{"exp": "cms"}},
+	}
+	for _, f := range files {
+		if err := s.CreateLogical(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	regs := []struct{ name, host string }{
+		{"nr", "eu-h1"}, {"nr", "us-h1"}, {"nr", "us-h2"},
+		{"est", "ap-h1"},
+		{"run-1", "eu-h2"}, {"run-1", "ap-h1"},
+	}
+	for _, r := range regs {
+		if err := s.Register(r.name, Location{Host: r.host, Path: "/data/" + r.name}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestShardedRoutesByRegion(t *testing.T) {
+	s := newShardedFixture(t)
+	if got, want := s.Regions(), []string{"ap", "eu", "us"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Regions() = %v, want %v", got, want)
+	}
+	// Each shard holds exactly its region's replicas.
+	euHosts, err := s.Shard("eu").HostsWith("nr")
+	if err != nil || !reflect.DeepEqual(euHosts, []string{"eu-h1"}) {
+		t.Errorf("eu shard HostsWith(nr) = %v, %v; want [eu-h1]", euHosts, err)
+	}
+	usHosts, err := s.Shard("us").HostsWith("nr")
+	if err != nil || !reflect.DeepEqual(usHosts, []string{"us-h1", "us-h2"}) {
+		t.Errorf("us shard HostsWith(nr) = %v, %v; want [us-h1 us-h2]", usHosts, err)
+	}
+	if _, err := s.Shard("ap").HostsWith("nr"); err == nil {
+		t.Error("ap shard should hold no nr replicas")
+	}
+	// RegionsWith names exactly the shards worth consulting.
+	if got, err := s.RegionsWith("nr"); err != nil || !reflect.DeepEqual(got, []string{"eu", "us"}) {
+		t.Errorf("RegionsWith(nr) = %v, %v; want [eu us]", got, err)
+	}
+	if got, err := s.RegionsWith("est"); err != nil || !reflect.DeepEqual(got, []string{"ap"}) {
+		t.Errorf("RegionsWith(est) = %v, %v; want [ap]", got, err)
+	}
+	// The merged views match a flat catalog's answers.
+	hosts, err := s.HostsWith("nr")
+	if err != nil || !reflect.DeepEqual(hosts, []string{"eu-h1", "us-h1", "us-h2"}) {
+		t.Errorf("HostsWith(nr) = %v, %v", hosts, err)
+	}
+	locs, err := s.Locations("run-1")
+	if err != nil || len(locs) != 2 || locs[0].Host != "ap-h1" || locs[1].Host != "eu-h2" {
+		t.Errorf("Locations(run-1) = %v, %v", locs, err)
+	}
+	if got := s.FindByAttributes(map[string]string{"type": "bio"}); !reflect.DeepEqual(got, []string{"est", "nr"}) {
+		t.Errorf("FindByAttributes(type=bio) = %v, want [est nr]", got)
+	}
+	if got, want := s.LogicalNames(), []string{"est", "nr", "run-1"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("LogicalNames() = %v, want %v", got, want)
+	}
+}
+
+func TestShardedErrorsAndBookkeeping(t *testing.T) {
+	s := newShardedFixture(t)
+	if err := s.Register("nope", Location{Host: "eu-h1", Path: "/x"}); !errors.Is(err, ErrUnknownLogical) {
+		t.Errorf("Register unknown logical: %v, want ErrUnknownLogical", err)
+	}
+	if err := s.Register("nr", Location{Host: "eu-h1", Path: "/data/nr"}); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate Register: %v, want ErrDuplicate", err)
+	}
+	if err := s.Unregister("nr", "ap-h9", "/x"); !errors.Is(err, ErrUnknownReplica) {
+		t.Errorf("Unregister unknown replica: %v, want ErrUnknownReplica", err)
+	}
+	// Unregistering the last replica in a region drops it from RegionsWith.
+	if err := s.Unregister("nr", "eu-h1", "/data/nr"); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.RegionsWith("nr"); err != nil || !reflect.DeepEqual(got, []string{"us"}) {
+		t.Errorf("RegionsWith(nr) after eu unregister = %v, %v; want [us]", got, err)
+	}
+	// Deleting the file purges every shard.
+	if err := s.DeleteLogical("nr"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RegionsWith("nr"); !errors.Is(err, ErrUnknownLogical) {
+		t.Errorf("RegionsWith after delete: %v, want ErrUnknownLogical", err)
+	}
+	if _, err := s.Shard("us").Logical("nr"); !errors.Is(err, ErrUnknownLogical) {
+		t.Errorf("us shard still knows deleted nr: %v", err)
+	}
+	if _, err := s.Locations("est"); err != nil {
+		t.Errorf("unrelated file affected by delete: %v", err)
+	}
+}
+
+// TestShardedConcurrency exercises registration, lookup and deletion from
+// many goroutines; run under -race this pins the lock-striping discipline.
+func TestShardedConcurrency(t *testing.T) {
+	s := NewSharded(regionByPrefix)
+	const names = 64
+	for i := 0; i < names; i++ {
+		if err := s.CreateLogical(LogicalFile{
+			Name: fmt.Sprintf("f%02d", i), SizeBytes: 1,
+			Attributes: map[string]string{"bucket": fmt.Sprintf("b%d", i%4)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	regions := []string{"eu", "us", "ap", "sa"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < names; i++ {
+				name := fmt.Sprintf("f%02d", i)
+				host := fmt.Sprintf("%s-h%d", regions[(i+w)%len(regions)], w)
+				if err := s.Register(name, Location{Host: host, Path: "/d/" + name}); err != nil && !errors.Is(err, ErrDuplicate) {
+					t.Errorf("Register: %v", err)
+				}
+				s.FindByAttributes(map[string]string{"bucket": "b1"})
+				if _, err := s.RegionsWith(name); err != nil && !errors.Is(err, ErrNoReplicas) {
+					t.Errorf("RegionsWith: %v", err)
+				}
+				s.HostsWith(name)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := 0; i < names; i++ {
+		name := fmt.Sprintf("f%02d", i)
+		hosts, err := s.HostsWith(name)
+		if err != nil || len(hosts) != 8 {
+			t.Errorf("%s: hosts %v err %v, want 8 hosts", name, hosts, err)
+		}
+		if err := s.DeleteLogical(name); err != nil {
+			t.Errorf("delete %s: %v", name, err)
+		}
+	}
+	for _, r := range s.Regions() {
+		if got := s.Shard(r).LogicalNames(); len(got) != 0 {
+			t.Errorf("region %s shard not purged: %v", r, got)
+		}
+	}
+}
