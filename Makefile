@@ -4,7 +4,7 @@ GO ?= go
 # BENCH_netsim.json (see docs/PERFORMANCE.md).
 BENCH_LABEL ?= local
 
-.PHONY: all build vet lint test race bench bench-netsim bench-suite bench-select bench-faults bench-scale bench-diff bench-diff-netsim bench-diff-select bench-diff-scale figures examples clean
+.PHONY: all build vet lint test race bench bench-netsim bench-suite bench-select bench-faults bench-scale bench-diff bench-diff-netsim bench-diff-select bench-diff-faults bench-diff-scale figures examples clean
 
 all: build vet test
 
@@ -62,11 +62,11 @@ bench-select:
 # to the baseline's, so override BENCH_DIFF_METRICS locally as needed.
 BENCH_DIFF_METRICS ?= allocs/op
 
-bench-diff: bench-diff-netsim bench-diff-select bench-diff-scale
+bench-diff: bench-diff-netsim bench-diff-select bench-diff-faults bench-diff-scale
 
 bench-diff-netsim:
 	$(GO) test -run='^$$' -bench='Netsim|Reallocate|RouteTree|AddLinkBulk' -benchmem -timeout 600s . ./internal/netsim \
-		| $(GO) run ./cmd/benchjson -diff -against pr2-optimized \
+		| $(GO) run ./cmd/benchjson -diff -against pr8-partitioned-realloc \
 			-metrics '$(BENCH_DIFF_METRICS)' -out BENCH_netsim.json
 
 bench-diff-select:
@@ -92,6 +92,11 @@ bench-faults:
 bench-scale:
 	$(GO) test -run='^$$' -bench='ScaleSweep' -benchmem -timeout 1200s . \
 		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -out BENCH_scale.json
+
+bench-diff-faults:
+	$(GO) test -run='^$$' -bench='FaultsSweep' -benchmem -timeout 600s . \
+		| $(GO) run ./cmd/benchjson -diff -against container-1cpu \
+			-metrics '$(BENCH_DIFF_METRICS)' -out BENCH_faults.json
 
 bench-diff-scale:
 	$(GO) test -run='^$$' -bench='ScaleSweep' -benchmem -timeout 1200s . \

@@ -233,6 +233,8 @@ func emitCSV(fig, table int, faults, scale bool, seed int64, workers int, out io
 			"grid", "sites", "hosts", "regions", "files", "queries", "flows",
 			"tree_builds", "pair_dijkstras", "dijkstra_savings", "regions_consulted",
 			"hosts_scanned", "max_single_rank", "mean_xfer_sec",
+			"realloc_events", "realloc_rounds", "flows_scanned",
+			"comps_dirtied", "max_comp_flows", "max_round_flows",
 		}); err != nil {
 			return err
 		}
@@ -252,6 +254,12 @@ func emitCSV(fig, table int, faults, scale bool, seed int64, workers int, out io
 				strconv.FormatUint(r.HostsScanned, 10),
 				strconv.Itoa(r.MaxSingleRank),
 				strconv.FormatFloat(r.MeanTransferSec, 'f', 3, 64),
+				strconv.FormatUint(r.ReallocEvents, 10),
+				strconv.FormatUint(r.ReallocRounds, 10),
+				strconv.FormatUint(r.FlowsScanned, 10),
+				strconv.FormatUint(r.ComponentsDirtied, 10),
+				strconv.Itoa(r.MaxComponentFlows),
+				strconv.Itoa(r.MaxRoundFlows),
 			}); err != nil {
 				return err
 			}

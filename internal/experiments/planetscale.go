@@ -46,6 +46,19 @@ type PlanetScaleResult struct {
 	// MeanTransferSec averages the cross-region flows' virtual transfer
 	// times.
 	MeanTransferSec float64
+	// ReallocEvents, ReallocRounds and FlowsScanned count the partitioned
+	// allocator's work over the whole run (netsim.ReallocStats);
+	// ComponentsDirtied is how many component water-fills those events
+	// triggered. MaxComponentFlows is the largest connected component ever
+	// water-filled and MaxRoundFlows the most flows any single round
+	// scanned — the scan bound that must track the largest component, not
+	// the world's flow count.
+	ReallocEvents     uint64
+	ReallocRounds     uint64
+	FlowsScanned      uint64
+	ComponentsDirtied uint64
+	MaxComponentFlows int
+	MaxRoundFlows     int
 }
 
 // DijkstraSavings is PathBuilds/TreeBuilds: how many single-pair
@@ -305,11 +318,18 @@ func runScalePoint(pointSeed int64, p scalePoint) (PlanetScaleResult, error) {
 
 	rs := w.tb.Network().RouteStats()
 	hs := w.srv.Stats()
+	ps := w.tb.Network().ReallocStats()
 	res.TreeBuilds = rs.TreeBuilds
 	res.PathBuilds = rs.PathBuilds
 	res.RegionsConsulted = hs.RegionsConsulted
 	res.HostsScanned = hs.HostsScanned
 	res.MaxSingleRank = hs.MaxSingleRank
+	res.ReallocEvents = ps.Events
+	res.ReallocRounds = ps.Rounds
+	res.FlowsScanned = ps.FlowsScanned
+	res.ComponentsDirtied = ps.ComponentsDirtied
+	res.MaxComponentFlows = ps.MaxComponentFlows
+	res.MaxRoundFlows = ps.MaxRoundFlows
 	return res, nil
 }
 
@@ -341,6 +361,22 @@ func ExtensionPlanetScale(seed int64, opts ...Option) ([]PlanetScaleResult, stri
 		if r.Sites >= 200 && r.DijkstraSavings() < 5 {
 			return nil, "", fmt.Errorf("route trees saved only %.1fx Dijkstra runs at %d sites, want >= 5x",
 				r.DijkstraSavings(), r.Sites)
+		}
+	}
+	// The acceptance bar for the partitioned allocator: a reallocation
+	// round never scans more flows than the largest connected component,
+	// and at the largest grid that component is strictly smaller than the
+	// world's flow count (at small grids the staggered transfers can all
+	// merge across the shared backbone, so only the big point separates
+	// component from world).
+	for _, r := range out {
+		if r.MaxRoundFlows > r.MaxComponentFlows {
+			return nil, "", fmt.Errorf("%s: a reallocate round scanned %d flows, above the largest component's %d",
+				r.Label, r.MaxRoundFlows, r.MaxComponentFlows)
+		}
+		if r.Sites >= 200 && r.MaxComponentFlows >= r.Flows {
+			return nil, "", fmt.Errorf("%s: largest component holds all %d flows — allocation work is world-sized, not component-sized",
+				r.Label, r.MaxComponentFlows)
 		}
 	}
 	tb := metrics.NewTable(

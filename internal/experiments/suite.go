@@ -397,7 +397,13 @@ func runPlanetScale(seed int64, opts ...Option) (string, []Metric, error) {
 			Metric{key + "/pair_dijkstras", float64(r.PathBuilds)},
 			Metric{key + "/dijkstra_savings", r.DijkstraSavings()},
 			Metric{key + "/max_single_rank", float64(r.MaxSingleRank)},
-			Metric{key + "/mean_xfer_sec", r.MeanTransferSec})
+			Metric{key + "/mean_xfer_sec", r.MeanTransferSec},
+			Metric{key + "/realloc_events", float64(r.ReallocEvents)},
+			Metric{key + "/realloc_rounds", float64(r.ReallocRounds)},
+			Metric{key + "/flows_scanned", float64(r.FlowsScanned)},
+			Metric{key + "/comps_dirtied", float64(r.ComponentsDirtied)},
+			Metric{key + "/max_comp_flows", float64(r.MaxComponentFlows)},
+			Metric{key + "/max_round_flows", float64(r.MaxRoundFlows)})
 	}
 	return out, ms, nil
 }

@@ -185,13 +185,23 @@ func (s FlowState) String() string {
 
 // Flow is one simulated TCP connection transferring a fixed number of bytes.
 type Flow struct {
-	id        int64
-	src, dst  string
-	path      []*Link
+	id       int64
+	src, dst string
+	path     []*Link
+	net      *Network
+	// comp is the connected component the flow currently belongs to (nil
+	// once the flow is terminal).
+	comp      *component
 	wireBytes float64 // total bytes on the wire including overhead
-	remaining float64
-	opts      FlowOptions
-	state     FlowState
+	// remaining is the wire bytes left at virtual time settledAt — an
+	// anchor rewritten only when the flow's rate changes, projected
+	// forward by remainingAt. completionAt caches when the flow drains at
+	// the current rate (noCompletion when stalled).
+	remaining    float64
+	settledAt    time.Duration
+	completionAt time.Duration
+	opts         FlowOptions
+	state        FlowState
 
 	rtt  time.Duration
 	loss float64
@@ -244,15 +254,22 @@ func (f *Flow) Duration() time.Duration { return f.finished - f.started }
 // payload; for a failed one it is the resumable offset a restart can
 // continue from.
 func (f *Flow) DeliveredPayloadBytes() int64 {
-	delivered := (f.wireBytes - f.remaining) / (1 + f.opts.OverheadFraction)
+	delivered := (f.wireBytes - f.RemainingBytes()) / (1 + f.opts.OverheadFraction)
 	if delivered < 0 {
 		return 0
 	}
 	return int64(delivered + 0.5)
 }
 
-// RemainingBytes returns wire bytes not yet delivered.
-func (f *Flow) RemainingBytes() float64 { return f.remaining }
+// RemainingBytes returns wire bytes not yet delivered. Terminal flows
+// answer from the value frozen at removal; active flows project the
+// anchor to the current virtual time.
+func (f *Flow) RemainingBytes() float64 {
+	if f.state != FlowActive || f.net == nil {
+		return f.remaining
+	}
+	return f.remainingAt(f.net.engine.Now())
+}
 
 // capBps returns the flow's intrinsic rate limit: the minimum of the
 // window/RTT bound, the Mathis loss bound, the slow-start window, and any
@@ -374,7 +391,37 @@ type Network struct {
 	visited []bool
 	heapBuf []nodeHeapEntry
 
-	settled      time.Duration
+	// Component partition (see partition.go): comps holds every record by
+	// dense id (freed records stay pooled via compFree), linkComp maps a
+	// link's dense index to its owning component (-1 when no active flow
+	// crosses it), compHeap is the indexed min-heap over per-component
+	// next completions, and dirtyComps is the queue processDirty drains.
+	comps      []*component
+	compFree   []*component
+	liveComps  int
+	linkComp   []int
+	compHeap   []*component
+	dirtyComps []*component
+	poolMode   bool
+	// forceDefensiveFix is a test-only switch: it suppresses the normal
+	// epsilon fix inside waterfill so the defensive !fixedAny fallback is
+	// reachable and its link accounting can be verified directly.
+	forceDefensiveFix bool
+	pstats            ReallocStats
+
+	// Partition scratch, reused across events: previous rates and
+	// projected remaining bytes during a water-fill, flow-list merge
+	// space, expired components popped by the completion handler, and the
+	// union-find working set (parents indexed by Link.idx, group roots
+	// and their components during a rebuild).
+	prevRate       []float64
+	remNow         []float64
+	flowScratch    []*Flow
+	expiredScratch []*component
+	ufParent       []int
+	rootScratch    []int
+	groupScratch   []*component
+
 	nextEv       *simulation.Event
 	completionFn func(time.Duration)
 }
@@ -467,6 +514,8 @@ func (n *Network) addDirected(from, to string, cfg LinkConfig) error {
 	n.linkList = append(n.linkList, l)
 	n.remCap = append(n.remCap, 0)
 	n.remCnt = append(n.remCnt, 0)
+	n.linkComp = append(n.linkComp, -1)
+	n.ufParent = append(n.ufParent, 0)
 	// Invalidate the route cache by bumping the topology generation:
 	// cached trees carry the generation they were built under and stop
 	// matching, so an N-link bulk build costs one counter increment per
@@ -495,9 +544,13 @@ func (n *Network) SetBackgroundLoad(from, to string, frac float64) error {
 	if err != nil {
 		return err
 	}
-	n.settle()
 	l.bgLoad = frac
-	n.reallocate()
+	// Only the component crossing this link (if any) needs new rates;
+	// everyone else's allocation is untouched by construction.
+	if cid := n.linkComp[l.idx]; cid >= 0 {
+		n.markDirty(n.comps[cid])
+	}
+	n.processDirty()
 	return nil
 }
 
@@ -512,33 +565,43 @@ func (n *Network) SetLinkDown(from, to string, down bool) error {
 	if err != nil {
 		return err
 	}
-	n.settle()
 	l.down = down
+	// Only the component crossing this link can see a rate change; flows
+	// in every other component — other regions, in the scale worlds — are
+	// untouched, and their ReallocStats stay flat.
+	var comp *component
+	if cid := n.linkComp[l.idx]; cid >= 0 {
+		comp = n.comps[cid]
+		n.markDirty(comp)
+	}
 	if !down {
-		n.reallocate()
+		n.processDirty()
 		return nil
 	}
 	// Fail opted-in flows crossing the dead link. Mirrors onCompletion:
 	// remove the whole batch, rebalance the survivors once, then invoke
 	// callbacks (which may start replacement flows). A local batch slice
 	// (not doneBuf) keeps this reentrancy-safe if a completion callback
-	// ever downs a link; link failure is a cold path.
+	// ever downs a link; link failure is a cold path. Only the owning
+	// component's flows can cross the link, so the scan is scoped to it.
 	var failed []*Flow
-	for _, f := range n.active {
-		if !f.opts.FailOnDown {
-			continue
-		}
-		for _, pl := range f.path {
-			if pl == l {
-				failed = append(failed, f)
-				break
+	if comp != nil {
+		for _, f := range comp.flows {
+			if !f.opts.FailOnDown {
+				continue
+			}
+			for _, pl := range f.path {
+				if pl == l {
+					failed = append(failed, f)
+					break
+				}
 			}
 		}
 	}
 	for _, f := range failed {
 		n.removeFlow(f, FlowFailed)
 	}
-	n.reallocate()
+	n.processDirty()
 	for _, f := range failed {
 		if f.done != nil {
 			f.done(f)
@@ -772,7 +835,6 @@ func (n *Network) PathRTTLoaded(src, dst string) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
-	n.settle()
 	var oneWay time.Duration
 	for _, l := range path {
 		oneWay += l.cfg.Delay + l.queueingDelay()
@@ -816,7 +878,6 @@ func (n *Network) AvailableBps(src, dst string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	n.settle()
 	min := math.Inf(1)
 	for _, l := range path {
 		avail := l.EffectiveCapacity() - l.usedBps
@@ -869,12 +930,12 @@ func (n *Network) StartFlow(src, dst string, bytes int64, opts FlowOptions, done
 			mss = l.cfg.MSS
 		}
 	}
-	n.settle()
 	f := &Flow{
 		id:        n.nextID,
 		src:       src,
 		dst:       dst,
 		path:      path,
+		net:       n,
 		wireBytes: float64(bytes) * (1 + opts.OverheadFraction),
 		opts:      opts,
 		state:     FlowActive,
@@ -885,6 +946,8 @@ func (n *Network) StartFlow(src, dst string, bytes int64, opts FlowOptions, done
 		done:      done,
 	}
 	f.remaining = f.wireBytes
+	f.settledAt = f.started
+	f.completionAt = noCompletion
 	n.nextID++
 	// Slow start: rate begins at initialCwnd segments per RTT and doubles
 	// each RTT until it no longer binds.
@@ -899,7 +962,10 @@ func (n *Network) StartFlow(src, dst string, bytes int64, opts FlowOptions, done
 	for _, l := range path {
 		l.nflows++
 	}
-	n.reallocate()
+	// Join the partition (merging every component the path touches) and
+	// re-water-fill just the resulting component.
+	n.attachFlow(f)
+	n.processDirty()
 	return f, nil
 }
 
@@ -911,9 +977,8 @@ func (n *Network) CancelFlow(f *Flow) error {
 	if f.state != FlowActive {
 		return fmt.Errorf("netsim: flow %d is %v, not active", f.id, f.state)
 	}
-	n.settle()
 	n.removeFlow(f, FlowCanceled)
-	n.reallocate()
+	n.processDirty()
 	return nil
 }
 
@@ -953,7 +1018,6 @@ func (n *Network) rampTick(f *Flow) {
 		capOther = f.opts.RateCapBps
 	}
 	skipWaterFill := capOther <= f.cwndBps || f.cwndBps > f.rateBps*(1+allocEps)
-	n.settle()
 	f.cwndBps *= 2
 	// Stop ramping once the congestion window exceeds every other
 	// bound — it can no longer be the binding constraint.
@@ -963,179 +1027,88 @@ func (n *Network) rampTick(f *Flow) {
 		n.scheduleRamp(f)
 	}
 	if skipWaterFill {
-		n.scheduleNextCompletion()
+		// Rates provably unchanged: no component needs water-filling, only
+		// the pending completion event's freshness is renewed.
+		n.rescheduleNextCompletion()
 	} else {
-		n.reallocate()
+		n.markDirty(f.comp)
+		n.processDirty()
 	}
 }
 
-// settle advances every active flow's remaining byte count to the current
-// virtual time using the rates fixed at the last reallocation. Stalled
-// flows (zero rate) are skipped: subtracting zero is a no-op.
-func (n *Network) settle() {
-	now := n.engine.Now()
-	dt := (now - n.settled).Seconds()
-	if dt > 0 {
-		for _, f := range n.active {
-			if f.rateBps <= 0 {
-				continue
-			}
-			f.remaining -= f.rateBps / 8 * dt
-			if f.remaining < 0 {
-				f.remaining = 0
-			}
-		}
-	}
-	n.settled = now
-}
-
-// reallocate recomputes max-min fair rates with per-flow caps, then
-// schedules the next completion event.
-//
-// Water-filling with caps: repeatedly compute each unfixed flow's limit
-// (its own cap or its tightest link's equal share) and fix all flows at
-// the global minimum. All working state lives in reusable scratch arrays
-// indexed by the links' dense indices; the active list is already sorted
-// by flow id, so every pass is deterministic without per-round sorting.
+// reallocate recomputes max-min fair rates for every live component by
+// marking the whole partition dirty and draining it. Event paths never
+// call this — they mark only the components they touch — but tests and
+// benchmarks use it as the full-recompute entry point, and it is the
+// partitioned equivalent of the historical whole-network water-fill.
 func (n *Network) reallocate() {
-	for i, l := range n.linkList {
-		n.remCap[i] = l.EffectiveCapacity()
-		n.remCnt[i] = l.nflows
-		l.usedBps = 0
-	}
-	unfixed := len(n.active)
-	for _, f := range n.active {
-		f.fixed = false
-		f.rateBps = 0
-	}
-	for unfixed > 0 {
-		minLimit := math.Inf(1)
-		for _, f := range n.active {
-			if f.fixed {
-				continue
-			}
-			lim := f.capBps()
-			for _, l := range f.path {
-				share := n.remCap[l.idx] / float64(n.remCnt[l.idx])
-				if share < lim {
-					lim = share
-				}
-			}
-			if lim < minLimit {
-				minLimit = lim
-			}
-		}
-		if math.IsInf(minLimit, 1) {
-			// No binding constraint anywhere (e.g. zero-RTT loss-free
-			// path). Grant each flow its link share.
-			minLimit = math.MaxFloat64
-		}
-		if minLimit < 0 {
-			minLimit = 0
-		}
-		// Fix every flow whose limit equals the minimum (within epsilon),
-		// in ascending id order.
-		fixedAny := false
-		for _, f := range n.active {
-			if f.fixed {
-				continue
-			}
-			lim := f.capBps()
-			for _, l := range f.path {
-				share := n.remCap[l.idx] / float64(n.remCnt[l.idx])
-				if share < lim {
-					lim = share
-				}
-			}
-			if lim <= minLimit*(1+allocEps) {
-				f.rateBps = minLimit
-				if f.rateBps == math.MaxFloat64 {
-					f.rateBps = lim
-				}
-				for _, l := range f.path {
-					n.remCap[l.idx] -= f.rateBps
-					if n.remCap[l.idx] < 0 {
-						n.remCap[l.idx] = 0
-					}
-					n.remCnt[l.idx]--
-					l.usedBps += f.rateBps
-				}
-				f.fixed = true
-				unfixed--
-				fixedAny = true
-			}
-		}
-		if !fixedAny {
-			// Defensive: should be impossible, but never loop forever.
-			for _, f := range n.active {
-				if f.fixed {
-					continue
-				}
-				f.rateBps = minLimit
-				f.fixed = true
-				unfixed--
-			}
-			break
-		}
-	}
-	n.scheduleNextCompletion()
-}
-
-func (n *Network) scheduleNextCompletion() {
-	if n.nextEv != nil {
-		n.engine.Cancel(n.nextEv)
-		n.nextEv = nil
-	}
-	var next *Flow
-	now := n.engine.Now()
-	nextAt := time.Duration(math.MaxInt64)
-	// The active list is sorted by id, so keeping the first minimum seen
-	// is exactly the lowest-id tie-break.
-	for _, f := range n.active {
-		if f.rateBps <= 0 {
+	for _, c := range n.comps {
+		if c.gone {
 			continue
 		}
-		secs := f.remaining * 8 / f.rateBps
-		d := time.Duration(secs * float64(time.Second))
-		if d <= 0 {
-			d = 1 // guarantee forward progress despite rounding
-		}
-		at := now + d
-		if at < nextAt {
-			nextAt, next = at, f
-		}
+		n.markDirty(c)
 	}
-	if next == nil {
-		return
-	}
-	ev, err := n.engine.Schedule(nextAt, n.completionFn)
-	if err != nil {
-		// nextAt >= now by construction, so Schedule can only fail on
-		// virtual-clock overflow. A dropped completion event would stall
-		// every active flow forever; fail loudly instead.
-		panic(fmt.Sprintf("netsim: completion schedule at %v failed: %v", nextAt, err))
-	}
-	n.nextEv = ev
+	n.processDirty()
 }
 
-// onCompletion fires when the earliest-finishing flow drains. It is bound
-// once per Network (completionFn) so rescheduling allocates nothing.
+// onCompletion fires when the earliest-cached completion arrives. It is
+// bound once per Network (completionFn) so rescheduling allocates nothing.
+// Every component whose cached minimum has expired is popped from the
+// completion heap; its drained flows (ties complete together, across
+// components) are removed in ascending id order, sub-byte residues left
+// by the truncating duration conversion are re-anchored, and the dirty
+// drain re-water-fills exactly the components that lost a flow.
 func (n *Network) onCompletion(time.Duration) {
 	n.nextEv = nil
-	n.settle()
-	// Complete every flow that has drained (ties complete together). The
-	// active list is id-sorted, so the batch is too.
+	now := n.engine.Now()
+	expired := n.expiredScratch[:0]
+	for len(n.compHeap) > 0 && n.compHeap[0].minAt <= now {
+		c := n.compHeap[0]
+		n.compHeapRemove(c)
+		expired = append(expired, c)
+	}
 	done := n.doneBuf[:0]
-	for _, f := range n.active {
-		// Sub-byte residues are float rounding, not real payload.
-		if f.remaining <= 0.5 {
-			done = append(done, f)
+	for _, c := range expired {
+		for _, f := range c.flows {
+			if f.completionAt > now {
+				continue
+			}
+			f.remaining = f.remainingAt(now)
+			f.settledAt = now
+			if f.remaining <= 0.5 {
+				// Drained (sub-byte residues are float rounding, not real
+				// payload). Insert keeping the batch id-sorted: completion
+				// order across components must match the historical
+				// id-ordered scan of the global active list.
+				done = append(done, f)
+				for j := len(done) - 1; j > 0 && done[j-1].id > done[j].id; j-- {
+					done[j-1], done[j] = done[j], done[j-1]
+				}
+			} else {
+				// A whole byte or more left: the truncating conversion in
+				// setCompletionAt fired the event a hair early. Re-anchor;
+				// the refreshed completion lands at least 1ns out.
+				f.setCompletionAt(now)
+			}
 		}
 	}
 	for _, f := range done {
 		n.removeFlow(f, FlowDone)
 	}
-	n.reallocate()
+	// Components that only had residues (nothing removed, so not dirty)
+	// re-enter the heap with their refreshed minima; dirty ones are
+	// re-keyed by the drain below.
+	for _, c := range expired {
+		if c.gone || c.dirty {
+			continue
+		}
+		n.updateCompMin(c)
+	}
+	for i := range expired {
+		expired[i] = nil
+	}
+	n.expiredScratch = expired[:0]
+	n.processDirty()
 	for _, f := range done {
 		if f.done != nil {
 			f.done(f)
@@ -1156,14 +1129,26 @@ func (n *Network) removeFlow(f *Flow, final FlowState) {
 		n.active[len(n.active)-1] = nil
 		n.active = n.active[:len(n.active)-1]
 	}
+	now := n.engine.Now()
+	// Freeze progress before the rate is cleared: terminal flows answer
+	// RemainingBytes/DeliveredPayloadBytes from the stored value.
+	f.remaining = f.remainingAt(now)
+	f.settledAt = now
 	for _, l := range f.path {
 		l.nflows--
+		if l.nflows == 0 {
+			// The link leaves the partition; nothing will water-fill it
+			// again until a flow returns, so zero its allocation exactly.
+			l.usedBps = 0
+		}
 	}
 	if f.rampEv != nil {
 		n.engine.Cancel(f.rampEv)
 		f.rampEv = nil
 	}
 	f.state = final
-	f.finished = n.engine.Now()
+	f.finished = now
 	f.rateBps = 0
+	f.completionAt = noCompletion
+	n.detachFlow(f)
 }

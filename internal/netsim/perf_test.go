@@ -54,6 +54,102 @@ func BenchmarkReallocate(b *testing.B) {
 	}
 }
 
+// benchLANWorld builds nLANs link-disjoint site LANs (hub + hosts, flows
+// fanning out from h0 so each LAN is one component) with transfers large
+// enough to stay active for the whole benchmark. It is the partitioned
+// allocator's home turf: a local disturbance touches one LAN out of
+// hundreds.
+func benchLANWorld(tb testing.TB, nLANs, hosts int, pool bool) *Network {
+	tb.Helper()
+	eng := simulation.NewEngine()
+	n := New(eng, 1)
+	n.poolMode = pool
+	for l := 0; l < nLANs; l++ {
+		hub := fmt.Sprintf("hub%03d", l)
+		if err := n.AddNode(hub); err != nil {
+			tb.Fatal(err)
+		}
+		for h := 0; h < hosts; h++ {
+			name := fmt.Sprintf("l%03dh%d", l, h)
+			if err := n.AddNode(name); err != nil {
+				tb.Fatal(err)
+			}
+			if err := n.AddLink(name, hub, LinkConfig{
+				CapacityBps: 100e6, Delay: 2 * time.Millisecond, LossRate: 1e-5,
+			}); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		src := fmt.Sprintf("l%03dh0", l)
+		for h := 1; h < hosts; h++ {
+			dst := fmt.Sprintf("l%03dh%d", l, h)
+			if _, err := n.StartFlow(src, dst, 1<<40, FlowOptions{WindowBytes: 1 << 20}, nil); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	return n
+}
+
+// BenchmarkReallocatePartitioned measures the cost of reacting to one
+// local disturbance (a background-load change on a single LAN uplink) in
+// a 200-site world. algo=global runs the historical algorithm (pool mode:
+// one mega-component, every event water-fills all flows); algo=incremental
+// runs the component-partitioned allocator, which water-fills only the
+// disturbed LAN. Both produce bitwise-identical rates — the partitioned
+// run just refuses to touch the other 199 sites.
+func BenchmarkReallocatePartitioned(b *testing.B) {
+	const lans, hosts = 200, 3
+	for _, bc := range []struct {
+		name string
+		pool bool
+	}{
+		{"algo=global", true},
+		{"algo=incremental", false},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			n := benchLANWorld(b, lans, hosts, bc.pool)
+			fracs := [2]float64{0.3, 0.6}
+			// Warm scratch buffers and the engine's event pool.
+			for i := 0; i < 2; i++ {
+				if err := n.SetBackgroundLoad("l000h0", "hub000", fracs[i&1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := n.SetBackgroundLoad("l000h0", "hub000", fracs[i&1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestReallocatePartitionedSteadyStateAllocs pins the incremental hot
+// path: once the dirty list, per-component scratch and the engine's event
+// pool are warm, reacting to a local disturbance must not allocate.
+func TestReallocatePartitionedSteadyStateAllocs(t *testing.T) {
+	n := benchLANWorld(t, 50, 3, false)
+	fracs := [2]float64{0.3, 0.6}
+	for i := 0; i < 2; i++ {
+		if err := n.SetBackgroundLoad("l000h0", "hub000", fracs[i&1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(100, func() {
+		i++
+		if err := n.SetBackgroundLoad("l000h0", "hub000", fracs[i&1]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state incremental reallocation allocates %v objects/op, want 0", avg)
+	}
+}
+
 // benchGridNet builds a size x size grid graph (n00 ... n77 style) with
 // uniform links, the worst case for the Dijkstra rewrite.
 func benchGridNet(tb testing.TB, size int) *Network {
