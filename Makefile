@@ -4,7 +4,7 @@ GO ?= go
 # BENCH_netsim.json (see docs/PERFORMANCE.md).
 BENCH_LABEL ?= local
 
-.PHONY: all build vet lint test race bench bench-netsim bench-suite bench-select bench-faults bench-scale bench-diff bench-diff-netsim bench-diff-select bench-diff-faults bench-diff-scale figures examples clean
+.PHONY: all build vet lint test race bench bench-netsim bench-suite bench-select bench-faults bench-scale bench-diff bench-diff-netsim bench-diff-suite bench-diff-select bench-diff-faults bench-diff-scale figures examples clean
 
 all: build vet test
 
@@ -35,7 +35,7 @@ bench: bench-netsim
 # new labels append: run with BENCH_LABEL=<change-id> before and after an
 # optimization (docs/PERFORMANCE.md documents the workflow).
 bench-netsim:
-	$(GO) test -run='^$$' -bench='Netsim|Reallocate|RouteTree|AddLinkBulk' -benchmem -timeout 600s . ./internal/netsim \
+	$(GO) test -run='^$$' -bench='Netsim|Reallocate|RouteTree|AddLinkBulk|ShardedPlanet' -benchmem -timeout 600s . ./internal/netsim \
 		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -out BENCH_netsim.json
 
 # Record the full-suite harness benchmark (the `gridbench -all` workload
@@ -62,12 +62,19 @@ bench-select:
 # to the baseline's, so override BENCH_DIFF_METRICS locally as needed.
 BENCH_DIFF_METRICS ?= allocs/op
 
-bench-diff: bench-diff-netsim bench-diff-select bench-diff-faults bench-diff-scale
+bench-diff: bench-diff-netsim bench-diff-suite bench-diff-select bench-diff-faults bench-diff-scale
 
 bench-diff-netsim:
-	$(GO) test -run='^$$' -bench='Netsim|Reallocate|RouteTree|AddLinkBulk' -benchmem -timeout 600s . ./internal/netsim \
-		| $(GO) run ./cmd/benchjson -diff -against pr8-partitioned-realloc \
+	$(GO) test -run='^$$' -bench='Netsim|Reallocate|RouteTree|AddLinkBulk|ShardedPlanet' -benchmem -timeout 600s . ./internal/netsim \
+		| $(GO) run ./cmd/benchjson -diff -against pr9-sharded-engine \
 			-metrics '$(BENCH_DIFF_METRICS)' -out BENCH_netsim.json
+
+# Gate the full-suite harness benchmark against its committed baseline
+# the same way (GridbenchAll sequential vs parallel, BENCH_suite.json).
+bench-diff-suite:
+	$(GO) test -run='^$$' -bench='GridbenchAll' -benchmem -timeout 1200s . \
+		| $(GO) run ./cmd/benchjson -diff -against container-1cpu \
+			-metrics '$(BENCH_DIFF_METRICS)' -out BENCH_suite.json
 
 bench-diff-select:
 	$(GO) test -run='^$$' -bench='SelectionThroughput' -benchmem -timeout 600s . \

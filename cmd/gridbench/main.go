@@ -12,10 +12,13 @@
 //
 // Experiments run concurrently on a deterministic worker pool: -parallel N
 // sets the pool size (1 reproduces the historical sequential execution),
-// and the output is byte-identical at every N. -trials T replicates each
-// selected experiment under T independent seeds and reports each metric
-// as mean ± 95% confidence interval; the published numbers remain the
-// single-trial seed-42 run.
+// and the output is byte-identical at every N. -shards N additionally
+// partitions each large simulation across N region-sharded engines under
+// conservative time-windowed sync (1 = the historical single-engine
+// path); output is byte-identical at every shard count too. -trials T
+// replicates each selected experiment under T independent seeds and
+// reports each metric as mean ± 95% confidence interval; the published
+// numbers remain the single-trial seed-42 run.
 package main
 
 import (
@@ -54,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		asCSV      = fs.Bool("csv", false, "emit the selected figure/table as CSV (for plotting)")
 		seed       = fs.Int64("seed", 42, "simulation seed")
 		parallel   = fs.Int("parallel", runtime.NumCPU(), "worker pool size (1 = sequential; output is identical at any value)")
+		shards     = fs.Int("shards", 1, "region-sharded engines per large simulation (1 = historical single-engine path; output is identical at any value)")
 		trials     = fs.Int("trials", 1, "independent seeds per experiment; >1 reports mean ± 95% CI")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -63,13 +67,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "gridbench: -parallel must be >= 1, got %d\n", *parallel)
 		return 2
 	}
+	if *shards < 1 {
+		fmt.Fprintf(stderr, "gridbench: -shards must be >= 1, got %d\n", *shards)
+		return 2
+	}
 	if *trials < 1 {
 		fmt.Fprintf(stderr, "gridbench: -trials must be >= 1, got %d\n", *trials)
 		return 2
 	}
 
 	if *asCSV {
-		if err := emitCSV(*fig, *table, *faults, *scale, *seed, *parallel, stdout); err != nil {
+		if err := emitCSV(*fig, *table, *faults, *scale, *seed, *parallel, *shards, stdout); err != nil {
 			fmt.Fprintf(stderr, "gridbench: %v\n", err)
 			return 1
 		}
@@ -85,7 +93,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var failures []string
 	if *trials > 1 {
 		for _, e := range entries {
-			rep, err := experiments.Replicate(e, *seed, *trials, *parallel)
+			rep, err := experiments.Replicate(e, *seed, *trials, *parallel, experiments.WithShards(*shards))
 			if err != nil {
 				failures = append(failures, fmt.Sprintf("%s: %v", e.Name, err))
 				continue
@@ -93,7 +101,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, rep.Table())
 		}
 	} else {
-		results, _ := experiments.RunEntries(entries, *seed, *parallel)
+		results, _ := experiments.RunEntries(entries, *seed, *parallel, experiments.WithShards(*shards))
 		for _, r := range results {
 			if r.Err != nil {
 				failures = append(failures, fmt.Sprintf("%s: %v", r.Name, r.Err))
@@ -144,12 +152,13 @@ func selectEntries(all bool, fig, table int, ablations, extensions, faults, scal
 }
 
 // emitCSV writes the selected artifact's structured rows as CSV.
-func emitCSV(fig, table int, faults, scale bool, seed int64, workers int, out io.Writer) error {
+func emitCSV(fig, table int, faults, scale bool, seed int64, workers, shards int, out io.Writer) error {
 	w := csv.NewWriter(out)
 	defer w.Flush()
+	opts := []experiments.Option{experiments.WithWorkers(workers), experiments.WithShards(shards)}
 	switch {
 	case fig == 3:
-		rows, _, err := experiments.Figure3(seed, experiments.WithWorkers(workers))
+		rows, _, err := experiments.Figure3(seed, opts...)
 		if err != nil {
 			return err
 		}
@@ -166,7 +175,7 @@ func emitCSV(fig, table int, faults, scale bool, seed int64, workers int, out io
 			}
 		}
 	case fig == 4:
-		series, _, err := experiments.Figure4(seed, experiments.WithWorkers(workers))
+		series, _, err := experiments.Figure4(seed, opts...)
 		if err != nil {
 			return err
 		}
@@ -185,7 +194,7 @@ func emitCSV(fig, table int, faults, scale bool, seed int64, workers int, out io
 			}
 		}
 	case table == 1:
-		res, _, err := experiments.Table1(seed, experiments.WithWorkers(workers))
+		res, _, err := experiments.Table1(seed, opts...)
 		if err != nil {
 			return err
 		}
@@ -205,7 +214,7 @@ func emitCSV(fig, table int, faults, scale bool, seed int64, workers int, out io
 			}
 		}
 	case faults:
-		rows, _, err := experiments.ExtensionFaults(seed, experiments.WithWorkers(workers))
+		rows, _, err := experiments.ExtensionFaults(seed, opts...)
 		if err != nil {
 			return err
 		}
@@ -225,7 +234,7 @@ func emitCSV(fig, table int, faults, scale bool, seed int64, workers int, out io
 			}
 		}
 	case scale:
-		rows, _, err := experiments.ExtensionPlanetScale(seed, experiments.WithWorkers(workers))
+		rows, _, err := experiments.ExtensionPlanetScale(seed, opts...)
 		if err != nil {
 			return err
 		}

@@ -42,7 +42,7 @@ func TestEmitCSV(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var buf bytes.Buffer
-			err := emitCSV(tc.fig, tc.table, false, false, 42, 2, &buf)
+			err := emitCSV(tc.fig, tc.table, false, false, 42, 2, 1, &buf)
 			if tc.wantErr {
 				if err == nil {
 					t.Fatal("emitCSV should have errored")
@@ -100,6 +100,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-bogus"},
 		{"-all", "-parallel", "0"},
 		{"-all", "-trials", "0"},
+		{"-all", "-shards", "0"},
 	} {
 		var stdout, stderr bytes.Buffer
 		if code := run(args, &stdout, &stderr); code != 2 {
@@ -127,5 +128,37 @@ func TestParallelOutputByteIdentical(t *testing.T) {
 	}
 	if outputs[0] != outputs[1] {
 		t.Fatal("-parallel 1 and -parallel 8 outputs differ")
+	}
+}
+
+// TestShardsOutputByteIdentical extends the contract across the space
+// partition: -shards N must not change a single output byte either. The
+// planet-scale sweep is the scenario that actually exercises the
+// sharded engines; -all must also survive the flag untouched.
+func TestShardsOutputByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the planet-scale sweep at several shard counts")
+	}
+	selections := [][]string{{"-all"}}
+	if !raceEnabled {
+		// The planet-scale sweep is the workload that exercises the
+		// sharded engines, but ~40s per run makes it race-mode poison;
+		// the CI shards determinism gate diffs it at every combination.
+		selections = append(selections, [][]string{{"-scale"}, {"-scale", "-csv"}}...)
+	}
+	for _, sel := range selections {
+		var want string
+		for i, shards := range []string{"1", "4", "8"} {
+			var stdout, stderr bytes.Buffer
+			args := append(append([]string{}, sel...), "-seed", "42", "-parallel", "1", "-shards", shards)
+			if code := run(args, &stdout, &stderr); code != 0 {
+				t.Fatalf("run(%v) = %d, stderr:\n%s", args, code, stderr.String())
+			}
+			if i == 0 {
+				want = stdout.String()
+			} else if stdout.String() != want {
+				t.Fatalf("%v: -shards %s output differs from -shards 1", sel, shards)
+			}
+		}
 	}
 }

@@ -222,8 +222,13 @@ func buildScaleWorld(pointSeed int64, p scalePoint) (*scaleWorld, error) {
 // runScalePoint measures one grid size: a query phase (hierarchical
 // selection over the sharded catalog) and a flow phase (cross-region
 // transfers of the selected replicas), then collects the route-tree and
-// hierarchy counters.
-func runScalePoint(pointSeed int64, p scalePoint) (PlanetScaleResult, error) {
+// hierarchy counters. shards > 1 routes the point through the
+// space-partitioned engine (runScalePointSharded), whose output is
+// byte-identical; shards <= 1 is the historical single-engine path.
+func runScalePoint(pointSeed int64, p scalePoint, shards int) (PlanetScaleResult, error) {
+	if shards > 1 {
+		return runScalePointSharded(pointSeed, p, shards)
+	}
 	w, err := buildScaleWorld(pointSeed, p)
 	if err != nil {
 		return PlanetScaleResult{}, err
@@ -347,7 +352,7 @@ func ExtensionPlanetScale(seed int64, opts ...Option) ([]PlanetScaleResult, stri
 		jobs[i] = runner.Job[PlanetScaleResult]{
 			Name: "planetscale/" + p.label,
 			Run: func(runner.Context) (PlanetScaleResult, error) {
-				return runScalePoint(seed+int64(i+1)*104729, p)
+				return runScalePoint(seed+int64(i+1)*104729, p, cfg.shards)
 			},
 		}
 	}

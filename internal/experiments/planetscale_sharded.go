@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/cluster"
+	"github.com/hpclab/datagrid/internal/core"
+	"github.com/hpclab/datagrid/internal/gridstate"
+	"github.com/hpclab/datagrid/internal/netsim"
+	"github.com/hpclab/datagrid/internal/replica"
+	"github.com/hpclab/datagrid/internal/simulation"
+	"github.com/hpclab/datagrid/internal/topo"
+	"github.com/hpclab/datagrid/internal/workload"
+)
+
+// shardedScaleWorld is one grid point partitioned across a
+// simulation.ShardedEngine: a full topology mirror per shard (identical
+// link tables, identical float arithmetic), one shared sharded catalog
+// and hierarchical server, and per-region publishers bound to the
+// mirror their region's shard owns.
+type shardedScaleWorld struct {
+	top *topo.Topology
+	se  *simulation.ShardedEngine
+	tbs []*cluster.Testbed
+	sn  *netsim.ShardedNetwork
+	cat *replica.ShardedCatalog
+	fed *gridstate.Federation
+	srv *core.HierarchicalServer
+
+	regionShard map[string]int
+}
+
+// buildShardedScaleWorld mirrors buildScaleWorld onto shards engines.
+// Every mirror replays the exact base-load draw sequence (a fresh RNG
+// per mirror, seeded identically), so all mirrors agree bitwise on host
+// state; the catalog, placement and server are built once, exactly as
+// in the sequential world.
+func buildShardedScaleWorld(pointSeed int64, p scalePoint, shards int) (*shardedScaleWorld, error) {
+	spec := p.spec
+	spec.Seed = pointSeed
+	top, err := topo.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	_, lookahead, err := top.BoundaryCut()
+	if err != nil {
+		return nil, err
+	}
+	se, err := simulation.NewSharded(shards, lookahead)
+	if err != nil {
+		return nil, err
+	}
+	w := &shardedScaleWorld{
+		top:         top,
+		se:          se,
+		tbs:         make([]*cluster.Testbed, shards),
+		regionShard: make(map[string]int, len(top.Regions)),
+	}
+	for i, region := range top.Regions {
+		w.regionShard[region] = i % shards
+	}
+	nets := make([]*netsim.Network, shards)
+	for s := 0; s < shards; s++ {
+		tb, err := top.Build(se.Shard(s))
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(pointSeed + 1))
+		for _, region := range top.Regions {
+			for _, hn := range top.HostsByRegion[region] {
+				h, err := tb.Host(hn)
+				if err != nil {
+					return nil, err
+				}
+				if err := h.SetBaseCPULoad(0.05 + 0.85*rng.Float64()); err != nil {
+					return nil, err
+				}
+				if err := h.SetBaseIOLoad(0.05 + 0.85*rng.Float64()); err != nil {
+					return nil, err
+				}
+			}
+		}
+		w.tbs[s] = tb
+		nets[s] = tb.Network()
+	}
+	w.sn, err = netsim.AttachSharded(se, nets, topo.RegionOfHost,
+		func(region string) int { return w.regionShard[region] })
+	if err != nil {
+		return nil, err
+	}
+	w.cat = replica.NewSharded(topo.RegionOfHost)
+	if err := top.PlaceFiles(w.cat, p.files, p.replicas, 2048*workload.MB); err != nil {
+		return nil, err
+	}
+	w.srv, err = core.NewHierarchicalServer(w.cat, core.PaperWeights, nil)
+	if err != nil {
+		return nil, err
+	}
+	w.fed = gridstate.NewFederation()
+	for _, region := range top.Regions {
+		tb := w.tbs[w.regionShard[region]]
+		pub, err := gridstate.NewPublisher(
+			top.HubSwitch[region], top.HostsByRegion[region],
+			scaleBuilder{tb: tb, hub: top.HubSwitch[region]})
+		if err != nil {
+			return nil, err
+		}
+		if err := w.fed.Add(region, pub); err != nil {
+			return nil, err
+		}
+		if err := w.srv.AddRegion(region, pub); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// runScalePointSharded replays runScalePoint's exact phases on the
+// partitioned world. The sweep's flows all cross regions, so every one
+// is owned by the boundary shard and its mirror executes the sequential
+// computation event for event, while each region's query-phase probes
+// run in that region's own mirror; the aggregated counters therefore
+// equal the sequential run's, byte for byte (the gridbench shards diff
+// gates enforce this end to end).
+func runScalePointSharded(pointSeed int64, p scalePoint, shards int) (PlanetScaleResult, error) {
+	w, err := buildShardedScaleWorld(pointSeed, p, shards)
+	if err != nil {
+		return PlanetScaleResult{}, err
+	}
+	res := PlanetScaleResult{
+		Label:   p.label,
+		Sites:   p.spec.Sites(),
+		Hosts:   p.spec.Hosts(),
+		Regions: p.spec.Regions,
+		Files:   p.files,
+		Queries: p.queries,
+		Flows:   p.flows,
+	}
+
+	// Query phase: identical draw sequence and hierarchy traffic; each
+	// probe reads the mirror owning its region.
+	rng := rand.New(rand.NewSource(pointSeed + 2))
+	pick := func() string { return fmt.Sprintf("lfn:d%d", rng.Intn(p.files)) }
+	for q := 0; q < p.queries; q++ {
+		if _, err := w.srv.SelectBest(pick(), w.se.Now()); err != nil {
+			return PlanetScaleResult{}, fmt.Errorf("query %d: %w", q, err)
+		}
+	}
+	if st := w.srv.Stats(); st.MaxSingleRank > p.replicas {
+		return PlanetScaleResult{}, fmt.Errorf("hierarchy scanned %d hosts in one rank, replica bound is %d",
+			st.MaxSingleRank, p.replicas)
+	}
+
+	// Flow phase: the same fixed plan, launched on each flow's owner
+	// shard. All sweep flows cross regions, so the owner is always the
+	// boundary shard and completion callbacks run there in plan order —
+	// the float accumulation order of totalSec matches the sequential
+	// path exactly.
+	type flowPlan struct {
+		src, dst string
+		at       time.Duration
+	}
+	plans := make([]flowPlan, 0, p.flows)
+	for f := 0; f < p.flows; f++ {
+		best, err := w.srv.SelectBest(pick(), w.se.Now())
+		if err != nil {
+			return PlanetScaleResult{}, fmt.Errorf("flow pick %d: %w", f, err)
+		}
+		src := best.Location.Host
+		dstRegion := w.top.Regions[rng.Intn(len(w.top.Regions))]
+		for dstRegion == topo.RegionOfHost(src) {
+			dstRegion = w.top.Regions[rng.Intn(len(w.top.Regions))]
+		}
+		dsts := w.top.HostsByRegion[dstRegion]
+		plans = append(plans, flowPlan{
+			src: src,
+			dst: dsts[rng.Intn(len(dsts))],
+			at:  time.Duration(f) * scaleFlowGap,
+		})
+	}
+	done := 0
+	var totalSec float64
+	var runErr error
+	for _, pl := range plans {
+		pl := pl
+		owner := w.sn.OwnerShard(pl.src, pl.dst)
+		eng := w.se.Shard(owner)
+		if _, err := eng.After(pl.at, func(time.Duration) {
+			_, err := w.sn.Net(owner).StartFlow(pl.src, pl.dst, scaleFlowBytes,
+				netsim.FlowOptions{WindowBytes: 1 << 20}, func(fl *netsim.Flow) {
+					totalSec += (eng.Now() - pl.at).Seconds()
+					done++
+				})
+			if err != nil && runErr == nil {
+				runErr = fmt.Errorf("flow %s -> %s: %w", pl.src, pl.dst, err)
+			}
+		}); err != nil {
+			return PlanetScaleResult{}, err
+		}
+	}
+	deadline := w.se.Now()
+	for done < len(plans) && runErr == nil {
+		deadline += time.Hour
+		if deadline > 1000*time.Hour {
+			return PlanetScaleResult{}, fmt.Errorf("planet-scale flows stalled at %d/%d", done, len(plans))
+		}
+		if err := w.se.RunUntil(deadline); err != nil {
+			return PlanetScaleResult{}, err
+		}
+	}
+	if runErr != nil {
+		return PlanetScaleResult{}, runErr
+	}
+	if done > 0 {
+		res.MeanTransferSec = totalSec / float64(done)
+	}
+
+	rs := w.sn.RouteStats()
+	hs := w.srv.Stats()
+	ps := w.sn.ReallocStats()
+	res.TreeBuilds = rs.TreeBuilds
+	res.PathBuilds = rs.PathBuilds
+	res.RegionsConsulted = hs.RegionsConsulted
+	res.HostsScanned = hs.HostsScanned
+	res.MaxSingleRank = hs.MaxSingleRank
+	res.ReallocEvents = ps.Events
+	res.ReallocRounds = ps.Rounds
+	res.FlowsScanned = ps.FlowsScanned
+	res.ComponentsDirtied = ps.ComponentsDirtied
+	res.MaxComponentFlows = ps.MaxComponentFlows
+	res.MaxRoundFlows = ps.MaxRoundFlows
+	return res, nil
+}

@@ -19,7 +19,7 @@ var tinyScalePoint = scalePoint{
 }
 
 func TestPlanetScalePoint(t *testing.T) {
-	r, err := runScalePoint(7, tinyScalePoint)
+	r, err := runScalePoint(7, tinyScalePoint, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,22 +46,42 @@ func TestPlanetScalePoint(t *testing.T) {
 // unit scale: the same (seed, point) must reproduce every count and
 // virtual time exactly.
 func TestPlanetScalePointDeterministic(t *testing.T) {
-	a, err := runScalePoint(11, tinyScalePoint)
+	a, err := runScalePoint(11, tinyScalePoint, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := runScalePoint(11, tinyScalePoint)
+	b, err := runScalePoint(11, tinyScalePoint, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(a, b) {
 		t.Errorf("same seed diverged:\n%+v\n%+v", a, b)
 	}
-	c, err := runScalePoint(12, tinyScalePoint)
+	c, err := runScalePoint(12, tinyScalePoint, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if reflect.DeepEqual(a, c) {
 		t.Error("different seeds produced identical results; seed is not flowing")
+	}
+}
+
+// TestPlanetScalePointShardsEquivalent: the space-partitioned path must
+// reproduce the single-engine result exactly — every counter and the
+// float mean — at several shard counts, including more shards than
+// regions (idle shards) .
+func TestPlanetScalePointShardsEquivalent(t *testing.T) {
+	want, err := runScalePoint(7, tinyScalePoint, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 3, 5} {
+		got, err := runScalePoint(7, tinyScalePoint, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if got != want {
+			t.Errorf("shards=%d diverged:\n got %+v\nwant %+v", shards, got, want)
+		}
 	}
 }

@@ -1,0 +1,187 @@
+package netsim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/simulation"
+)
+
+// mirrorPair builds a ShardedEngine with two shards and one identical
+// two-node mirror per shard.
+func mirrorPair(t *testing.T, lookahead time.Duration) (*simulation.ShardedEngine, *ShardedNetwork) {
+	t.Helper()
+	se, err := simulation.NewSharded(2, lookahead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets := make([]*Network, 2)
+	for i := range nets {
+		n := New(se.Shard(i), 1)
+		for _, node := range []string{"a", "b"} {
+			if err := n.AddNode(node); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := n.AddLink("a", "b", LinkConfig{CapacityBps: 1e9, Delay: time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+		nets[i] = n
+	}
+	sn, err := AttachSharded(se, nets,
+		func(string) string { return "r" },
+		func(string) int { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return se, sn
+}
+
+// TestAuditDetectsCrossShardLinkSharing: two shards running flows over
+// the same link in overlapping time must abort the run.
+func TestAuditDetectsCrossShardLinkSharing(t *testing.T) {
+	se, sn := mirrorPair(t, 5*time.Millisecond)
+	start := func(shard int, at time.Duration) {
+		if _, err := se.Shard(shard).Schedule(at, func(time.Duration) {
+			if _, err := sn.Net(shard).StartFlow("a", "b", 64<<20, FlowOptions{}, nil); err != nil {
+				t.Errorf("StartFlow shard %d: %v", shard, err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start(0, 0)
+	start(1, 10*time.Millisecond)
+	err := se.RunUntil(time.Second)
+	if !errors.Is(err, ErrCrossShardLink) {
+		t.Fatalf("RunUntil = %v, want ErrCrossShardLink", err)
+	}
+	if !strings.Contains(err.Error(), "a->b") {
+		t.Errorf("error %q does not name the shared link", err)
+	}
+}
+
+// TestAuditAllowsSameInstantHandoff: a release and a claim at the same
+// virtual instant are a zero-length overlap and carry zero bytes — the
+// link may change shards at a point in time.
+func TestAuditAllowsSameInstantHandoff(t *testing.T) {
+	se, sn := mirrorPair(t, 5*time.Millisecond)
+	const handoff = 50 * time.Millisecond
+	var f0 *Flow
+	if _, err := se.Shard(0).Schedule(0, func(time.Duration) {
+		var err error
+		f0, err = sn.Net(0).StartFlow("a", "b", 1<<30, FlowOptions{}, nil)
+		if err != nil {
+			t.Errorf("shard 0 StartFlow: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.Shard(0).Schedule(handoff, func(time.Duration) {
+		if err := sn.Net(0).CancelFlow(f0); err != nil {
+			t.Errorf("CancelFlow: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.Shard(1).Schedule(handoff, func(time.Duration) {
+		if _, err := sn.Net(1).StartFlow("a", "b", 1<<20, FlowOptions{}, nil); err != nil {
+			t.Errorf("shard 1 StartFlow: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := se.RunUntil(time.Second); err != nil {
+		t.Fatalf("same-instant handoff rejected: %v", err)
+	}
+	if sn.Audits() == 0 {
+		t.Fatal("audit never ran")
+	}
+}
+
+func TestAttachShardedValidation(t *testing.T) {
+	se, err := simulation.NewSharded(2, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkNet := func(eng *simulation.Engine, withLink bool) *Network {
+		n := New(eng, 1)
+		for _, node := range []string{"a", "b"} {
+			if err := n.AddNode(node); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if withLink {
+			if err := n.AddLink("a", "b", LinkConfig{CapacityBps: 1e9, Delay: time.Millisecond}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return n
+	}
+	region := func(string) string { return "r" }
+	shard := func(string) int { return 0 }
+
+	if _, err := AttachSharded(se, []*Network{mkNet(se.Shard(0), true)}, region, shard); err == nil {
+		t.Error("mismatched network count accepted")
+	}
+	// Network 1 driven by the wrong shard.
+	if _, err := AttachSharded(se,
+		[]*Network{mkNet(se.Shard(0), true), mkNet(se.Shard(0), true)}, region, shard); err == nil {
+		t.Error("network on the wrong shard accepted")
+	}
+	// Mirrors with different link tables.
+	if _, err := AttachSharded(se,
+		[]*Network{mkNet(se.Shard(0), true), mkNet(se.Shard(1), false)}, region, shard); err == nil {
+		t.Error("mismatched link tables accepted")
+	}
+	// A mirror that already has traffic.
+	n0, n1 := mkNet(se.Shard(0), true), mkNet(se.Shard(1), true)
+	if _, err := n0.StartFlow("a", "b", 1<<20, FlowOptions{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AttachSharded(se, []*Network{n0, n1}, region, shard); err == nil {
+		t.Error("mirror with active flows accepted")
+	}
+}
+
+// TestOwnerShardPolicy pins the deterministic ownership rule.
+func TestOwnerShardPolicy(t *testing.T) {
+	se, err := simulation.NewSharded(3, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := map[string]string{"h1": "r00", "h2": "r00", "h3": "r01", "h4": "r02"}
+	shardOf := map[string]int{"r00": 0, "r01": 1, "r02": 2}
+	nets := make([]*Network, 3)
+	for i := range nets {
+		n := New(se.Shard(i), 1)
+		for h := range region {
+			if err := n.AddNode(h); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nets[i] = n
+	}
+	sn, err := AttachSharded(se, nets,
+		func(h string) string { return region[h] },
+		func(r string) int { return shardOf[r] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sn.OwnerShard("h1", "h2"); got != 0 {
+		t.Errorf("intra r00 flow owner = %d, want 0", got)
+	}
+	if got := sn.OwnerShard("h3", "h3"); got != 1 {
+		t.Errorf("intra r01 flow owner = %d, want 1", got)
+	}
+	// Boundary-crossing flows always belong to shard 0, regardless of
+	// which regions they join.
+	if got := sn.OwnerShard("h3", "h4"); got != 0 {
+		t.Errorf("cross r01->r02 flow owner = %d, want 0", got)
+	}
+	if got := sn.OwnerShard("h4", "h1"); got != 0 {
+		t.Errorf("cross r02->r00 flow owner = %d, want 0", got)
+	}
+}

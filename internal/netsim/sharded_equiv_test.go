@@ -1,0 +1,278 @@
+package netsim_test
+
+// Sharded-vs-sequential equivalence: the same flow plan, replayed over
+// the same seeded topo world with the same WAN fault schedule, must
+// produce bitwise-identical per-flow records whether it runs on one
+// engine or on a ShardedEngine at any shard count. This is the PR 3-8
+// byte-identity discipline extended across the space partition.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/netsim"
+	"github.com/hpclab/datagrid/internal/simulation"
+	"github.com/hpclab/datagrid/internal/topo"
+)
+
+// flowPlan is one scheduled transfer in the replay.
+type flowPlan struct {
+	src, dst string
+	bytes    int64
+	at       time.Duration
+}
+
+// flowRecord is the bitwise-comparable outcome of one flow.
+type flowRecord struct {
+	State     netsim.FlowState
+	Started   time.Duration
+	Finished  time.Duration
+	Delivered int64
+	Remaining float64
+	RateBps   float64
+}
+
+// faultAction is one WAN fault-schedule entry, applied identically to
+// every mirror (and once in the sequential world).
+type faultAction struct {
+	at       time.Duration
+	from, to string
+	apply    func(n *netsim.Network, from, to string) error
+}
+
+func linkDown(n *netsim.Network, from, to string) error { return n.SetLinkDown(from, to, true) }
+func linkUp(n *netsim.Network, from, to string) error   { return n.SetLinkDown(from, to, false) }
+func bgLoad(frac float64) func(n *netsim.Network, from, to string) error {
+	return func(n *netsim.Network, from, to string) error { return n.SetBackgroundLoad(from, to, frac) }
+}
+
+// equivWorld builds the seeded 4-region topology plus a flow plan and
+// fault schedule exercising intra-shard flows, boundary-crossing flows
+// and link events. Intra-region flows use only site-1 hosts and
+// cross-region flows only site-0 hosts, so link sets of different
+// owners stay disjoint (the occupancy audit proves it at runtime).
+func equivWorld(t *testing.T, seed int64) (topo.Spec, []flowPlan, []faultAction) {
+	t.Helper()
+	spec := topo.Spec{Seed: seed, Regions: 4, SitesPerRegion: 2, ClustersPerSite: 1, HostsPerCluster: 3}
+	top, err := topo.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site0 := func(r int) []string { return top.HostsByRegion[top.Regions[r]][:3] }
+	site1 := func(r int) []string { return top.HostsByRegion[top.Regions[r]][3:] }
+
+	var plans []flowPlan
+	// Intra-region (same-site) flows: two per region, staggered, one of
+	// them long enough to span fault events and the deadline.
+	for r := 0; r < 4; r++ {
+		h := site1(r)
+		plans = append(plans,
+			flowPlan{h[0], h[1], 48 << 20, time.Duration(20*r+10) * time.Millisecond},
+			flowPlan{h[1], h[2], 512 << 20, time.Duration(20*r+25) * time.Millisecond},
+		)
+	}
+	// Boundary-crossing flows between site-0 hosts of different regions,
+	// including same-instant starts in different regions.
+	for i, pair := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}, {1, 3}} {
+		plans = append(plans, flowPlan{
+			src:   site0(pair[0])[i%3],
+			dst:   site0(pair[1])[(i+1)%3],
+			bytes: int64(16+8*i) << 20,
+			at:    time.Duration(40+30*(i/2)) * time.Millisecond,
+		})
+	}
+
+	cut, _, err := top.BoundaryCut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WAN fault schedule on boundary links: an outage window on one
+	// backbone link and background load shifts on another. Switch-level
+	// names, as netsim sees them.
+	sw := func(c string) string { return "switch." + c }
+	b0, b1 := cut[0], cut[len(cut)/2]
+	faults := []faultAction{
+		{137 * time.Millisecond, sw(b0.From), sw(b0.To), linkDown},
+		{233 * time.Millisecond, sw(b1.From), sw(b1.To), bgLoad(0.7)},
+		{411 * time.Millisecond, sw(b0.From), sw(b0.To), linkUp},
+		{517 * time.Millisecond, sw(b1.From), sw(b1.To), bgLoad(0.1)},
+	}
+	return spec, plans, faults
+}
+
+// runSequential replays the plan on a single engine.
+func runSequential(t *testing.T, spec topo.Spec, plans []flowPlan, faults []faultAction, deadline time.Duration) []flowRecord {
+	t.Helper()
+	top, err := topo.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := simulation.NewEngine()
+	tb, err := top.Build(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := tb.Network()
+	flows := make([]*netsim.Flow, len(plans))
+	for i, pl := range plans {
+		i, pl := i, pl
+		if _, err := eng.Schedule(pl.at, func(time.Duration) {
+			f, err := net.StartFlow(pl.src, pl.dst, pl.bytes, netsim.FlowOptions{WindowBytes: 1 << 20}, nil)
+			if err != nil {
+				t.Errorf("sequential StartFlow %d: %v", i, err)
+				return
+			}
+			flows[i] = f
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, fa := range faults {
+		fa := fa
+		if _, err := eng.Schedule(fa.at, func(time.Duration) {
+			if err := fa.apply(net, fa.from, fa.to); err != nil {
+				t.Errorf("sequential fault at %v: %v", fa.at, err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.RunUntil(deadline); err != nil {
+		t.Fatal(err)
+	}
+	return records(t, flows)
+}
+
+// runSharded replays the identical plan on a ShardedEngine with one
+// full topology mirror per shard.
+func runSharded(t *testing.T, spec topo.Spec, plans []flowPlan, faults []faultAction, deadline time.Duration, shards int) []flowRecord {
+	t.Helper()
+	top, err := topo.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lookahead, err := top.BoundaryCut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := simulation.NewSharded(shards, lookahead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets := make([]*netsim.Network, shards)
+	for s := 0; s < shards; s++ {
+		tb, err := top.Build(se.Shard(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets[s] = tb.Network()
+	}
+	regionIdx := make(map[string]int, len(top.Regions))
+	for i, r := range top.Regions {
+		regionIdx[r] = i
+	}
+	sn, err := netsim.AttachSharded(se, nets,
+		topo.RegionOfHost,
+		func(region string) int { return regionIdx[region] % shards })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flows := make([]*netsim.Flow, len(plans))
+	for i, pl := range plans {
+		i, pl := i, pl
+		owner := sn.OwnerShard(pl.src, pl.dst)
+		if _, err := se.Shard(owner).Schedule(pl.at, func(time.Duration) {
+			f, err := sn.Net(owner).StartFlow(pl.src, pl.dst, pl.bytes, netsim.FlowOptions{WindowBytes: 1 << 20}, nil)
+			if err != nil {
+				t.Errorf("sharded StartFlow %d: %v", i, err)
+				return
+			}
+			flows[i] = f
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The fault schedule hits every mirror at the same virtual time:
+	// mirrors must agree on link state even where they host no flows.
+	for _, fa := range faults {
+		fa := fa
+		for s := 0; s < shards; s++ {
+			net := nets[s]
+			if _, err := se.Shard(s).Schedule(fa.at, func(time.Duration) {
+				if err := fa.apply(net, fa.from, fa.to); err != nil {
+					t.Errorf("sharded fault at %v: %v", fa.at, err)
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := se.RunUntil(deadline); err != nil {
+		t.Fatal(err)
+	}
+	if sn.Audits() == 0 {
+		t.Error("occupancy audit never ran")
+	}
+	return records(t, flows)
+}
+
+func records(t *testing.T, flows []*netsim.Flow) []flowRecord {
+	t.Helper()
+	out := make([]flowRecord, len(flows))
+	for i, f := range flows {
+		if f == nil {
+			t.Fatalf("flow %d never started", i)
+		}
+		out[i] = flowRecord{
+			State:     f.State(),
+			Started:   f.Started(),
+			Finished:  f.Finished(),
+			Delivered: f.DeliveredPayloadBytes(),
+			Remaining: f.RemainingBytes(),
+			RateBps:   f.RateBps(),
+		}
+	}
+	return out
+}
+
+func TestShardedFlowRecordsBitwiseEqualSequential(t *testing.T) {
+	const deadline = 2 * time.Second
+	for _, seed := range []int64{42, 7, 1905} {
+		spec, plans, faults := equivWorld(t, seed)
+		want := runSequential(t, spec, plans, faults, deadline)
+		doneSeq := 0
+		for _, r := range want {
+			if r.State == netsim.FlowDone {
+				doneSeq++
+			}
+		}
+		// The scenario must exercise both completed and still-active flows.
+		if doneSeq == 0 || doneSeq == len(want) {
+			t.Fatalf("seed %d: degenerate scenario, %d/%d flows done", seed, doneSeq, len(want))
+		}
+		for _, shards := range []int{1, 2, 4} {
+			got := runSharded(t, spec, plans, faults, deadline, shards)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("seed %d shards %d flow %d (%s->%s): sharded %+v != sequential %+v",
+						seed, shards, i, plans[i].src, plans[i].dst, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedFlowRecordsDeterministic: the sharded replay must also be
+// bitwise stable run-over-run (goroutine scheduling must not leak in).
+func TestShardedFlowRecordsDeterministic(t *testing.T) {
+	const deadline = 2 * time.Second
+	spec, plans, faults := equivWorld(t, 42)
+	first := runSharded(t, spec, plans, faults, deadline, 4)
+	for run := 1; run < 3; run++ {
+		if again := runSharded(t, spec, plans, faults, deadline, 4); fmt.Sprint(again) != fmt.Sprint(first) {
+			t.Fatalf("run %d diverged from run 0", run)
+		}
+	}
+}

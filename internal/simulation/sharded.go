@@ -1,0 +1,330 @@
+package simulation
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ShardedEngine runs N sub-engines (one per spatial shard, typically one
+// per topology region) under a conservative time-windowed coordinator.
+//
+// The coordinator repeatedly picks the earliest pending event time t_min
+// across all shards and advances every shard through the window
+// [t_min, t_min+lookahead). Within a window the shards run concurrently
+// and never observe each other: cross-shard interaction is only possible
+// through Post, which enforces a minimum delay of lookahead — so no event
+// inside the current window can depend on another shard's events in the
+// same window, which is exactly the CMB conservative-synchronization
+// condition. Lookahead is the minimum one-way latency across the boundary
+// (WAN) links of the partition; internal/topo computes it from the
+// region cut.
+//
+// Cross-shard events travel through per-(from,to) mailboxes. At each
+// window edge the coordinator drains every mailbox and schedules the
+// pending deliveries in sorted (at, pair-seq, from, to) order, so the
+// sequence numbers the destination engines assign — and therefore every
+// same-timestamp tie-break — are a pure function of the event stream, not
+// of goroutine scheduling. Runs are bitwise reproducible at any shard
+// count and on any number of OS threads.
+//
+// The sub-engines are *Engine values: all existing components (netsim,
+// cluster, tickers) attach to a shard exactly as they would to a private
+// engine. Outside of Run/RunUntil the caller may touch any shard; during
+// a run each shard is owned by its worker goroutine and only Post may be
+// used to reach another shard (the enginesharing gridlint analyzer
+// enforces this for code outside this package).
+type ShardedEngine struct {
+	shards    []*Engine
+	lookahead time.Duration
+	// boxes[from*n+to] is the mailbox for cross-shard events posted by
+	// shard `from` addressed to shard `to`. During a window each mailbox
+	// is appended to only by `from`'s worker goroutine; between windows
+	// only the coordinator touches them.
+	boxes []mailbox
+	now   time.Duration
+
+	hooks []func(edge time.Duration) error
+
+	running   bool
+	windows   uint64
+	delivered uint64
+
+	workerErr  []error     // per-shard error from the last window
+	active     []int       // scratch: shards with events in the window
+	deliveries []crossPost // scratch: merged mailbox drain
+}
+
+// mailbox buffers cross-shard events for one (from, to) shard pair.
+type mailbox struct {
+	seq     uint64
+	pending []crossPost
+}
+
+// crossPost is one cross-shard event waiting in a mailbox.
+type crossPost struct {
+	at       time.Duration
+	seq      uint64 // per-pair posting sequence
+	from, to int
+	fn       func(now time.Duration)
+}
+
+// NewSharded returns a coordinator over n fresh sub-engines with the
+// given conservative lookahead. Lookahead must be positive: it is the
+// minimum cross-shard latency, and a zero value would make every window
+// empty. n = 1 is permitted (a degenerate but valid partition).
+func NewSharded(n int, lookahead time.Duration) (*ShardedEngine, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("simulation: shard count must be >= 1, got %d", n)
+	}
+	if lookahead <= 0 {
+		return nil, fmt.Errorf("simulation: lookahead must be positive, got %v", lookahead)
+	}
+	s := &ShardedEngine{
+		shards:    make([]*Engine, n),
+		lookahead: lookahead,
+		boxes:     make([]mailbox, n*n),
+		workerErr: make([]error, n),
+	}
+	for i := range s.shards {
+		s.shards[i] = NewEngine()
+	}
+	return s, nil
+}
+
+// Shards returns the number of sub-engines.
+func (s *ShardedEngine) Shards() int { return len(s.shards) }
+
+// Shard returns sub-engine i. Components living in shard i schedule on
+// it directly; during a run it must only be touched from callbacks that
+// the shard itself fires.
+func (s *ShardedEngine) Shard(i int) *Engine { return s.shards[i] }
+
+// Lookahead returns the conservative window width.
+func (s *ShardedEngine) Lookahead() time.Duration { return s.lookahead }
+
+// Now returns the coordinator's virtual time: the end of the last
+// completed window, or the deadline after RunUntil returns.
+func (s *ShardedEngine) Now() time.Duration { return s.now }
+
+// Windows returns the number of conservative windows executed.
+func (s *ShardedEngine) Windows() uint64 { return s.windows }
+
+// Posted returns the number of cross-shard events accepted by Post. It
+// sums the per-mailbox sequence counters, each owned by one posting
+// shard, so it must only be read while no run is in progress.
+func (s *ShardedEngine) Posted() uint64 {
+	var n uint64
+	for i := range s.boxes {
+		n += s.boxes[i].seq
+	}
+	return n
+}
+
+// Delivered returns the number of cross-shard events handed to their
+// destination shard at window edges.
+func (s *ShardedEngine) Delivered() uint64 { return s.delivered }
+
+// OnWindowEdge registers fn to run on the coordinator goroutine at the
+// end of every window, before mailboxes are drained. The argument is the
+// window's last instant (every shard's clock has reached it and no shard
+// has passed it). An error aborts the run. Hooks are the synchronization
+// point for cross-shard state audits such as netsim's link-occupancy
+// check.
+func (s *ShardedEngine) OnWindowEdge(fn func(edge time.Duration) error) {
+	s.hooks = append(s.hooks, fn)
+}
+
+// ErrCrossShardLookahead is returned by Post when the target time is
+// closer than the lookahead allows.
+var ErrCrossShardLookahead = errors.New("simulation: cross-shard event inside the lookahead horizon")
+
+// Post schedules fn at absolute virtual time at on shard to, on behalf
+// of shard from. It must be called either before the run starts or from
+// a callback executing on shard from; the event is buffered in the
+// (from, to) mailbox and delivered at the next window edge. at must be
+// at least lookahead beyond shard from's clock — that slack is what
+// guarantees the delivery can never land in a shard's past.
+func (s *ShardedEngine) Post(from, to int, at time.Duration, fn func(now time.Duration)) error {
+	n := len(s.shards)
+	if from < 0 || from >= n || to < 0 || to >= n {
+		return fmt.Errorf("simulation: Post shard out of range: from=%d to=%d n=%d", from, to, n)
+	}
+	if from == to {
+		return errors.New("simulation: Post within one shard; use Shard(i).Schedule")
+	}
+	if fn == nil {
+		return errors.New("simulation: nil event function")
+	}
+	if min := s.shards[from].now + s.lookahead; at < min {
+		return fmt.Errorf("%w: at=%v shard %d now=%v lookahead=%v",
+			ErrCrossShardLookahead, at, from, s.shards[from].now, s.lookahead)
+	}
+	box := &s.boxes[from*n+to]
+	box.pending = append(box.pending, crossPost{at: at, seq: box.seq, from: from, to: to, fn: fn})
+	box.seq++
+	return nil
+}
+
+// Run advances windows until every shard's queue and every mailbox is
+// empty. Unlike Engine.Run it leaves each shard's clock at the edge of
+// its last window rather than at its last event.
+func (s *ShardedEngine) Run() error {
+	return s.RunUntil(time.Duration(math.MaxInt64))
+}
+
+// RunUntil fires all events with timestamp <= deadline across every
+// shard, window by window, then advances all clocks to the deadline
+// (mirroring Engine.RunUntil). Events beyond the deadline stay queued on
+// their destination shard; mailboxes are always fully drained before
+// RunUntil returns.
+func (s *ShardedEngine) RunUntil(deadline time.Duration) error {
+	if s.running {
+		return ErrReentrantRun
+	}
+	s.running = true
+	defer func() { s.running = false }()
+
+	maxT := time.Duration(math.MaxInt64)
+	for {
+		// Deliver buffered cross-shard events first: a posted event may be
+		// earlier than every queued one (or the only work left). Between
+		// windows every buffered at is >= every shard clock, so delivery
+		// is always safe here.
+		if err := s.drainMailboxes(); err != nil {
+			return err
+		}
+		tmin, ok := s.nextEventTime()
+		if !ok || tmin > deadline {
+			break
+		}
+		// Window is [tmin, wend): lookahead above the earliest event,
+		// clipped so events after the deadline stay queued.
+		wend := maxT
+		if tmin <= maxT-s.lookahead {
+			wend = tmin + s.lookahead
+		}
+		if deadline < maxT && deadline+1 < wend {
+			wend = deadline + 1
+		}
+		if err := s.runWindow(wend); err != nil {
+			return err
+		}
+		s.windows++
+		s.now = wend - 1
+		for _, h := range s.hooks {
+			if err := h(wend - 1); err != nil {
+				return err
+			}
+		}
+	}
+	if deadline != maxT {
+		for _, eng := range s.shards {
+			if eng.now < deadline {
+				eng.now = deadline
+			}
+		}
+		s.now = deadline
+	}
+	return nil
+}
+
+// nextEventTime returns the earliest pending event time across shards.
+func (s *ShardedEngine) nextEventTime() (time.Duration, bool) {
+	var tmin time.Duration
+	found := false
+	for _, eng := range s.shards {
+		if t, ok := eng.peekNext(); ok && (!found || t < tmin) {
+			tmin, found = t, true
+		}
+	}
+	return tmin, found
+}
+
+// runWindow advances every shard holding an event before wend to
+// wend-1, concurrently when more than one shard has work. Idle shards
+// are skipped: their clocks may lag, but nothing can be scheduled in
+// their past because mailbox deliveries always land at or beyond a
+// window edge ahead of them.
+func (s *ShardedEngine) runWindow(wend time.Duration) error {
+	s.active = s.active[:0]
+	for i, eng := range s.shards {
+		if t, ok := eng.peekNext(); ok && t < wend {
+			s.active = append(s.active, i)
+		}
+	}
+	if len(s.active) == 1 {
+		i := s.active[0]
+		return s.shards[i].RunUntil(wend - 1)
+	}
+	var wg sync.WaitGroup
+	for _, i := range s.active {
+		wg.Add(1)
+		go s.runShardWindow(i, wend-1, &wg)
+	}
+	wg.Wait()
+	for _, i := range s.active {
+		if err := s.workerErr[i]; err != nil {
+			s.workerErr[i] = nil
+			return err
+		}
+	}
+	return nil
+}
+
+// runShardWindow drives one shard through one window on its own
+// goroutine. A panicking callback is converted into a window error so
+// the coordinator fails loudly instead of crashing the process with no
+// shard attribution.
+func (s *ShardedEngine) runShardWindow(i int, until time.Duration, wg *sync.WaitGroup) {
+	defer wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			s.workerErr[i] = fmt.Errorf("simulation: shard %d callback panicked: %v", i, r)
+		}
+	}()
+	s.workerErr[i] = s.shards[i].RunUntil(until)
+}
+
+// drainMailboxes moves every buffered cross-shard event into its
+// destination engine. Deliveries are sorted by (at, pair-seq, from, to):
+// within one window edge the order — and therefore the sequence numbers
+// the destination assigns — depends only on what was posted, never on
+// which worker goroutine ran first.
+func (s *ShardedEngine) drainMailboxes() error {
+	s.deliveries = s.deliveries[:0]
+	for b := range s.boxes {
+		box := &s.boxes[b]
+		s.deliveries = append(s.deliveries, box.pending...)
+		box.pending = box.pending[:0]
+	}
+	if len(s.deliveries) == 0 {
+		return nil
+	}
+	sort.Slice(s.deliveries, func(i, j int) bool {
+		a, b := s.deliveries[i], s.deliveries[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.seq != b.seq {
+			return a.seq < b.seq
+		}
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		return a.to < b.to
+	})
+	for i := range s.deliveries {
+		d := &s.deliveries[i]
+		if _, err := s.shards[d.to].Schedule(d.at, d.fn); err != nil {
+			return fmt.Errorf("simulation: delivering cross-shard event %d->%d at %v: %w",
+				d.from, d.to, d.at, err)
+		}
+		d.fn = nil
+		s.delivered++
+	}
+	return nil
+}

@@ -1,0 +1,445 @@
+package simulation
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// trace records one fired event for stream comparison.
+type trace struct {
+	Shard int
+	At    time.Duration
+	Tag   string
+}
+
+func TestNewShardedValidation(t *testing.T) {
+	if _, err := NewSharded(0, time.Millisecond); err == nil {
+		t.Fatal("NewSharded(0, 1ms): want error")
+	}
+	if _, err := NewSharded(2, 0); err == nil {
+		t.Fatal("NewSharded(2, 0): want error")
+	}
+	se, err := NewSharded(3, 20*time.Millisecond)
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+	if se.Shards() != 3 {
+		t.Fatalf("Shards() = %d, want 3", se.Shards())
+	}
+	if se.Lookahead() != 20*time.Millisecond {
+		t.Fatalf("Lookahead() = %v", se.Lookahead())
+	}
+}
+
+// TestShardedMatchesIndependentEngines: with no cross-shard traffic each
+// shard must produce exactly the stream a private engine would — same
+// times, same order, same final clock.
+func TestShardedMatchesIndependentEngines(t *testing.T) {
+	const lookahead = 10 * time.Millisecond
+	deadline := 500 * time.Millisecond
+
+	// schedule installs the same staggered, self-rescheduling workload on
+	// any engine; the recorder tags events with the given shard id.
+	schedule := func(eng *Engine, shard int, out *[]trace) {
+		for k := 0; k < 5; k++ {
+			k := k
+			period := time.Duration(3+shard*7+k) * time.Millisecond
+			at := time.Duration(shard+k) * time.Millisecond
+			var fn func(now time.Duration)
+			fn = func(now time.Duration) {
+				*out = append(*out, trace{shard, now, fmt.Sprintf("w%d", k)})
+				if now+period <= deadline {
+					if _, err := eng.Schedule(now+period, fn); err != nil {
+						t.Errorf("reschedule: %v", err)
+					}
+				}
+			}
+			if _, err := eng.Schedule(at, fn); err != nil {
+				t.Fatalf("schedule: %v", err)
+			}
+		}
+	}
+
+	se, err := NewSharded(3, lookahead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([][]trace, 3)
+	for i := 0; i < 3; i++ {
+		schedule(se.Shard(i), i, &got[i])
+	}
+	if err := se.RunUntil(deadline); err != nil {
+		t.Fatalf("sharded RunUntil: %v", err)
+	}
+
+	for i := 0; i < 3; i++ {
+		eng := NewEngine()
+		var want []trace
+		schedule(eng, i, &want)
+		if err := eng.RunUntil(deadline); err != nil {
+			t.Fatalf("sequential RunUntil: %v", err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("shard %d stream diverged from a private engine:\n got %v\nwant %v", i, got[i], want)
+		}
+		if se.Shard(i).Now() != eng.Now() {
+			t.Fatalf("shard %d clock = %v, want %v", i, se.Shard(i).Now(), eng.Now())
+		}
+	}
+	if se.Now() != deadline {
+		t.Fatalf("coordinator Now() = %v, want %v", se.Now(), deadline)
+	}
+	if se.Windows() == 0 {
+		t.Fatal("expected at least one window")
+	}
+}
+
+// TestShardedCrossShardPingPong: a ping-pong chain across two shards via
+// Post must reproduce, bitwise, the stream of the same chain scheduled
+// on one sequential engine.
+func TestShardedCrossShardPingPong(t *testing.T) {
+	const lookahead = 20 * time.Millisecond
+	const rounds = 8
+
+	run := func(post func(from, to int, at time.Duration, fn func(time.Duration)) error,
+		drive func() error) []trace {
+		var got []trace
+		var ping func(shard int, round int) func(time.Duration)
+		ping = func(shard, round int) func(time.Duration) {
+			return func(now time.Duration) {
+				got = append(got, trace{shard, now, fmt.Sprintf("r%d", round)})
+				if round >= rounds {
+					return
+				}
+				if err := post(shard, 1-shard, now+lookahead, ping(1-shard, round+1)); err != nil {
+					t.Errorf("post round %d: %v", round+1, err)
+				}
+			}
+		}
+		if err := post(1, 0, lookahead, ping(0, 1)); err != nil {
+			t.Fatalf("seed post: %v", err)
+		}
+		if err := drive(); err != nil {
+			t.Fatalf("drive: %v", err)
+		}
+		return got
+	}
+
+	se, err := NewSharded(2, lookahead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := run(se.Post, se.Run)
+
+	eng := NewEngine()
+	sequential := run(func(from, to int, at time.Duration, fn func(time.Duration)) error {
+		_, err := eng.Schedule(at, fn)
+		return err
+	}, eng.Run)
+
+	if !reflect.DeepEqual(sharded, sequential) {
+		t.Fatalf("cross-shard stream diverged:\n got %v\nwant %v", sharded, sequential)
+	}
+	if se.Posted() != rounds || se.Delivered() != rounds {
+		t.Fatalf("Posted/Delivered = %d/%d, want %d/%d", se.Posted(), se.Delivered(), rounds, rounds)
+	}
+}
+
+// TestShardedMailboxOrderDeterministic: same-timestamp deliveries from
+// different shards must land in (pair-seq, shard) order, identically on
+// every run.
+func TestShardedMailboxOrderDeterministic(t *testing.T) {
+	const lookahead = 5 * time.Millisecond
+	runOnce := func() []trace {
+		se, err := NewSharded(4, lookahead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []trace
+		// Shards 1..3 each fire at t=0 and post two events to shard 0, all
+		// landing at the same instant.
+		for s := 1; s < 4; s++ {
+			s := s
+			if _, err := se.Shard(s).Schedule(0, func(now time.Duration) {
+				for k := 0; k < 2; k++ {
+					tag := fmt.Sprintf("s%dk%d", s, k)
+					if err := se.Post(s, 0, lookahead, func(at time.Duration) {
+						got = append(got, trace{0, at, tag})
+					}); err != nil {
+						t.Errorf("post %s: %v", tag, err)
+					}
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := se.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	first := runOnce()
+	want := []trace{
+		{0, lookahead, "s1k0"}, {0, lookahead, "s2k0"}, {0, lookahead, "s3k0"},
+		{0, lookahead, "s1k1"}, {0, lookahead, "s2k1"}, {0, lookahead, "s3k1"},
+	}
+	if !reflect.DeepEqual(first, want) {
+		t.Fatalf("delivery order:\n got %v\nwant %v", first, want)
+	}
+	for i := 0; i < 10; i++ {
+		if again := runOnce(); !reflect.DeepEqual(again, first) {
+			t.Fatalf("run %d diverged:\n got %v\nwant %v", i, again, first)
+		}
+	}
+}
+
+func TestShardedPostValidation(t *testing.T) {
+	se, err := NewSharded(2, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nop := func(time.Duration) {}
+	if err := se.Post(0, 2, time.Second, nop); err == nil {
+		t.Fatal("out-of-range shard: want error")
+	}
+	if err := se.Post(1, 1, time.Second, nop); err == nil {
+		t.Fatal("same-shard post: want error")
+	}
+	if err := se.Post(0, 1, time.Second, nil); err == nil {
+		t.Fatal("nil fn: want error")
+	}
+	err = se.Post(0, 1, 9*time.Millisecond, nop)
+	if err == nil || !strings.Contains(err.Error(), "lookahead") {
+		t.Fatalf("sub-lookahead post: got %v, want lookahead error", err)
+	}
+	if err := se.Post(0, 1, 10*time.Millisecond, nop); err != nil {
+		t.Fatalf("post exactly at the horizon: %v", err)
+	}
+}
+
+// TestShardedWindowBounds pins the window arithmetic: events within one
+// lookahead of the earliest event share its window; events beyond it
+// open a new one.
+func TestShardedWindowBounds(t *testing.T) {
+	const lookahead = 10 * time.Millisecond
+	countWindows := func(times ...time.Duration) uint64 {
+		se, err := NewSharded(2, lookahead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, at := range times {
+			if _, err := se.Shard(i%2).Schedule(at, func(time.Duration) {}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := se.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return se.Windows()
+	}
+	if got := countWindows(0, 9*time.Millisecond); got != 1 {
+		t.Fatalf("events 0 and L-1: %d windows, want 1", got)
+	}
+	if got := countWindows(0, 10*time.Millisecond); got != 2 {
+		t.Fatalf("events 0 and L: %d windows, want 2", got)
+	}
+}
+
+func TestShardedRunUntilAdvancesIdleClocks(t *testing.T) {
+	se, err := NewSharded(2, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := se.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if got := se.Shard(i).Now(); got != time.Second {
+			t.Fatalf("idle shard %d clock = %v, want 1s", i, got)
+		}
+	}
+	if se.Now() != time.Second {
+		t.Fatalf("coordinator Now() = %v, want 1s", se.Now())
+	}
+}
+
+func TestShardedReentrantRun(t *testing.T) {
+	se, err := NewSharded(2, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inner error
+	if _, err := se.Shard(0).Schedule(0, func(time.Duration) {
+		inner = se.RunUntil(time.Second)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := se.Run(); err != nil {
+		t.Fatalf("outer run: %v", err)
+	}
+	if inner != ErrReentrantRun {
+		t.Fatalf("inner RunUntil = %v, want ErrReentrantRun", inner)
+	}
+}
+
+func TestShardedCallbackPanicBecomesError(t *testing.T) {
+	se, err := NewSharded(2, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both shards active in the window so the concurrent path runs.
+	if _, err := se.Shard(0).Schedule(0, func(time.Duration) { panic("boom") }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.Shard(1).Schedule(0, func(time.Duration) {}); err != nil {
+		t.Fatal(err)
+	}
+	err = se.Run()
+	if err == nil || !strings.Contains(err.Error(), "shard 0") || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("Run() = %v, want shard-0 panic error", err)
+	}
+}
+
+func TestShardedWindowEdgeHook(t *testing.T) {
+	se, err := NewSharded(2, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edges []time.Duration
+	se.OnWindowEdge(func(edge time.Duration) error {
+		edges = append(edges, edge)
+		return nil
+	})
+	for _, at := range []time.Duration{0, 25 * time.Millisecond} {
+		if _, err := se.Shard(0).Schedule(at, func(time.Duration) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := se.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{10*time.Millisecond - 1, 35*time.Millisecond - 1}
+	if !reflect.DeepEqual(edges, want) {
+		t.Fatalf("edges = %v, want %v", edges, want)
+	}
+
+	se2, err := NewSharded(2, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hookErr := fmt.Errorf("audit failed")
+	se2.OnWindowEdge(func(time.Duration) error { return hookErr })
+	if _, err := se2.Shard(0).Schedule(0, func(time.Duration) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := se2.Run(); err != hookErr {
+		t.Fatalf("Run() = %v, want the hook error", err)
+	}
+}
+
+// TestShardedFreeListIsolation pins the event-pool contract under
+// multi-engine use: each sub-engine recycles only its own event structs,
+// so a handle freed in one shard can never resurface from another
+// shard's Schedule (which would let a stale Cancel in shard A kill a
+// live event in shard B).
+func TestShardedFreeListIsolation(t *testing.T) {
+	se, err := NewSharded(2, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, s1 := se.Shard(0), se.Shard(1)
+
+	// Fire a batch on shard 0 so its free list holds recycled structs.
+	recycled := make(map[*Event]bool)
+	for i := 0; i < 8; i++ {
+		ev, err := s0.Schedule(time.Duration(i)*time.Microsecond, func(time.Duration) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recycled[ev] = true
+	}
+	if err := se.RunUntil(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s0.free); got != 8 {
+		t.Fatalf("shard 0 free list holds %d events, want 8", got)
+	}
+
+	// Shard 1 must allocate fresh structs, never shard 0's corpses.
+	for i := 0; i < 8; i++ {
+		ev, err := s1.Schedule(2*time.Millisecond, func(time.Duration) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if recycled[ev] {
+			t.Fatalf("shard 1 handed out an event struct recycled by shard 0")
+		}
+	}
+
+	// Shard 0 itself must reuse them — that is the point of the pool.
+	ev, err := s0.Schedule(2*time.Millisecond, func(time.Duration) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recycled[ev] {
+		t.Fatal("shard 0 did not reuse its own recycled event struct")
+	}
+}
+
+// TestShardedDeterministicManyShards runs a denser mixed workload (local
+// reschedules + cross-posts at 4 shards) twice and requires identical
+// per-shard streams — the race-mode CI step executes this at 4 shards.
+func TestShardedDeterministicManyShards(t *testing.T) {
+	const lookahead = 7 * time.Millisecond
+	const deadline = 300 * time.Millisecond
+	runOnce := func() [4][]trace {
+		se, err := NewSharded(4, lookahead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Each trace slice is written only by its own shard's goroutine:
+		// local events append to their shard, cross-posts append to the
+		// destination shard.
+		var got [4][]trace
+		for s := 0; s < 4; s++ {
+			s := s
+			period := time.Duration(2+s) * time.Millisecond
+			var tick func(now time.Duration)
+			tick = func(now time.Duration) {
+				got[s] = append(got[s], trace{s, now, "local"})
+				next := (s + 1) % 4
+				if err := se.Post(s, next, now+lookahead, func(at time.Duration) {
+					got[next] = append(got[next], trace{next, at, fmt.Sprintf("from%d", s)})
+				}); err != nil {
+					t.Errorf("post from %d: %v", s, err)
+				}
+				if now+period <= deadline {
+					if _, err := se.Shard(s).Schedule(now+period, tick); err != nil {
+						t.Errorf("reschedule shard %d: %v", s, err)
+					}
+				}
+			}
+			if _, err := se.Shard(s).Schedule(time.Duration(s)*time.Millisecond, tick); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := se.RunUntil(deadline + lookahead); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	first := runOnce()
+	second := runOnce()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("4-shard mixed workload diverged between runs")
+	}
+	for s, tr := range first {
+		if len(tr) == 0 {
+			t.Fatalf("shard %d saw no events", s)
+		}
+	}
+}

@@ -250,6 +250,46 @@ func (t *Topology) Build(engine *simulation.Engine) (*cluster.Testbed, error) {
 	return cluster.New(engine, t.Spec.Seed, t.Config)
 }
 
+// BoundaryLink is one WAN link whose endpoints live in different
+// regions — by construction these are exactly the backbone links (ring
+// plus chords) between region hubs.
+type BoundaryLink struct {
+	From, To string // cluster names, as in cluster.WANLink
+	Regions  [2]string
+	Delay    time.Duration // one-way latency
+}
+
+// BoundaryCut returns the region→region boundary links of the topology
+// and the minimum one-way delay across them. That minimum is the
+// conservative lookahead for a space-partitioned simulation that places
+// each region (or a group of regions) on its own engine shard: no
+// event can cross the cut faster than the slowest-news boundary link,
+// so shards may safely advance that far without hearing from each
+// other. Link order follows the deterministic Config.WAN order. A
+// single-region topology has no cut and returns an error.
+func (t *Topology) BoundaryCut() ([]BoundaryLink, time.Duration, error) {
+	var cut []BoundaryLink
+	var min time.Duration
+	for _, w := range t.Config.WAN {
+		ra, rb := RegionOfHost(w.From), RegionOfHost(w.To)
+		if ra == rb {
+			continue
+		}
+		cut = append(cut, BoundaryLink{
+			From: w.From, To: w.To,
+			Regions: [2]string{ra, rb},
+			Delay:   w.Link.Delay,
+		})
+		if len(cut) == 1 || w.Link.Delay < min {
+			min = w.Link.Delay
+		}
+	}
+	if len(cut) == 0 {
+		return nil, 0, fmt.Errorf("topo: %d-region topology has no boundary cut", t.Spec.Regions)
+	}
+	return cut, min, nil
+}
+
 // Registrar is the catalog write surface the placement pass needs; both
 // *replica.Catalog and *replica.ShardedCatalog satisfy it.
 type Registrar interface {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 	"testing"
+	"time"
 
 	"github.com/hpclab/datagrid/internal/replica"
 	"github.com/hpclab/datagrid/internal/simulation"
@@ -181,5 +182,63 @@ func TestPlaceFiles(t *testing.T) {
 	// Replicas can't exceed the region count.
 	if err := top.PlaceFiles(replica.NewSharded(RegionOfHost), 1, len(top.Regions)+1, 1); err == nil {
 		t.Error("replicas > regions should fail")
+	}
+}
+
+func TestBoundaryCut(t *testing.T) {
+	top, err := Generate(smallSpec(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, lookahead, err := top.BoundaryCut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cut) == 0 {
+		t.Fatal("3-region topology must have boundary links")
+	}
+	// Every cut entry must genuinely cross regions and carry backbone-tier
+	// latency (Generate draws backbone delays from [20ms, 80ms)); the
+	// returned lookahead must be the exact minimum.
+	min := cut[0].Delay
+	for _, b := range cut {
+		if b.Regions[0] == b.Regions[1] {
+			t.Errorf("link %s->%s reported as boundary inside region %s", b.From, b.To, b.Regions[0])
+		}
+		if RegionOfHost(b.From) != b.Regions[0] || RegionOfHost(b.To) != b.Regions[1] {
+			t.Errorf("link %s->%s regions %v do not match endpoints", b.From, b.To, b.Regions)
+		}
+		if b.Delay < 20*time.Millisecond || b.Delay >= 100*time.Millisecond {
+			t.Errorf("boundary link %s->%s delay %v outside the backbone tier", b.From, b.To, b.Delay)
+		}
+		if b.Delay < min {
+			min = b.Delay
+		}
+	}
+	if lookahead != min {
+		t.Errorf("lookahead = %v, want minimum boundary delay %v", lookahead, min)
+	}
+	// Cross-check against a raw scan of the WAN config: the cut is exactly
+	// the inter-region subset, in WAN order.
+	var want []string
+	for _, w := range top.Config.WAN {
+		if RegionOfHost(w.From) != RegionOfHost(w.To) {
+			want = append(want, w.From+"->"+w.To)
+		}
+	}
+	var got []string
+	for _, b := range cut {
+		got = append(got, b.From+"->"+b.To)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("cut links = %v, want %v", got, want)
+	}
+
+	single, err := Generate(Spec{Seed: 1, Regions: 1, SitesPerRegion: 2, ClustersPerSite: 1, HostsPerCluster: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := single.BoundaryCut(); err == nil {
+		t.Error("single-region topology: want no-cut error")
 	}
 }

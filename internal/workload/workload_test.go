@@ -143,6 +143,133 @@ func TestRequestGeneratorDeterministic(t *testing.T) {
 	}
 }
 
+// TestRequestGeneratorStreamGolden pins the full (arrival-time, file)
+// stream bitwise for one seed, not just the file sequence: the arrival
+// clock is part of every downstream experiment's event order, so a
+// silent change to the draw sequence (e.g. reordering the ExpFloat64
+// and pick calls) must fail loudly here.
+func TestRequestGeneratorStreamGolden(t *testing.T) {
+	type ev struct {
+		at time.Duration
+		f  string
+	}
+	eng := simulation.NewEngine()
+	var got []ev
+	if _, err := NewRequestGenerator(eng, RequestConfig{
+		Files: []string{"a", "b", "c"}, RatePerMinute: 60, ZipfS: 1.5, Seed: 42,
+	}, func(f string) { got = append(got, ev{eng.Now(), f}) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	golden := []ev{
+		{495738414, "c"},
+		{648971866, "b"},
+		{764936104, "a"},
+		{1623951333, "a"},
+		{3021756130, "a"},
+		{6505139589, "b"},
+	}
+	if len(got) != 621 {
+		t.Fatalf("stream length = %d, want 621", len(got))
+	}
+	for i, want := range golden {
+		if got[i] != want {
+			t.Errorf("event %d = {%d, %q}, want {%d, %q}",
+				i, got[i].at, got[i].f, want.at, want.f)
+		}
+	}
+}
+
+// TestRequestGeneratorInterArrivalExponential checks the arrival
+// process is actually exponential, not just roughly the right rate: the
+// mean matches 1/rate and the coefficient of variation is ~1 (an
+// exponential's signature; a uniform or constant gap would fail).
+func TestRequestGeneratorInterArrivalExponential(t *testing.T) {
+	eng := simulation.NewEngine()
+	var arrivals []time.Duration
+	if _, err := NewRequestGenerator(eng, RequestConfig{
+		Files: []string{"f"}, RatePerMinute: 600, Seed: 11,
+	}, func(string) { arrivals = append(arrivals, eng.Now()) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(4 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) < 1000 {
+		t.Fatalf("only %d arrivals", len(arrivals))
+	}
+	var gaps []float64
+	prev := time.Duration(0)
+	for _, at := range arrivals {
+		gaps = append(gaps, (at - prev).Seconds())
+		prev = at
+	}
+	var sum float64
+	for _, g := range gaps {
+		sum += g
+	}
+	mean := sum / float64(len(gaps))
+	if math.Abs(mean-0.1) > 0.01 { // 600/min = 10/s: mean gap 100ms
+		t.Errorf("mean inter-arrival = %.4fs, want ~0.1s", mean)
+	}
+	var sq float64
+	for _, g := range gaps {
+		sq += (g - mean) * (g - mean)
+	}
+	cv := math.Sqrt(sq/float64(len(gaps))) / mean
+	if cv < 0.9 || cv > 1.1 {
+		t.Errorf("coefficient of variation = %.3f, want ~1 (exponential)", cv)
+	}
+}
+
+// TestJobGeneratorDeterministic: two identically-seeded job streams must
+// agree bitwise on placement counts and on every host's load trajectory
+// at checkpoint instants (the generator perturbs experiment worlds, so
+// any draw-order drift would silently change published numbers).
+func TestJobGeneratorDeterministic(t *testing.T) {
+	runOnce := func() []float64 {
+		eng := simulation.NewEngine()
+		tb, err := cluster.NewPaperTestbed(eng, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := NewJobGenerator(tb, JobConfig{
+			Hosts:         []string{"alpha1", "alpha2"},
+			RatePerMinute: 30,
+			MeanDuration:  2 * time.Minute,
+			CPU:           0.3,
+			IO:            0.2,
+			Seed:          5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trace []float64
+		for ckpt := 5 * time.Minute; ckpt <= 30*time.Minute; ckpt += 5 * time.Minute {
+			if err := eng.RunUntil(ckpt); err != nil {
+				t.Fatal(err)
+			}
+			trace = append(trace, float64(g.Placed()))
+			for _, name := range []string{"alpha1", "alpha2"} {
+				h, _ := tb.Host(name)
+				trace = append(trace, h.CPULoad(), h.IOLoad())
+			}
+		}
+		return trace
+	}
+	a, b := runOnce(), runOnce()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if a[len(a)-3] == 0 {
+		t.Fatal("no jobs placed; the determinism check is vacuous")
+	}
+}
+
 func TestJobGenerator(t *testing.T) {
 	eng := simulation.NewEngine()
 	tb, err := cluster.NewPaperTestbed(eng, 1)
