@@ -4,7 +4,7 @@ GO ?= go
 # BENCH_netsim.json (see docs/PERFORMANCE.md).
 BENCH_LABEL ?= local
 
-.PHONY: all build vet lint test race bench bench-netsim bench-suite bench-select bench-faults bench-scale bench-diff bench-diff-netsim bench-diff-suite bench-diff-select bench-diff-faults bench-diff-scale figures examples clean
+.PHONY: all build vet lint test race bench bench-netsim bench-suite bench-select bench-faults bench-scale bench-traffic bench-diff bench-diff-netsim bench-diff-suite bench-diff-select bench-diff-faults bench-diff-scale bench-diff-traffic figures examples clean
 
 all: build vet test
 
@@ -62,7 +62,7 @@ bench-select:
 # to the baseline's, so override BENCH_DIFF_METRICS locally as needed.
 BENCH_DIFF_METRICS ?= allocs/op
 
-bench-diff: bench-diff-netsim bench-diff-suite bench-diff-select bench-diff-faults bench-diff-scale
+bench-diff: bench-diff-netsim bench-diff-suite bench-diff-select bench-diff-faults bench-diff-scale bench-diff-traffic
 
 bench-diff-netsim:
 	$(GO) test -run='^$$' -bench='Netsim|Reallocate|RouteTree|AddLinkBulk|ShardedPlanet' -benchmem -timeout 600s . ./internal/netsim \
@@ -109,6 +109,20 @@ bench-diff-scale:
 	$(GO) test -run='^$$' -bench='ScaleSweep' -benchmem -timeout 1200s . \
 		| $(GO) run ./cmd/benchjson -diff -against container-1cpu \
 			-metrics '$(BENCH_DIFF_METRICS)' -out BENCH_scale.json
+
+# Record the traffic-plane sweep (the `gridbench -traffic` workload:
+# Zipf/diurnal request streams on the metro and 200-site worlds through
+# the popularity-driven replication loop and simxfer.Submit) into
+# BENCH_traffic.json. The planet row's submitted count and p99 are the
+# headline (docs/PERFORMANCE.md documents the workflow).
+bench-traffic:
+	$(GO) test -run='^$$' -bench='TrafficSweep' -benchmem -timeout 3600s . \
+		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -out BENCH_traffic.json
+
+bench-diff-traffic:
+	$(GO) test -run='^$$' -bench='TrafficSweep' -benchmem -timeout 3600s . \
+		| $(GO) run ./cmd/benchjson -diff -against container-1cpu \
+			-metrics '$(BENCH_DIFF_METRICS)' -out BENCH_traffic.json
 
 # Regenerate every paper artifact (Fig. 3, Fig. 4, Table 1, ablations,
 # extensions) in the text form EXPERIMENTS.md quotes.

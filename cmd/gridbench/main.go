@@ -53,7 +53,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		extensions = fs.Bool("extensions", false, "run the extension experiments")
 		faults     = fs.Bool("faults", false, "run the fault-tolerance sweep (not part of -all)")
 		scale      = fs.Bool("scale", false, "run the planet-scale sweep (not part of -all)")
-		all        = fs.Bool("all", false, "run everything except the fault-tolerance and planet-scale sweeps")
+		traffic    = fs.Bool("traffic", false, "run the traffic-plane sweep (not part of -all)")
+		all        = fs.Bool("all", false, "run everything except the fault-tolerance, planet-scale and traffic sweeps")
 		asCSV      = fs.Bool("csv", false, "emit the selected figure/table as CSV (for plotting)")
 		seed       = fs.Int64("seed", 42, "simulation seed")
 		parallel   = fs.Int("parallel", runtime.NumCPU(), "worker pool size (1 = sequential; output is identical at any value)")
@@ -77,14 +78,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *asCSV {
-		if err := emitCSV(*fig, *table, *faults, *scale, *seed, *parallel, *shards, stdout); err != nil {
+		if err := emitCSV(*fig, *table, *faults, *scale, *traffic, *seed, *parallel, *shards, stdout); err != nil {
 			fmt.Fprintf(stderr, "gridbench: %v\n", err)
 			return 1
 		}
 		return 0
 	}
 
-	entries := selectEntries(*all, *fig, *table, *ablations, *extensions, *faults, *scale)
+	entries := selectEntries(*all, *fig, *table, *ablations, *extensions, *faults, *scale, *traffic)
 	if len(entries) == 0 {
 		fs.Usage()
 		return 2
@@ -121,10 +122,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // selectEntries filters the suite registry down to the flag selection,
-// preserving registry (historical -all) order. The fault-tolerance and
-// planet-scale sweeps are opt-in only: -all keeps printing exactly what
-// it always has, so its output stays byte-comparable across releases.
-func selectEntries(all bool, fig, table int, ablations, extensions, faults, scale bool) []experiments.SuiteEntry {
+// preserving registry (historical -all) order. The fault-tolerance,
+// planet-scale and traffic sweeps are opt-in only: -all keeps printing
+// exactly what it always has, so its output stays byte-comparable
+// across releases.
+func selectEntries(all bool, fig, table int, ablations, extensions, faults, scale, traffic bool) []experiments.SuiteEntry {
 	var out []experiments.SuiteEntry
 	for _, e := range experiments.Suite() {
 		keep := all
@@ -143,6 +145,8 @@ func selectEntries(all bool, fig, table int, ablations, extensions, faults, scal
 			keep = faults
 		case experiments.GroupScale:
 			keep = scale
+		case experiments.GroupTraffic:
+			keep = traffic
 		}
 		if keep {
 			out = append(out, e)
@@ -152,7 +156,7 @@ func selectEntries(all bool, fig, table int, ablations, extensions, faults, scal
 }
 
 // emitCSV writes the selected artifact's structured rows as CSV.
-func emitCSV(fig, table int, faults, scale bool, seed int64, workers, shards int, out io.Writer) error {
+func emitCSV(fig, table int, faults, scale, traffic bool, seed int64, workers, shards int, out io.Writer) error {
 	w := csv.NewWriter(out)
 	defer w.Flush()
 	opts := []experiments.Option{experiments.WithWorkers(workers), experiments.WithShards(shards)}
@@ -273,8 +277,45 @@ func emitCSV(fig, table int, faults, scale bool, seed int64, workers, shards int
 				return err
 			}
 		}
+	case traffic:
+		rows, _, err := experiments.ExtensionTraffic(seed, opts...)
+		if err != nil {
+			return err
+		}
+		if err := w.Write([]string{
+			"world", "sites", "hosts", "rate_per_min", "policy", "fault_intensity",
+			"requests", "completed", "failed", "local_hits", "attempts",
+			"p50_sec", "p95_sec", "p99_sec", "goodput_mbps", "site_skew",
+			"replications", "removals",
+		}); err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if err := w.Write([]string{
+				r.Label,
+				strconv.Itoa(r.Sites),
+				strconv.Itoa(r.Hosts),
+				strconv.FormatFloat(r.RatePerMinute, 'f', 0, 64),
+				r.Policy,
+				strconv.Itoa(r.Intensity),
+				strconv.Itoa(r.Requests),
+				strconv.Itoa(r.Completed),
+				strconv.Itoa(r.Failed),
+				strconv.Itoa(r.LocalHits),
+				strconv.Itoa(r.Attempts),
+				strconv.FormatFloat(r.P50, 'f', 3, 64),
+				strconv.FormatFloat(r.P95, 'f', 3, 64),
+				strconv.FormatFloat(r.P99, 'f', 3, 64),
+				strconv.FormatFloat(r.GoodputMbps, 'f', 3, 64),
+				strconv.FormatFloat(r.SiteSkew, 'f', 3, 64),
+				strconv.Itoa(r.Replications),
+				strconv.Itoa(r.Removals),
+			}); err != nil {
+				return err
+			}
+		}
 	default:
-		return fmt.Errorf("-csv needs -fig 3, -fig 4, -table 1, -faults or -scale")
+		return fmt.Errorf("-csv needs -fig 3, -fig 4, -table 1, -faults, -scale or -traffic")
 	}
 	return nil
 }

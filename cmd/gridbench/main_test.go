@@ -42,7 +42,7 @@ func TestEmitCSV(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var buf bytes.Buffer
-			err := emitCSV(tc.fig, tc.table, false, false, 42, 2, 1, &buf)
+			err := emitCSV(tc.fig, tc.table, false, false, false, 42, 2, 1, &buf)
 			if tc.wantErr {
 				if err == nil {
 					t.Fatal("emitCSV should have errored")
@@ -67,18 +67,23 @@ func TestEmitCSV(t *testing.T) {
 // picks up the opt-in sweeps (their output is not part of the pinned
 // byte-identical suite), and each opt-in flag selects exactly its group.
 func TestOptInGroupsStayOutOfAll(t *testing.T) {
-	for _, e := range selectEntries(true, 0, 0, false, false, false, false) {
-		if e.Group == experiments.GroupFaults || e.Group == experiments.GroupScale {
+	for _, e := range selectEntries(true, 0, 0, false, false, false, false, false) {
+		if e.Group == experiments.GroupFaults || e.Group == experiments.GroupScale ||
+			e.Group == experiments.GroupTraffic {
 			t.Errorf("-all selected opt-in entry %q", e.Name)
 		}
 	}
-	scale := selectEntries(false, 0, 0, false, false, false, true)
+	scale := selectEntries(false, 0, 0, false, false, false, true, false)
 	if len(scale) != 1 || scale[0].Name != "planet scale" {
 		t.Errorf("-scale selected %d entries, want only planet scale", len(scale))
 	}
-	faults := selectEntries(false, 0, 0, false, false, true, false)
+	faults := selectEntries(false, 0, 0, false, false, true, false, false)
 	if len(faults) != 1 || faults[0].Name != "fault tolerance" {
 		t.Errorf("-faults selected %d entries, want only fault tolerance", len(faults))
+	}
+	traffic := selectEntries(false, 0, 0, false, false, false, false, true)
+	if len(traffic) != 1 || traffic[0].Name != "traffic plane" {
+		t.Errorf("-traffic selected %d entries, want only traffic plane", len(traffic))
 	}
 }
 

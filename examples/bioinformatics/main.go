@@ -13,7 +13,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"sort"
 	"time"
 
@@ -100,8 +102,17 @@ func runPolicy(policyName string, mkSelector func() core.Selector, seed int64, s
 	if err != nil {
 		return nil, err
 	}
+	transfer := func(srcHost, _, dstHost, _ string, bytes int64, done func(error)) error {
+		return xfer.Submit(simxfer.Request{
+			Sources: []string{srcHost},
+			Dst:     dstHost,
+			Bytes:   bytes,
+			Options: simxfer.GridFTPOptions(4),
+			Done:    func(r simxfer.Result) { done(r.Err) },
+		})
+	}
 	app, err := core.NewApplication(core.ApplicationConfig{Local: "alpha1"},
-		selection, xfer.ReplicaTransfer(simxfer.GridFTPOptions(4)), engine)
+		selection, transfer, engine)
 	if err != nil {
 		return nil, err
 	}
@@ -149,6 +160,12 @@ func runPolicy(policyName string, mkSelector func() core.Selector, seed int64, s
 }
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	const seed = 11
 	const span = 2 * time.Hour
 
@@ -156,13 +173,13 @@ func main() {
 		return core.CostModelSelector{Weights: core.PaperWeights}
 	}, seed, span)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	naive, err := runPolicy("random", func() core.Selector {
 		return core.NewRandomSelector(seed)
 	}, seed, span)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	tb := metrics.NewTable(
@@ -178,7 +195,7 @@ func main() {
 		tb.AddRow(n, fmt.Sprintf("%d", len(smart.byFile[n])),
 			fmt.Sprintf("%.1f", s), fmt.Sprintf("%.1f", r))
 	}
-	fmt.Println(tb.String())
+	fmt.Fprintln(out, tb.String())
 
 	var all, allNaive []float64
 	for _, n := range names {
@@ -187,7 +204,7 @@ func main() {
 	}
 	ms, _ := metrics.Mean(all)
 	mn, _ := metrics.Mean(allNaive)
-	fmt.Printf("overall: cost-model %.1fs vs random %.1fs per staging (%.0f%% faster)\n\n",
+	fmt.Fprintf(out, "overall: cost-model %.1fs vs random %.1fs per staging (%.0f%% faster)\n\n",
 		ms, mn, 100*(mn-ms)/mn)
 
 	pick := metrics.NewTable("replica hosts chosen by the cost model", "host", "times chosen")
@@ -199,5 +216,6 @@ func main() {
 	for _, h := range hosts {
 		pick.AddRow(h, fmt.Sprintf("%d", smart.chosen[h]))
 	}
-	fmt.Println(pick.String())
+	fmt.Fprintln(out, pick.String())
+	return nil
 }

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestGoldenOutput pins the example's full stdout byte-for-byte: the
+// walkthrough is seeded and simulated, so its output is deterministic,
+// and any event-order drift in the transfer or monitoring stack shows
+// up as a diff here.
+func TestGoldenOutput(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := run(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("output drifted from testdata/golden.txt\n--- got ---\n%s\n--- want ---\n%s", got.Bytes(), want)
+	}
+}

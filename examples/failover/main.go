@@ -10,7 +10,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"github.com/hpclab/datagrid/internal/cluster"
@@ -23,14 +25,20 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	const seed = 21
 	engine := simulation.NewEngine()
 	testbed, err := cluster.NewPaperTestbed(engine, seed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := cluster.StartPaperDynamics(testbed, seed); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	dep, err := info.Deploy(testbed, info.DeploymentConfig{
 		Local:   "alpha1",
@@ -38,29 +46,38 @@ func main() {
 		Seed:    seed,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	catalog := replica.NewCatalog()
 	if err := catalog.CreateLogical(replica.LogicalFile{Name: "file-a", SizeBytes: 256_000_000}); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for _, h := range []string{"hit0", "lz02"} {
 		if err := catalog.Register("file-a", replica.Location{Host: h, Path: "/data/file-a"}); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	selection, err := core.NewSelectionServer(catalog, dep.Server, core.PaperWeights, nil)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	xfer, err := simxfer.New(testbed)
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+	transfer := func(srcHost, _, dstHost, _ string, bytes int64, done func(error)) error {
+		return xfer.Submit(simxfer.Request{
+			Sources: []string{srcHost},
+			Dst:     dstHost,
+			Bytes:   bytes,
+			Options: simxfer.GridFTPOptions(4),
+			Done:    func(r simxfer.Result) { done(r.Err) },
+		})
 	}
 	app, err := core.NewApplication(core.ApplicationConfig{Local: "alpha1"},
-		selection, xfer.ReplicaTransfer(simxfer.GridFTPOptions(4)), engine)
+		selection, transfer, engine)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	tb := metrics.NewTable("fetching file-a every 3 minutes while hit0's uplink fails and recovers",
@@ -68,7 +85,11 @@ func main() {
 	hitSwitch := cluster.SwitchNode(cluster.SiteHIT)
 	thuSwitch := cluster.SwitchNode(cluster.SiteTHU)
 
+	var stepErr error
 	fetch := func(event string) {
+		if stepErr != nil {
+			return
+		}
 		done := false
 		err := app.Fetch("file-a", func(r core.FetchResult, err error) {
 			done = true
@@ -80,54 +101,67 @@ func main() {
 				r.Duration().Round(time.Millisecond).String())
 		})
 		if err != nil {
-			log.Fatal(err)
+			stepErr = err
+			return
 		}
 		for !done {
 			if err := engine.RunUntil(engine.Now() + time.Minute); err != nil {
-				log.Fatal(err)
+				stepErr = err
+				return
 			}
 		}
 	}
 	advanceTo := func(at time.Duration) {
-		if err := engine.RunUntil(at); err != nil {
-			log.Fatal(err)
+		if stepErr != nil {
+			return
 		}
+		stepErr = engine.RunUntil(at)
 	}
 
 	advanceTo(3 * time.Minute)
 	fetch("healthy grid")
 	advanceTo(6 * time.Minute)
 	fetch("healthy grid")
+	if stepErr != nil {
+		return stepErr
+	}
 
 	// Sever HIT from THU.
 	if err := testbed.Network().SetLinkDown(hitSwitch, thuSwitch, true); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := testbed.Network().SetLinkDown(thuSwitch, hitSwitch, true); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("t=6m: HIT <-> THU backbone cut")
+	fmt.Fprintln(out, "t=6m: HIT <-> THU backbone cut")
 	// NWS probes must stall and expire before selection reacts.
 	advanceTo(9 * time.Minute)
 	fetch("hit0 unreachable")
 	advanceTo(12 * time.Minute)
 	fetch("hit0 unreachable")
+	if stepErr != nil {
+		return stepErr
+	}
 
 	// Repair the backbone.
 	if err := testbed.Network().SetLinkDown(hitSwitch, thuSwitch, false); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := testbed.Network().SetLinkDown(thuSwitch, hitSwitch, false); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("t=12m: backbone repaired")
+	fmt.Fprintln(out, "t=12m: backbone repaired")
 	advanceTo(15 * time.Minute)
 	fetch("recovered")
+	if stepErr != nil {
+		return stepErr
+	}
 
-	fmt.Println()
-	fmt.Println(tb.String())
-	fmt.Println("during the outage the selection server never offered hit0: its")
-	fmt.Println("bandwidth series went stale once probes timed out, so Rank skipped it.")
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, tb.String())
+	fmt.Fprintln(out, "during the outage the selection server never offered hit0: its")
+	fmt.Fprintln(out, "bandwidth series went stale once probes timed out, so Rank skipped it.")
+	return nil
 }
 
 func fmtMin(d time.Duration) string {

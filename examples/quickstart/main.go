@@ -11,7 +11,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"github.com/hpclab/datagrid/internal/cluster"
@@ -24,6 +26,12 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	const seed = 7
 
 	// 1. The testbed: three PC clusters joined by a WAN, with synthetic
@@ -31,10 +39,10 @@ func main() {
 	engine := simulation.NewEngine()
 	testbed, err := cluster.NewPaperTestbed(engine, seed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := cluster.StartPaperDynamics(testbed, seed); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// 2. The monitoring stack: the user works on THU's alpha1; candidate
@@ -45,7 +53,7 @@ func main() {
 		Seed:    seed,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// 3. The replica catalog: one logical file, three physical copies.
@@ -55,41 +63,50 @@ func main() {
 		SizeBytes:  1024 * 1_000_000,
 		Attributes: map[string]string{"type": "biological-database"},
 	}); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for _, host := range []string{"alpha4", "hit0", "lz02"} {
 		if err := catalog.Register("file-a", replica.Location{Host: host, Path: "/data/file-a"}); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
 	// 4. The replica selection server with the paper's weights.
 	selection, err := core.NewSelectionServer(catalog, dep.Server, core.PaperWeights, nil)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// 5. The client application, fetching over simulated GridFTP with
-	//    four parallel streams.
+	//    four parallel streams via the unified transfer API.
 	xfer, err := simxfer.New(testbed)
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+	transfer := func(srcHost, _, dstHost, _ string, bytes int64, done func(error)) error {
+		return xfer.Submit(simxfer.Request{
+			Sources: []string{srcHost},
+			Dst:     dstHost,
+			Bytes:   bytes,
+			Options: simxfer.GridFTPOptions(4),
+			Done:    func(r simxfer.Result) { done(r.Err) },
+		})
 	}
 	app, err := core.NewApplication(core.ApplicationConfig{Local: "alpha1"},
-		selection, xfer.ReplicaTransfer(simxfer.GridFTPOptions(4)), engine)
+		selection, transfer, engine)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Warm the monitors up, then pin a grid-state snapshot and rank the
 	// replicas against that single consistent view.
 	if err := engine.RunUntil(3 * time.Minute); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	view := selection.PinView(engine.Now())
 	ranked, err := view.Rank("file-a")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	tb := metrics.NewTable(
 		fmt.Sprintf("Replica ranking for file-a (user at alpha1, snapshot epoch %d)", view.Epoch()),
@@ -101,24 +118,27 @@ func main() {
 			fmt.Sprintf("%.1f", c.Report.IOIdlePercent),
 			fmt.Sprintf("%.2f", c.Score))
 	}
-	fmt.Println(tb.String())
+	fmt.Fprintln(out, tb.String())
 
 	// Fetch: the selection server picks the best replica, GridFTP moves it.
-	doneCh := false
+	done := false
+	var fetchErr error
 	err = app.Fetch("file-a", func(r core.FetchResult, err error) {
+		done = true
 		if err != nil {
-			log.Fatal(err)
+			fetchErr = err
+			return
 		}
-		fmt.Printf("fetched %s from %s in %v (virtual time)\n",
+		fmt.Fprintf(out, "fetched %s from %s in %v (virtual time)\n",
 			r.Logical, r.Chosen.Location, r.Duration().Round(time.Millisecond))
-		doneCh = true
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	for !doneCh {
+	for !done {
 		if err := engine.RunUntil(engine.Now() + time.Minute); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
+	return fetchErr
 }

@@ -55,19 +55,30 @@ func ExtensionCoallocation(seed int64, opts ...Option) ([]CoallocationResult, st
 				r := CoallocationResult{Config: c.name, BytesBySource: map[string]int64{}}
 				completed := false
 				if c.multi {
-					err = env.Xfer.StartMultiSource(c.sources, "alpha1", fileSize,
-						simxfer.GridFTPOptions(0), c.scheme, 0, func(res simxfer.MultiSourceResult) {
+					err = env.Xfer.Submit(simxfer.Request{
+						Sources: c.sources,
+						Dst:     "alpha1",
+						Bytes:   fileSize,
+						Options: simxfer.GridFTPOptions(0),
+						Scheme:  c.scheme,
+						Done: func(res simxfer.Result) {
 							r.Seconds = res.Duration().Seconds()
 							r.BytesBySource = res.BytesBySource
 							completed = true
-						})
+						},
+					})
 				} else {
-					err = env.Xfer.Start(c.sources[0], "alpha1", fileSize,
-						simxfer.GridFTPOptions(0), func(res simxfer.Result) {
+					err = env.Xfer.Submit(simxfer.Request{
+						Sources: c.sources[:1],
+						Dst:     "alpha1",
+						Bytes:   fileSize,
+						Options: simxfer.GridFTPOptions(0),
+						Done: func(res simxfer.Result) {
 							r.Seconds = res.Duration().Seconds()
 							r.BytesBySource[c.sources[0]] = res.Bytes
 							completed = true
-						})
+						},
+					})
 				}
 				if err != nil {
 					return CoallocationResult{}, err

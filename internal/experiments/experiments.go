@@ -61,6 +61,20 @@ func NewEnv(seed int64, monitor bool) (*Env, error) {
 	return e, nil
 }
 
+// replicaTransfer adapts the unified transfer API to the replica.Transfer
+// callback shape the replica manager and the application pipeline consume.
+func replicaTransfer(xf *simxfer.Transferrer, o simxfer.Options) replica.Transfer {
+	return func(srcHost, _, dstHost, _ string, bytes int64, done func(error)) error {
+		return xf.Submit(simxfer.Request{
+			Sources: []string{srcHost},
+			Dst:     dstHost,
+			Bytes:   bytes,
+			Options: o,
+			Done:    func(r simxfer.Result) { done(r.Err) },
+		})
+	}
+}
+
 // MeasureAt runs the world to virtual time at, then performs one transfer
 // and returns its result.
 func (e *Env) MeasureAt(at time.Duration, src, dst string, bytes int64, o simxfer.Options) (simxfer.Result, error) {
@@ -69,7 +83,14 @@ func (e *Env) MeasureAt(at time.Duration, src, dst string, bytes int64, o simxfe
 	}
 	var res simxfer.Result
 	got := false
-	if err := e.Xfer.Start(src, dst, bytes, o, func(r simxfer.Result) { res = r; got = true }); err != nil {
+	err := e.Xfer.Submit(simxfer.Request{
+		Sources: []string{src},
+		Dst:     dst,
+		Bytes:   bytes,
+		Options: o,
+		Done:    func(r simxfer.Result) { res = r; got = true },
+	})
+	if err != nil {
 		return simxfer.Result{}, err
 	}
 	// Run until the transfer's completion callback fires. The dynamics

@@ -137,7 +137,7 @@ func latencyPoint(seed int64, sel core.Selector, fetches int, fileSize int64) (L
 		if srcHost == "far" {
 			farPicks++
 		}
-		return xf.ReplicaTransfer(simxfer.GridFTPOptions(0))(srcHost, srcPath, dstHost, dstPath, bytes, done)
+		return replicaTransfer(xf, simxfer.GridFTPOptions(0))(srcHost, srcPath, dstHost, dstPath, bytes, done)
 	}
 	app, err := core.NewApplication(core.ApplicationConfig{Local: "client"}, srv, countingTransfer, engine)
 	if err != nil {

@@ -101,7 +101,7 @@ func replicationPoint(seed int64, st replicationStrategy, fetches int, fileSize 
 	}
 	env.Deploy = dep
 	catalog := replica.NewCatalog()
-	manager, err := replica.NewManager(catalog, env.Xfer.ReplicaTransfer(simxfer.GridFTPOptions(0)), env.Engine, nil)
+	manager, err := replica.NewManager(catalog, replicaTransfer(env.Xfer, simxfer.GridFTPOptions(0)), env.Engine, nil)
 	if err != nil {
 		return ReplicationResult{}, err
 	}
@@ -117,7 +117,7 @@ func replicationPoint(seed int64, st replicationStrategy, fetches int, fileSize 
 		return ReplicationResult{}, err
 	}
 	app, err := core.NewApplication(core.ApplicationConfig{Local: local},
-		srv, env.Xfer.ReplicaTransfer(simxfer.GridFTPOptions(0)), env.Engine)
+		srv, replicaTransfer(env.Xfer, simxfer.GridFTPOptions(0)), env.Engine)
 	if err != nil {
 		return ReplicationResult{}, err
 	}

@@ -28,6 +28,11 @@ const (
 	// pinned byte-for-byte, and the sweep builds worlds far larger than
 	// the paper's. gridbench selects it with its own -scale flag.
 	GroupScale = "planetscale"
+	// GroupTraffic is the traffic-plane sweep (millions of Zipf-driven
+	// requests against the dynamic-replication control loop). Like the
+	// other large sweeps it is NOT part of -all; gridbench selects it
+	// with its own -traffic flag.
+	GroupTraffic = "traffic"
 )
 
 // Metric is one named scalar an experiment produced — the hook that lets
@@ -74,6 +79,7 @@ func Suite() []SuiteEntry {
 		{Name: "coallocation extension", Group: GroupExtensions, Run: runCoallocation},
 		{Name: "fault tolerance", Group: GroupFaults, Run: runFaults},
 		{Name: "planet scale", Group: GroupScale, Run: runPlanetScale},
+		{Name: "traffic plane", Group: GroupTraffic, Run: runTraffic},
 	}
 }
 
@@ -381,6 +387,28 @@ func runFaults(seed int64, opts ...Option) (string, []Metric, error) {
 			Metric{key + "/completed", float64(r.Completed)},
 			Metric{key + "/mean_sec", r.MeanSeconds},
 			Metric{key + "/attempts", float64(r.Attempts)})
+	}
+	return out, ms, nil
+}
+
+func runTraffic(seed int64, opts ...Option) (string, []Metric, error) {
+	rows, out, err := ExtensionTraffic(seed, opts...)
+	if err != nil {
+		return "", nil, err
+	}
+	var ms []Metric
+	for _, r := range rows {
+		key := fmt.Sprintf("traffic/%s/%s/i%d", r.Label, r.Policy, r.Intensity)
+		ms = append(ms,
+			Metric{key + "/requests", float64(r.Requests)},
+			Metric{key + "/completed", float64(r.Completed)},
+			Metric{key + "/failed", float64(r.Failed)},
+			Metric{key + "/p50_sec", r.P50},
+			Metric{key + "/p95_sec", r.P95},
+			Metric{key + "/p99_sec", r.P99},
+			Metric{key + "/goodput_mbps", r.GoodputMbps},
+			Metric{key + "/site_skew", r.SiteSkew},
+			Metric{key + "/replications", float64(r.Replications)})
 	}
 	return out, ms, nil
 }

@@ -11,13 +11,13 @@ import (
 
 func TestSuiteRegistry(t *testing.T) {
 	entries := Suite()
-	if len(entries) != 14 {
-		t.Fatalf("suite has %d entries, want 14", len(entries))
+	if len(entries) != 15 {
+		t.Fatalf("suite has %d entries, want 15", len(entries))
 	}
 	validGroups := map[string]bool{
 		GroupFigure3: true, GroupFigure4: true, GroupTable1: true,
 		GroupAblations: true, GroupExtensions: true, GroupFaults: true,
-		GroupScale: true,
+		GroupScale: true, GroupTraffic: true,
 	}
 	seen := map[string]bool{}
 	for _, e := range entries {
@@ -34,11 +34,12 @@ func TestSuiteRegistry(t *testing.T) {
 	}
 	// The registry preserves the historical -all print order: figures,
 	// table, ablations, extensions. The opt-in sweeps (faults, planet
-	// scale) ride at the end, outside the -all groups.
+	// scale, traffic) ride at the end, outside the -all groups.
 	if entries[0].Name != "figure 3" || entries[2].Name != "table 1" ||
-		entries[len(entries)-3].Name != "coallocation extension" ||
-		entries[len(entries)-2].Group != GroupFaults ||
-		entries[len(entries)-1].Group != GroupScale {
+		entries[len(entries)-4].Name != "coallocation extension" ||
+		entries[len(entries)-3].Group != GroupFaults ||
+		entries[len(entries)-2].Group != GroupScale ||
+		entries[len(entries)-1].Group != GroupTraffic {
 		t.Errorf("registry order changed: first=%q last=%q", entries[0].Name, entries[len(entries)-1].Name)
 	}
 }

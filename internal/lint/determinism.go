@@ -18,6 +18,7 @@ var determinismScope = []string{
 	"internal/gridstate",
 	"internal/faults",
 	"internal/topo",
+	"internal/traffic",
 }
 
 // Determinism flags the two classic sources of run-to-run jitter in the

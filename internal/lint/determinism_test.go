@@ -23,6 +23,9 @@ func TestDeterminismScope(t *testing.T) {
 		// The worker pool orders parallel results deterministically; its
 		// own sources of jitter are as off-limits as the simulation's.
 		{"github.com/hpclab/datagrid/internal/runner", true},
+		// The traffic plane feeds experiment tables (p50/p95/p99, skew)
+		// and must stay byte-identical across -parallel and -shards.
+		{"github.com/hpclab/datagrid/internal/traffic", true},
 		// The real FTP stack may use wall-clock-ish randomness (jitter,
 		// ephemeral ports) without perturbing experiment results.
 		{"github.com/hpclab/datagrid/internal/ftp", false},

@@ -207,6 +207,14 @@ type Flow struct {
 	loss float64
 	mss  int
 
+	// intrinsicBps and staticCapBps memoize the flow's constant rate
+	// bounds: min(window/RTT, Mathis) and that further clamped by any
+	// application cap. rtt, loss, mss and opts never change after
+	// StartFlow, so both are computed once there; only the slow-start
+	// window still varies (capBps folds it in while ramping).
+	intrinsicBps float64
+	staticCapBps float64
+
 	// cwndBps is the slow-start limited rate; it doubles every RTT until
 	// it stops binding.
 	cwndBps float64
@@ -273,17 +281,14 @@ func (f *Flow) RemainingBytes() float64 {
 
 // capBps returns the flow's intrinsic rate limit: the minimum of the
 // window/RTT bound, the Mathis loss bound, the slow-start window, and any
-// application cap. Link sharing is applied separately.
+// application cap. Link sharing is applied separately. The constant
+// bounds are memoized at StartFlow; only the slow-start window is folded
+// in live (a plain min over the same float set, so the memoized answer
+// is bitwise-identical to recomputing every bound).
 func (f *Flow) capBps() float64 {
-	cap := f.windowBps()
-	if m := f.mathisBps(); m < cap {
-		cap = m
-	}
+	cap := f.staticCapBps
 	if f.ramping && f.cwndBps < cap {
 		cap = f.cwndBps
-	}
-	if f.opts.RateCapBps > 0 && f.opts.RateCapBps < cap {
-		cap = f.opts.RateCapBps
 	}
 	return cap
 }
@@ -955,6 +960,14 @@ func (n *Network) StartFlow(src, dst string, bytes int64, opts FlowOptions, done
 	f.remaining = f.wireBytes
 	f.settledAt = f.started
 	f.completionAt = noCompletion
+	f.intrinsicBps = f.windowBps()
+	if m := f.mathisBps(); m < f.intrinsicBps {
+		f.intrinsicBps = m
+	}
+	f.staticCapBps = f.intrinsicBps
+	if f.opts.RateCapBps > 0 && f.opts.RateCapBps < f.staticCapBps {
+		f.staticCapBps = f.opts.RateCapBps
+	}
 	n.nextID++
 	// Slow start: rate begins at initialCwnd segments per RTT and doubles
 	// each RTT until it no longer binds.
@@ -1019,14 +1032,8 @@ func (n *Network) rampTick(f *Flow) {
 	if f.state != FlowActive || !f.ramping {
 		return
 	}
-	other := f.windowBps()
-	if m := f.mathisBps(); m < other {
-		other = m
-	}
-	capOther := other
-	if f.opts.RateCapBps > 0 && f.opts.RateCapBps < capOther {
-		capOther = f.opts.RateCapBps
-	}
+	other := f.intrinsicBps
+	capOther := f.staticCapBps
 	skipWaterFill := capOther <= f.cwndBps || f.cwndBps > f.rateBps*(1+allocEps)
 	f.cwndBps *= 2
 	// Stop ramping once the congestion window exceeds every other

@@ -16,6 +16,38 @@ import (
 	"github.com/hpclab/datagrid/internal/replica"
 )
 
+// Policy is the dynamic-replication control surface: every placement
+// strategy observes the access stream and may additionally run a
+// periodic control step at epoch boundaries. The access path and the
+// epoch path are deliberately split — OnAccess runs inline with every
+// fetch and must stay cheap, while OnEpoch is where a policy may scan
+// its accumulated statistics and issue replica creations or removals
+// (the traffic plane calls it between simulation windows, when catalog
+// mutation is safe).
+type Policy interface {
+	// OnAccess records one observed fetch.
+	OnAccess(a Access) error
+	// OnEpoch runs the policy's periodic control step at virtual time now.
+	OnEpoch(now time.Duration) error
+	// Stats reports the policy's cumulative counters.
+	Stats() Stats
+}
+
+// Stats are a policy's cumulative counters, comparable across policies.
+type Stats struct {
+	// Accesses is how many fetches the policy observed.
+	Accesses int
+	// Replications is how many replica placements completed.
+	Replications int
+	// Removals is how many replicas the policy retired by epoch decision.
+	Removals int
+	// Evictions is how many replicas were LRU-evicted to make room.
+	Evictions int
+	// Hot, Warm, Cold are the class sizes of the most recent epoch for
+	// classifying policies (zero for threshold/no-op policies).
+	Hot, Warm, Cold int
+}
+
 // SiteMapper resolves hosts to sites and picks the storage host new
 // replicas land on within a site.
 type SiteMapper interface {
@@ -97,7 +129,10 @@ type Replicator struct {
 	// Replications counts successfully completed placements.
 	replications int
 	evictions    int
+	accesses     int
 }
+
+var _ Policy = (*Replicator)(nil)
 
 // NewReplicator wires a threshold replicator.
 func NewReplicator(manager *replica.Manager, mapper SiteMapper, cfg Config) (*Replicator, error) {
@@ -129,6 +164,15 @@ func (r *Replicator) Replications() int { return r.replications }
 // Evictions returns the number of LRU evictions performed.
 func (r *Replicator) Evictions() int { return r.evictions }
 
+// OnEpoch is a no-op: the threshold replicator reacts to each access
+// directly and keeps no epoch-scoped state.
+func (r *Replicator) OnEpoch(time.Duration) error { return nil }
+
+// Stats reports the replicator's cumulative counters.
+func (r *Replicator) Stats() Stats {
+	return Stats{Accesses: r.accesses, Replications: r.replications, Evictions: r.evictions}
+}
+
 func key2(a, b string) string { return a + "|" + b }
 
 // OnAccess records a fetch and, past the threshold, replicates the file to
@@ -138,6 +182,7 @@ func (r *Replicator) OnAccess(a Access) error {
 	if a.Logical == "" || a.Client == "" {
 		return errors.New("placement: access needs logical and client")
 	}
+	r.accesses++
 	r.lastAccess[key2(a.Logical, a.ServedFrom)] = a.At
 	site, err := r.mapper.SiteOf(a.Client)
 	if err != nil {
@@ -241,5 +286,13 @@ func (r *Replicator) evictLRU(host string) error {
 // statistics stay comparable) and never replicates.
 type NoReplication struct{}
 
+var _ Policy = NoReplication{}
+
 // OnAccess does nothing.
 func (NoReplication) OnAccess(Access) error { return nil }
+
+// OnEpoch does nothing.
+func (NoReplication) OnEpoch(time.Duration) error { return nil }
+
+// Stats reports all-zero counters: the baseline never acts.
+func (NoReplication) Stats() Stats { return Stats{} }

@@ -90,23 +90,23 @@ func TestSubmitSentinels(t *testing.T) {
 			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
 		}
 	}
-	// The legacy shims surface the same sentinels.
-	if err := tr.Start("alpha1", "hit0", 0, FTPOptions(), cb); !errors.Is(err, ErrNonPositiveSize) {
-		t.Errorf("Start zero bytes: %v", err)
+	// The single- and multi-source paths surface the same sentinels.
+	if err := start(tr, "alpha1", "hit0", 0, FTPOptions(), cb); !errors.Is(err, ErrNonPositiveSize) {
+		t.Errorf("single-source zero bytes: %v", err)
 	}
-	if err := tr.Start("alpha1", "hit0", 1, Options{Streams: -1}, cb); !errors.Is(err, ErrNegativeOption) {
-		t.Errorf("Start negative streams: %v", err)
+	if err := start(tr, "alpha1", "hit0", 1, Options{Streams: -1}, cb); !errors.Is(err, ErrNegativeOption) {
+		t.Errorf("single-source negative streams: %v", err)
 	}
-	if err := tr.Start("alpha1", "hit0", 1, Options{Protocol: ProtoFTP, Streams: 2}, cb); !errors.Is(err, ErrSingleChannel) {
-		t.Errorf("Start parallel FTP: %v", err)
+	if err := start(tr, "alpha1", "hit0", 1, Options{Protocol: ProtoFTP, Streams: 2}, cb); !errors.Is(err, ErrSingleChannel) {
+		t.Errorf("single-source parallel FTP: %v", err)
 	}
 	mcb := func(MultiSourceResult) {}
-	if err := tr.StartMultiSource([]string{"hit0", "hit0"}, "alpha1", 1, GridFTPOptions(0), SchemeDynamic, 0, mcb); !errors.Is(err, ErrDuplicateSource) {
-		t.Errorf("StartMultiSource duplicate: %v", err)
+	if err := startMulti(tr, []string{"hit0", "hit0"}, "alpha1", 1, GridFTPOptions(0), SchemeDynamic, 0, mcb); !errors.Is(err, ErrDuplicateSource) {
+		t.Errorf("multi-source duplicate: %v", err)
 	}
-	if err := tr.StartMultiSource([]string{"hit0"}, "alpha1", 1,
+	if err := startMulti(tr, []string{"hit0"}, "alpha1", 1,
 		Options{Protocol: ProtoGridFTPModeE, Streams: 2, Stripes: 2}, SchemeDynamic, 0, mcb); !errors.Is(err, ErrStripedCoalloc) {
-		t.Errorf("StartMultiSource striped: %v", err)
+		t.Errorf("multi-source striped: %v", err)
 	}
 }
 
@@ -296,19 +296,25 @@ func TestAttemptTimeoutBoundsSlowAttempts(t *testing.T) {
 	}
 }
 
-func TestReplicaTransferReportsFailure(t *testing.T) {
+func TestNonFailoverResultHasNilErr(t *testing.T) {
 	eng, tb, tr := newBed(t)
 	crashAt(t, eng, tb, "hit0", 5*time.Second, true)
-	// The adapter still routes through Submit; without a failover policy
-	// a crash stalls forever, so this exercises the legacy success path
-	// on a healthy pair instead.
+	// Without a failover policy a crash on the serving host stalls the
+	// flow forever, so this exercises the plain success path on a healthy
+	// pair: Done must fire exactly once with a nil Result.Err.
 	var gotErr error
 	called := false
-	xfer := tr.ReplicaTransfer(GridFTPOptions(0))
-	if err := xfer("lz02", "/src", "alpha1", "/dst", 8*mb, func(err error) {
-		called = true
-		gotErr = err
-	}); err != nil {
+	err := tr.Submit(Request{
+		Sources: []string{"lz02"},
+		Dst:     "alpha1",
+		Bytes:   8 * mb,
+		Options: GridFTPOptions(0),
+		Done: func(r Result) {
+			called = true
+			gotErr = r.Err
+		},
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
 	if err := eng.Run(); err != nil {

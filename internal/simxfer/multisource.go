@@ -51,29 +51,9 @@ type MultiSourceResult struct {
 // Duration returns the end-to-end transfer time.
 func (r MultiSourceResult) Duration() time.Duration { return r.Finished - r.Started }
 
-// StartMultiSource begins a co-allocated download of bytes from several
-// replica servers to dstHost. Each source pays its own protocol setup
-// (they are independent GridFTP sessions), then serves its share — a
-// static slice or dynamically scheduled chunks. done fires when the last
-// byte lands.
-//
-// StartMultiSource is a thin shim over Submit's co-allocation path; new
-// code should build a Request instead.
-func (t *Transferrer) StartMultiSource(sources []string, dstHost string, bytes int64, o Options, scheme Scheme, chunkBytes int64, done func(MultiSourceResult)) error {
-	return t.submitMulti(Request{
-		Sources:    sources,
-		Dst:        dstHost,
-		Bytes:      bytes,
-		Options:    o,
-		Scheme:     scheme,
-		ChunkBytes: chunkBytes,
-		Done:       func(r Result) { done(r.MultiSource()) },
-	})
-}
-
 // submitMulti runs the co-allocation path. Unlike Submit it accepts a
 // one-element source list with the default scheme (degenerating to a
-// plain transfer), preserving StartMultiSource's historical semantics.
+// plain transfer), preserving the historical multi-source semantics.
 func (t *Transferrer) submitMulti(req Request) error {
 	sources, dstHost, bytes := req.Sources, req.Dst, req.Bytes
 	o, scheme, chunkBytes := req.Options, req.Scheme, req.ChunkBytes

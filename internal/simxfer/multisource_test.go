@@ -7,11 +7,25 @@ import (
 	"github.com/hpclab/datagrid/internal/simulation"
 )
 
+// startMulti submits a co-allocated request through the unified API,
+// delivering the historical MultiSourceResult view.
+func startMulti(tr *Transferrer, sources []string, dst string, bytes int64, o Options, scheme Scheme, chunk int64, done func(MultiSourceResult)) error {
+	return tr.submitMulti(Request{
+		Sources:    sources,
+		Dst:        dst,
+		Bytes:      bytes,
+		Options:    o,
+		Scheme:     scheme,
+		ChunkBytes: chunk,
+		Done:       func(r Result) { done(r.MultiSource()) },
+	})
+}
+
 func runMulti(t *testing.T, eng *simulation.Engine, tr *Transferrer, sources []string, dst string, bytes int64, o Options, scheme Scheme, chunk int64) MultiSourceResult {
 	t.Helper()
 	var res MultiSourceResult
 	got := false
-	if err := tr.StartMultiSource(sources, dst, bytes, o, scheme, chunk, func(r MultiSourceResult) {
+	if err := startMulti(tr, sources, dst, bytes, o, scheme, chunk, func(r MultiSourceResult) {
 		res = r
 		got = true
 	}); err != nil {
@@ -29,31 +43,31 @@ func runMulti(t *testing.T, eng *simulation.Engine, tr *Transferrer, sources []s
 func TestMultiSourceValidation(t *testing.T) {
 	_, _, tr := newBed(t)
 	cb := func(MultiSourceResult) {}
-	if err := tr.StartMultiSource(nil, "alpha1", 1, GridFTPOptions(0), SchemeDynamic, 0, cb); err == nil {
+	if err := startMulti(tr, nil, "alpha1", 1, GridFTPOptions(0), SchemeDynamic, 0, cb); err == nil {
 		t.Fatal("no sources should be rejected")
 	}
-	if err := tr.StartMultiSource([]string{"hit0"}, "alpha1", 0, GridFTPOptions(0), SchemeDynamic, 0, cb); err == nil {
+	if err := startMulti(tr, []string{"hit0"}, "alpha1", 0, GridFTPOptions(0), SchemeDynamic, 0, cb); err == nil {
 		t.Fatal("zero bytes should be rejected")
 	}
-	if err := tr.StartMultiSource([]string{"alpha1"}, "alpha1", 1, GridFTPOptions(0), SchemeDynamic, 0, cb); err == nil {
+	if err := startMulti(tr, []string{"alpha1"}, "alpha1", 1, GridFTPOptions(0), SchemeDynamic, 0, cb); err == nil {
 		t.Fatal("source == dst should be rejected")
 	}
-	if err := tr.StartMultiSource([]string{"hit0", "hit0"}, "alpha1", 1, GridFTPOptions(0), SchemeDynamic, 0, cb); err == nil {
+	if err := startMulti(tr, []string{"hit0", "hit0"}, "alpha1", 1, GridFTPOptions(0), SchemeDynamic, 0, cb); err == nil {
 		t.Fatal("duplicate sources should be rejected")
 	}
-	if err := tr.StartMultiSource([]string{"ghost"}, "alpha1", 1, GridFTPOptions(0), SchemeDynamic, 0, cb); err == nil {
+	if err := startMulti(tr, []string{"ghost"}, "alpha1", 1, GridFTPOptions(0), SchemeDynamic, 0, cb); err == nil {
 		t.Fatal("unknown source should be rejected")
 	}
-	if err := tr.StartMultiSource([]string{"hit0"}, "ghost", 1, GridFTPOptions(0), SchemeDynamic, 0, cb); err == nil {
+	if err := startMulti(tr, []string{"hit0"}, "ghost", 1, GridFTPOptions(0), SchemeDynamic, 0, cb); err == nil {
 		t.Fatal("unknown dst should be rejected")
 	}
-	if err := tr.StartMultiSource([]string{"hit0"}, "alpha1", 1, GridFTPOptions(0), SchemeDynamic, -1, cb); err == nil {
+	if err := startMulti(tr, []string{"hit0"}, "alpha1", 1, GridFTPOptions(0), SchemeDynamic, -1, cb); err == nil {
 		t.Fatal("negative chunk should be rejected")
 	}
-	if err := tr.StartMultiSource([]string{"hit0"}, "alpha1", 1, Options{Protocol: ProtoGridFTPModeE, Streams: 2, Stripes: 2}, SchemeDynamic, 0, cb); err == nil {
+	if err := startMulti(tr, []string{"hit0"}, "alpha1", 1, Options{Protocol: ProtoGridFTPModeE, Streams: 2, Stripes: 2}, SchemeDynamic, 0, cb); err == nil {
 		t.Fatal("striped co-allocation should be rejected")
 	}
-	if err := tr.StartMultiSource([]string{"hit0"}, "alpha1", 1, GridFTPOptions(0), Scheme(9), 0, cb); err == nil {
+	if err := startMulti(tr, []string{"hit0"}, "alpha1", 1, GridFTPOptions(0), Scheme(9), 0, cb); err == nil {
 		t.Fatal("unknown scheme should be rejected")
 	}
 }

@@ -1,9 +1,9 @@
 package simxfer
 
-// Request is the single description of a simulated transfer, unifying the
-// historical entry points (Start, StartMultiSource, ReplicaTransfer): one
-// or many sources, an optional co-allocation scheme, and an optional
-// failover policy, all completing through one typed Result.
+// Request is the single description of a simulated transfer: one or many
+// sources, an optional co-allocation scheme, and an optional failover
+// policy, all completing through one typed Result. It replaced the
+// historical Start/StartMultiSource/ReplicaTransfer entry points.
 type Request struct {
 	// Sources is the serving host list. One element is a plain transfer;
 	// several are either co-allocated servers (no Failover) or an ordered

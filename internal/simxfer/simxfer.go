@@ -17,7 +17,6 @@ import (
 	"github.com/hpclab/datagrid/internal/gridftp"
 	"github.com/hpclab/datagrid/internal/gsi"
 	"github.com/hpclab/datagrid/internal/netsim"
-	"github.com/hpclab/datagrid/internal/replica"
 )
 
 // Control-channel costs, counted from the real implementations:
@@ -210,17 +209,6 @@ func endpointCapBps(src, dst *cluster.Host, srcChannels, dstChannels int) float6
 	return srcCap
 }
 
-// Start begins a simulated transfer of bytes from srcHost to dstHost and
-// invokes done on completion. The error return covers failures to start;
-// once started the transfer always completes (the flow model has no
-// mid-transfer failures unless a failover policy opts in — see Submit).
-//
-// Start is a thin shim over Submit's single-source path; new code should
-// build a Request instead.
-func (t *Transferrer) Start(srcHost, dstHost string, bytes int64, o Options, done func(Result)) error {
-	return t.startSingle(srcHost, dstHost, bytes, o, done)
-}
-
 // startSingle is the legacy single-source (optionally striped) transfer
 // path. Its event sequence is the simulator's reference behavior: the
 // experiment suite is byte-identical against it.
@@ -333,18 +321,4 @@ func (t *Transferrer) startSingle(srcHost, dstHost string, bytes int64, o Option
 		}
 	})
 	return err
-}
-
-// ReplicaTransfer adapts the transferrer to the replica.Transfer signature
-// used by the replica manager and the core application pipeline.
-func (t *Transferrer) ReplicaTransfer(o Options) replica.Transfer {
-	return func(srcHost, srcPath, dstHost, dstPath string, bytes int64, done func(error)) error {
-		return t.Submit(Request{
-			Sources: []string{srcHost},
-			Dst:     dstHost,
-			Bytes:   bytes,
-			Options: o,
-			Done:    func(r Result) { done(r.Err) },
-		})
-	}
 }

@@ -24,12 +24,19 @@ func newBed(t *testing.T) (*simulation.Engine, *cluster.Testbed, *Transferrer) {
 	return eng, tb, tr
 }
 
+// start submits a plain single-source request.
+func start(tr *Transferrer, src, dst string, bytes int64, o Options, done func(Result)) error {
+	return tr.Submit(Request{
+		Sources: []string{src}, Dst: dst, Bytes: bytes, Options: o, Done: done,
+	})
+}
+
 // run starts a transfer and drives the engine to completion.
 func run(t *testing.T, eng *simulation.Engine, tr *Transferrer, src, dst string, bytes int64, o Options) Result {
 	t.Helper()
 	var res Result
 	got := false
-	if err := tr.Start(src, dst, bytes, o, func(r Result) { res = r; got = true }); err != nil {
+	if err := start(tr, src, dst, bytes, o, func(r Result) { res = r; got = true }); err != nil {
 		t.Fatal(err)
 	}
 	if err := eng.Run(); err != nil {
@@ -48,25 +55,25 @@ func TestValidation(t *testing.T) {
 		t.Fatal("nil testbed should be rejected")
 	}
 	cb := func(Result) {}
-	if err := tr.Start("alpha1", "hit0", 0, FTPOptions(), cb); err == nil {
+	if err := start(tr, "alpha1", "hit0", 0, FTPOptions(), cb); err == nil {
 		t.Fatal("zero bytes should be rejected")
 	}
-	if err := tr.Start("alpha1", "alpha1", 1, FTPOptions(), cb); err == nil {
+	if err := start(tr, "alpha1", "alpha1", 1, FTPOptions(), cb); err == nil {
 		t.Fatal("same endpoints should be rejected")
 	}
-	if err := tr.Start("ghost", "hit0", 1, FTPOptions(), cb); err == nil {
+	if err := start(tr, "ghost", "hit0", 1, FTPOptions(), cb); err == nil {
 		t.Fatal("unknown src should be rejected")
 	}
-	if err := tr.Start("alpha1", "ghost", 1, FTPOptions(), cb); err == nil {
+	if err := start(tr, "alpha1", "ghost", 1, FTPOptions(), cb); err == nil {
 		t.Fatal("unknown dst should be rejected")
 	}
-	if err := tr.Start("alpha1", "hit0", 1, Options{Streams: -1}, cb); err == nil {
+	if err := start(tr, "alpha1", "hit0", 1, Options{Streams: -1}, cb); err == nil {
 		t.Fatal("negative streams should be rejected")
 	}
-	if err := tr.Start("alpha1", "hit0", 1, Options{Protocol: ProtoFTP, Streams: 2}, cb); err == nil {
+	if err := start(tr, "alpha1", "hit0", 1, Options{Protocol: ProtoFTP, Streams: 2}, cb); err == nil {
 		t.Fatal("parallel FTP should be rejected")
 	}
-	if err := tr.Start("alpha1", "hit0", 1, Options{Protocol: ProtoGridFTPStream, Stripes: 2}, cb); err == nil {
+	if err := start(tr, "alpha1", "hit0", 1, Options{Protocol: ProtoGridFTPStream, Stripes: 2}, cb); err == nil {
 		t.Fatal("striped stream mode should be rejected")
 	}
 }
@@ -212,26 +219,6 @@ func TestTunedTCPBufferHelpsOnFatPath(t *testing.T) {
 	})
 	if big.Duration() >= small.Duration() {
 		t.Fatalf("tuned buffer (%v) should beat 64 KiB default (%v)", big.Duration(), small.Duration())
-	}
-}
-
-func TestReplicaTransferAdapter(t *testing.T) {
-	eng, _, tr := newBed(t)
-	fn := tr.ReplicaTransfer(GridFTPOptions(4))
-	var done bool
-	if err := fn("alpha4", "/data/f", "alpha1", "/cache/f", 64*mb, func(err error) {
-		if err != nil {
-			t.Errorf("transfer err = %v", err)
-		}
-		done = true
-	}); err != nil {
-		t.Fatal(err)
-	}
-	if err := eng.Run(); err != nil {
-		t.Fatal(err)
-	}
-	if !done {
-		t.Fatal("adapter callback never fired")
 	}
 }
 

@@ -116,6 +116,22 @@ func RegionOfHost(name string) string {
 	return name[:3]
 }
 
+// SiteOfHost extracts the region+site prefix from any generated host,
+// cluster or switch name ("r03s07c1h09" -> "r03s07"). Names not
+// produced by this package return "".
+func SiteOfHost(name string) string {
+	name = strings.TrimPrefix(name, "switch.")
+	if len(name) < 6 || name[0] != 'r' || name[3] != 's' {
+		return ""
+	}
+	for _, i := range []int{1, 2, 4, 5} {
+		if name[i] < '0' || name[i] > '9' {
+			return ""
+		}
+	}
+	return name[:6]
+}
+
 // jitter returns base plus a uniform draw in [0, spread).
 func jitter(rng *rand.Rand, base, spread time.Duration) time.Duration {
 	return base + time.Duration(rng.Int63n(int64(spread)))

@@ -58,6 +58,21 @@ func TestGenerateShape(t *testing.T) {
 	if RegionOfHost("thu-node1") != "" || RegionOfHost("x") != "" {
 		t.Error("RegionOfHost should return \"\" for foreign names")
 	}
+	// Host names also carry their site prefix.
+	for _, r := range top.Regions {
+		for _, h := range top.HostsByRegion[r] {
+			site := SiteOfHost(h)
+			if len(site) != 6 || site[:3] != r {
+				t.Fatalf("SiteOfHost(%s) = %q, want %s-prefixed site", h, site, r)
+			}
+		}
+	}
+	if SiteOfHost("r03s07c1h09") != "r03s07" {
+		t.Errorf("SiteOfHost(r03s07c1h09) = %q, want r03s07", SiteOfHost("r03s07c1h09"))
+	}
+	if SiteOfHost("thu-node1") != "" || SiteOfHost("r03x07") != "" {
+		t.Error("SiteOfHost should return \"\" for foreign names")
+	}
 }
 
 func TestGenerateDeterministic(t *testing.T) {

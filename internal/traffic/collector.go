@@ -1,0 +1,117 @@
+package traffic
+
+import (
+	"time"
+
+	"github.com/hpclab/datagrid/internal/metrics"
+	"github.com/hpclab/datagrid/internal/placement"
+	"github.com/hpclab/datagrid/internal/simxfer"
+	"github.com/hpclab/datagrid/internal/topo"
+)
+
+// collector is the streaming reduction of the result stream: latency
+// quantiles via a mergeable log-bucket sketch, goodput and load skew via
+// integer accumulators. Nothing per-request is retained, so a run's
+// memory footprint is independent of its request count. All updates run
+// on shard 0's goroutine (transfer completions) or the driver between
+// runs; accumulators are integers so no float summation order exists to
+// diverge.
+type collector struct {
+	latency *metrics.QuantileSketch
+
+	submitted int
+	completed int
+	failed    int
+	localHits int
+	attempts  int
+	inflight  int
+
+	bytesDone int64
+	// servedBySite counts completed serves per origin site — the load
+	// skew input.
+	servedBySite map[string]uint64
+
+	policy placement.Policy
+}
+
+func newCollector(policy placement.Policy) *collector {
+	return &collector{
+		latency:      metrics.NewQuantileSketch(0.01),
+		servedBySite: make(map[string]uint64),
+		policy:       policy,
+	}
+}
+
+// siteOf extracts the site from a generated host name
+// ("r03s07c1h09" -> "r03s07"); unknown shapes collapse to one bucket.
+func siteOf(host string) string {
+	if len(host) >= 6 && topo.RegionOfHost(host) != "" {
+		return host[:6]
+	}
+	return "?"
+}
+
+// done is the transfer completion callback.
+func (c *collector) done(r simxfer.Result) {
+	c.inflight--
+	c.attempts += len(r.Attempts)
+	if r.Err != nil {
+		c.failed++
+		return
+	}
+	c.completed++
+	c.bytesDone += r.Bytes
+	c.latency.Add(r.Duration().Seconds())
+	src := r.Src
+	if src == "" && len(r.Sources) > 0 {
+		src = r.Sources[0]
+	}
+	c.servedBySite[siteOf(src)]++
+}
+
+// access reports one dispatched request to the placement policy. Runs on
+// the driver goroutine at drain time.
+func (c *collector) access(rq request, servedFrom string) error {
+	return c.policy.OnAccess(placement.Access{
+		Logical:    rq.file,
+		ServedFrom: servedFrom,
+		Client:     rq.dst,
+		At:         rq.at,
+	})
+}
+
+// quantile returns the latency quantile in seconds, 0 when nothing
+// completed.
+func (c *collector) quantile(q float64) float64 {
+	v, err := c.latency.Quantile(q)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// skew returns max/mean completed serves across the sites that served
+// anything — 1.0 is perfectly even, higher is hotter.
+func (c *collector) skew() float64 {
+	if len(c.servedBySite) == 0 {
+		return 0
+	}
+	var max, total uint64
+	for _, n := range c.servedBySite {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	mean := float64(total) / float64(len(c.servedBySite))
+	return float64(max) / mean
+}
+
+// goodputMbps is completed payload over the request horizon.
+func (c *collector) goodputMbps(horizon time.Duration) float64 {
+	s := horizon.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(c.bytesDone) * 8 / 1e6 / s
+}

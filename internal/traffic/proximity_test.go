@@ -1,0 +1,42 @@
+package traffic
+
+import (
+	"testing"
+
+	"github.com/hpclab/datagrid/internal/core"
+	"github.com/hpclab/datagrid/internal/replica"
+)
+
+func TestNearestFirst(t *testing.T) {
+	mk := func(host string, score float64) core.Candidate {
+		return core.Candidate{Location: replica.Location{Host: host, Path: "/grid/f"}, Score: score}
+	}
+	// Score order (best first) as the hierarchy would return it: a far
+	// high-scoring replica ahead of closer, lower-scored ones.
+	cands := []core.Candidate{
+		mk("r09s01c0h00", 90), // other region
+		mk("r02s04c0h01", 80), // same region, other site
+		mk("r09s02c0h00", 70), // other region
+		mk("r02s00c0h03", 60), // same site
+		mk("r02s00c0h01", 50), // the requester itself
+	}
+	got := nearestFirst(cands, "r02s00c0h01")
+	want := []string{
+		"r02s00c0h01", // tier 0: local
+		"r02s00c0h03", // tier 1: same site
+		"r02s04c0h01", // tier 2: same region
+		"r09s01c0h00", // tier 3: score order preserved
+		"r09s02c0h00",
+	}
+	for i, w := range want {
+		if got[i].Location.Host != w {
+			t.Fatalf("position %d: got %s, want %s", i, got[i].Location.Host, w)
+		}
+	}
+	// Foreign requester names tier everything equally: order unchanged.
+	cands = []core.Candidate{mk("r09s01c0h00", 90), mk("r02s04c0h01", 80)}
+	got = nearestFirst(cands, "thu-node1")
+	if got[0].Location.Host != "r09s01c0h00" || got[1].Location.Host != "r02s04c0h01" {
+		t.Error("foreign requester should preserve score order")
+	}
+}

@@ -1,0 +1,174 @@
+package traffic
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/topo"
+)
+
+// testSpec is a small but fully featured run: 4 regions, skewed
+// popularity, diurnal modulation, faults, failover and the popularity
+// control loop all on.
+func testSpec() Spec {
+	return Spec{
+		Seed: 42,
+		Topology: topo.Spec{
+			Regions: 4, SitesPerRegion: 1, ClustersPerSite: 1, HostsPerCluster: 3,
+		},
+		Files:            12,
+		Replicas:         2,
+		RatePerMinute:    30,
+		Horizon:          30 * time.Minute,
+		DispatchInterval: 10 * time.Second,
+		Epoch:            5 * time.Minute,
+		HotFiles:         0.2,
+		WarmFiles:        0.3,
+		HotShare:         0.6,
+		WarmShare:        0.3,
+		ZipfS:            1.5,
+		DiurnalAmplitude: 0.5,
+		DiurnalPeriod:    time.Hour,
+		SizesMB:          []int64{1, 4},
+		Streams:          4,
+		Failover:         true,
+		FaultIntensity:   1,
+		Policy:           PolicyPopularity,
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []func(*Spec){
+		func(s *Spec) { s.Topology.Regions = 1 },
+		func(s *Spec) { s.Files = 2 },
+		func(s *Spec) { s.Replicas = 0 },
+		func(s *Spec) { s.RatePerMinute = 0 },
+		func(s *Spec) { s.Horizon = 0 },
+		func(s *Spec) { s.Epoch = 7 * time.Second }, // not a dispatch multiple
+		func(s *Spec) { s.HotFiles = 0.8; s.WarmFiles = 0.3 },
+		func(s *Spec) { s.HotShare = 0 },
+		func(s *Spec) { s.ZipfS = 1 },
+		func(s *Spec) { s.DiurnalAmplitude = 1 },
+		func(s *Spec) { s.SizesMB = nil },
+		func(s *Spec) { s.SizesMB = []int64{0} },
+		func(s *Spec) { s.FaultIntensity = -1 },
+		func(s *Spec) { s.Policy = PolicyKind(9) },
+		func(s *Spec) { s.MinReplicas = 3; s.MaxReplicas = 2 },
+		func(s *Spec) { s.Replicas = 5 }, // > regions
+	}
+	for i, mutate := range bad {
+		s := testSpec()
+		mutate(&s)
+		if _, err := s.withDefaults(); err == nil {
+			t.Errorf("mutation %d should fail validation", i)
+		}
+	}
+	if _, err := testSpec().withDefaults(); err != nil {
+		t.Fatalf("base spec invalid: %v", err)
+	}
+}
+
+func TestClassBounds(t *testing.T) {
+	s := testSpec()
+	hot, warm := s.classBounds()
+	if hot < 1 || warm <= hot || warm >= s.Files {
+		t.Fatalf("class bounds (%d,%d) degenerate for %d files", hot, warm, s.Files)
+	}
+	s.Files = 3
+	hot, warm = s.classBounds()
+	if hot != 1 || warm != 2 {
+		t.Fatalf("3-file bounds = (%d,%d), want (1,2)", hot, warm)
+	}
+}
+
+// TestRunShardCountInvariance pins the tentpole determinism property:
+// the identical Report at 1, 2 and 4 shards, and across repeated runs.
+func TestRunShardCountInvariance(t *testing.T) {
+	base, err := Run(testSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Requests == 0 || base.Completed == 0 {
+		t.Fatalf("run did nothing: %+v", base)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		got, err := Run(testSpec(), shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("shards=%d diverged:\nbase %+v\ngot  %+v", shards, base, got)
+		}
+	}
+}
+
+// TestRunReportSanity checks the reduction's internal consistency on the
+// full-featured spec.
+func TestRunReportSanity(t *testing.T) {
+	r, err := Run(testSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed+r.Failed+r.LocalHits != r.Requests {
+		t.Fatalf("accounting broken: %d + %d + %d != %d", r.Completed, r.Failed, r.LocalHits, r.Requests)
+	}
+	// ~30/min/region * 4 regions * 30 min = ~3600 before diurnal wobble.
+	if r.Requests < 2500 || r.Requests > 5000 {
+		t.Fatalf("requests = %d, want ~3600", r.Requests)
+	}
+	if !(r.P50 > 0 && r.P50 <= r.P95 && r.P95 <= r.P99) {
+		t.Fatalf("quantiles out of order: p50=%v p95=%v p99=%v", r.P50, r.P95, r.P99)
+	}
+	if r.GoodputMbps <= 0 {
+		t.Fatalf("goodput = %v", r.GoodputMbps)
+	}
+	if r.SiteSkew < 1 {
+		t.Fatalf("site skew = %v, want >= 1", r.SiteSkew)
+	}
+	if r.Attempts < r.Completed+r.Failed {
+		t.Fatalf("failover attempts %d below transfer count %d", r.Attempts, r.Completed+r.Failed)
+	}
+	if r.Selections == 0 || r.HostsScanned == 0 {
+		t.Fatalf("hierarchy idle: %+v", r)
+	}
+}
+
+// TestPopularityLoopActs: with hot traffic concentrated on few files the
+// control loop must replicate something, and the catalog churn must not
+// break any later selection (Run would fail).
+func TestPopularityLoopActs(t *testing.T) {
+	spec := testSpec()
+	spec.FaultIntensity = 0
+	r, err := Run(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Replications == 0 {
+		t.Fatalf("popularity loop never replicated: %+v", r)
+	}
+	if r.Hot+r.Warm+r.Cold == 0 {
+		t.Fatalf("no final epoch classification: %+v", r)
+	}
+}
+
+// TestPolicyNoneIsStatic: the baseline never places or removes replicas.
+func TestPolicyNoneIsStatic(t *testing.T) {
+	spec := testSpec()
+	spec.Policy = PolicyNone
+	spec.Failover = false
+	spec.FaultIntensity = 0
+	r, err := Run(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Replications != 0 || r.Removals != 0 {
+		t.Fatalf("baseline mutated the catalog: %+v", r)
+	}
+	if r.Failed != 0 {
+		t.Fatalf("fault-free legacy run failed %d transfers", r.Failed)
+	}
+	if r.Attempts != 0 {
+		t.Fatalf("legacy path logged %d failover attempts", r.Attempts)
+	}
+}

@@ -1,0 +1,215 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/cluster"
+	"github.com/hpclab/datagrid/internal/core"
+	"github.com/hpclab/datagrid/internal/faults"
+	"github.com/hpclab/datagrid/internal/gridstate"
+	"github.com/hpclab/datagrid/internal/replica"
+	"github.com/hpclab/datagrid/internal/simulation"
+	"github.com/hpclab/datagrid/internal/simxfer"
+	"github.com/hpclab/datagrid/internal/topo"
+)
+
+// world is one built traffic grid: a topology mirrored across the
+// engine shards, the sharded catalog and hierarchical selection stack,
+// and the transferrer every flow runs through. All observable state —
+// transfers, faults, monitoring reads — lives on mirror 0; mirrors 1..n
+// exist only to advance their regions' arrival processes in parallel.
+type world struct {
+	spec Spec
+	top  *topo.Topology
+	se   *simulation.ShardedEngine
+	tbs  []*cluster.Testbed
+	cat  *replica.ShardedCatalog
+	srv  *core.HierarchicalServer
+	pubs map[string]*gridstate.Publisher
+	xfer *simxfer.Transferrer
+
+	regionShard map[string]int
+}
+
+// hubBuilder derives a host's HostPerf from mirror 0's live network and
+// load state, observed from the host's region hub — the same derivation
+// the planet-scale sweep uses, bound to the one mirror transfers run on.
+type hubBuilder struct {
+	tb  *cluster.Testbed
+	hub string
+}
+
+func (b hubBuilder) BuildHostPerf(host string, now time.Duration) (gridstate.HostPerf, error) {
+	net := b.tb.Network()
+	theo, err := net.BottleneckBps(b.hub, host)
+	if err != nil {
+		return gridstate.HostPerf{}, err
+	}
+	avail, err := net.AvailableBps(b.hub, host)
+	if err != nil {
+		return gridstate.HostPerf{}, err
+	}
+	h, err := b.tb.Host(host)
+	if err != nil {
+		return gridstate.HostPerf{}, err
+	}
+	return gridstate.HostPerf{
+		Host:             host,
+		Local:            b.hub,
+		BandwidthMbps:    avail / 1e6,
+		TheoreticalMbps:  theo / 1e6,
+		BandwidthPercent: 100 * avail / theo,
+		CPUIdlePercent:   100 * h.CPUIdle(),
+		IOIdlePercent:    100 * h.IOIdle(),
+		At:               now,
+	}, nil
+}
+
+// buildWorld realizes the spec on a sharded engine. Every mirror replays
+// the identical base-load draw sequence so mirror state agrees bitwise;
+// the catalog, hierarchy and transferrer are built once against mirror 0.
+func buildWorld(spec Spec, shards int) (*world, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("traffic: need at least 1 shard, got %d", shards)
+	}
+	ts := spec.Topology
+	ts.Seed = spec.Seed
+	top, err := topo.Generate(ts)
+	if err != nil {
+		return nil, err
+	}
+	_, lookahead, err := top.BoundaryCut()
+	if err != nil {
+		return nil, err
+	}
+	se, err := simulation.NewSharded(shards, lookahead)
+	if err != nil {
+		return nil, err
+	}
+	w := &world{
+		spec:        spec,
+		top:         top,
+		se:          se,
+		tbs:         make([]*cluster.Testbed, shards),
+		pubs:        make(map[string]*gridstate.Publisher, len(top.Regions)),
+		regionShard: make(map[string]int, len(top.Regions)),
+	}
+	for i, region := range top.Regions {
+		w.regionShard[region] = i % shards
+	}
+	for s := 0; s < shards; s++ {
+		tb, err := top.Build(se.Shard(s))
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(spec.Seed + 1))
+		for _, region := range top.Regions {
+			for _, hn := range top.HostsByRegion[region] {
+				h, err := tb.Host(hn)
+				if err != nil {
+					return nil, err
+				}
+				if err := h.SetBaseCPULoad(0.05 + 0.85*rng.Float64()); err != nil {
+					return nil, err
+				}
+				if err := h.SetBaseIOLoad(0.05 + 0.85*rng.Float64()); err != nil {
+					return nil, err
+				}
+			}
+		}
+		w.tbs[s] = tb
+	}
+	w.cat = replica.NewSharded(topo.RegionOfHost)
+	if err := top.PlaceFiles(w.cat, spec.Files, spec.Replicas, spec.FileBytes); err != nil {
+		return nil, err
+	}
+	w.srv, err = core.NewHierarchicalServer(w.cat, core.PaperWeights, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, region := range top.Regions {
+		pub, err := gridstate.NewPublisher(
+			top.HubSwitch[region], top.HostsByRegion[region],
+			hubBuilder{tb: w.tbs[0], hub: top.HubSwitch[region]})
+		if err != nil {
+			return nil, err
+		}
+		w.pubs[region] = pub
+		if err := w.srv.AddRegion(region, pub); err != nil {
+			return nil, err
+		}
+	}
+	w.xfer, err = simxfer.New(w.tbs[0])
+	if err != nil {
+		return nil, err
+	}
+	if err := w.installFaults(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// installFaults draws the spec's fault schedule and installs it on
+// mirror 0 — the only mirror whose state is observable (flows, publisher
+// reads and liveness checks all go through tbs[0]). Monitor outages are
+// excluded: the traffic plane's thin publishers have no gate to pause.
+func (w *world) installFaults() error {
+	if w.spec.FaultIntensity <= 0 {
+		return nil
+	}
+	cut, _, err := w.top.BoundaryCut()
+	if err != nil {
+		return err
+	}
+	links := make([][2]string, 0, len(cut))
+	for _, bl := range cut {
+		links = append(links, [2]string{cluster.SwitchNode(bl.From), cluster.SwitchNode(bl.To)})
+	}
+	// Victim hosts: the first two hosts of every region — a fixed,
+	// topology-derived set so intensity sweeps stay comparable.
+	var hosts []string
+	for _, region := range w.top.Regions {
+		rh := w.top.HostsByRegion[region]
+		for i := 0; i < 2 && i < len(rh); i++ {
+			hosts = append(hosts, rh[i])
+		}
+	}
+	n := w.spec.FaultIntensity
+	plan, err := faults.GeneratePlan(faults.Config{
+		Seed:         w.spec.Seed + int64(n)*7919,
+		Horizon:      w.spec.Horizon,
+		MeanDuration: 2 * time.Minute,
+		LinkFlaps:    3 * n,
+		HostCrashes:  2 * n,
+		DiskDegrades: 2 * n,
+		Hosts:        hosts,
+		Links:        links,
+	})
+	if err != nil {
+		return err
+	}
+	inj, err := faults.NewInjector(w.tbs[0], nil)
+	if err != nil {
+		return err
+	}
+	return inj.Install(plan)
+}
+
+// republish rebuilds every region's grid-state snapshot at the epoch
+// boundary, while the engines are stopped and mirror 0's state is the
+// globally agreed state at now. Every Rank call until the next boundary
+// scores these frozen snapshots.
+func (w *world) republish(now time.Duration) error {
+	for _, region := range w.top.Regions {
+		// Each iteration pins a different region's publisher at the same
+		// agreed boundary instant — the repeat is across publishers, not
+		// a stale repin of one.
+		//gridlint:snapshotdiscipline-ok one snapshot per region publisher at the epoch boundary
+		if s := w.pubs[region].Snapshot(now); s == nil {
+			return fmt.Errorf("traffic: republish %s at %v produced no snapshot", region, now)
+		}
+	}
+	return nil
+}

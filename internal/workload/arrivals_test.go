@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hpclab/datagrid/internal/simulation"
+)
+
+// brokenScheduler violates the Scheduler contract by rejecting every
+// event — the failure mode scheduleNext historically swallowed by
+// silently setting stopped.
+type brokenScheduler struct{}
+
+func (brokenScheduler) Now() time.Duration { return 0 }
+func (brokenScheduler) Schedule(time.Duration, func(time.Duration)) (*simulation.Event, error) {
+	return nil, errors.New("synthetic scheduler failure")
+}
+func (b brokenScheduler) After(d time.Duration, fn func(time.Duration)) (*simulation.Event, error) {
+	return b.Schedule(d, fn)
+}
+func (brokenScheduler) Cancel(*simulation.Event) bool { return false }
+
+// TestArrivalsPanicsOnSchedulerError pins the impossible-error
+// convention: a scheduler that rejects an arrival event must panic
+// loudly, not silently stop the stream (the old behavior, which would
+// truncate every downstream metric without a trace).
+func TestArrivalsPanicsOnSchedulerError(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("NewArrivals on a broken scheduler should panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "arrival scheduling failed") {
+			t.Fatalf("panic = %v, want arrival-scheduling message", r)
+		}
+	}()
+	_, _ = NewArrivals(brokenScheduler{}, rand.New(rand.NewSource(1)),
+		ConstantRate(60), func(time.Duration) {})
+}
+
+func TestArrivalsValidation(t *testing.T) {
+	eng := simulation.NewEngine()
+	rng := rand.New(rand.NewSource(1))
+	fire := func(time.Duration) {}
+	if _, err := NewArrivals(nil, rng, ConstantRate(1), fire); err == nil {
+		t.Fatal("nil scheduler should be rejected")
+	}
+	if _, err := NewArrivals(eng, nil, ConstantRate(1), fire); err == nil {
+		t.Fatal("nil rng should be rejected")
+	}
+	if _, err := NewArrivals(eng, rng, nil, fire); err == nil {
+		t.Fatal("nil rate should be rejected")
+	}
+	if _, err := NewArrivals(eng, rng, ConstantRate(1), nil); err == nil {
+		t.Fatal("nil fire should be rejected")
+	}
+}
+
+// TestArrivalsNonPositiveRatePanics: a rate curve dipping to zero would
+// make the mean gap infinite; the core treats it as a config bug.
+func TestArrivalsNonPositiveRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive rate should panic")
+		}
+	}()
+	_, _ = NewArrivals(simulation.NewEngine(), rand.New(rand.NewSource(1)),
+		func(time.Duration) float64 { return 0 }, func(time.Duration) {})
+}
+
+// TestArrivalsVariableRate: a rate function is sampled at schedule time,
+// so a step change in intensity shows up in the arrival counts of the
+// surrounding windows.
+func TestArrivalsVariableRate(t *testing.T) {
+	eng := simulation.NewEngine()
+	rate := func(now time.Duration) float64 {
+		if now < 30*time.Minute {
+			return 600 // 10/s
+		}
+		return 60 // 1/s
+	}
+	a, err := NewArrivals(eng, rand.New(rand.NewSource(7)), rate, func(time.Duration) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(30 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	dense := a.Count()
+	if err := eng.RunUntil(60 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	sparse := a.Count() - dense
+	// 30 min at 600/min ≈ 18000; 30 min at 60/min ≈ 1800.
+	if dense < 17000 || dense > 19000 {
+		t.Fatalf("dense window arrivals = %d, want ~18000", dense)
+	}
+	if sparse < 1500 || sparse > 2100 {
+		t.Fatalf("sparse window arrivals = %d, want ~1800", sparse)
+	}
+}
+
+// TestArrivalsStopFreezesRNG: after Stop, the pending event must not
+// fire the callback or draw further gaps.
+func TestArrivalsStopFreezesRNG(t *testing.T) {
+	eng := simulation.NewEngine()
+	count := 0
+	a, err := NewArrivals(eng, rand.New(rand.NewSource(2)), ConstantRate(60),
+		func(time.Duration) { count++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	a.Stop()
+	frozen := count
+	if err := eng.RunUntil(30 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if count != frozen || a.Count() != frozen {
+		t.Fatalf("arrivals after Stop: count=%d frozen=%d", count, frozen)
+	}
+}
+
+func TestPopularityModelValidation(t *testing.T) {
+	eng := simulation.NewEngine()
+	emit := func(string) {}
+	files := []string{"a", "b", "c"}
+	if _, err := NewRequestGenerator(eng, RequestConfig{
+		Files: files, RatePerMinute: 1, Popularity: PopularityUniform, ZipfS: 2,
+	}, emit); err == nil {
+		t.Fatal("uniform + ZipfS should be rejected")
+	}
+	if _, err := NewRequestGenerator(eng, RequestConfig{
+		Files: files, RatePerMinute: 1, Popularity: PopularityZipf, ZipfS: 0.5,
+	}, emit); err == nil {
+		t.Fatal("Zipf model with s <= 1 should be rejected")
+	}
+	if _, err := NewRequestGenerator(eng, RequestConfig{
+		Files: files, RatePerMinute: 1, Popularity: PopularityModel(99),
+	}, emit); err == nil {
+		t.Fatal("unknown popularity model should be rejected")
+	}
+}
+
+// TestPopularityModelExplicitMatchesLegacy: naming the model explicitly
+// must reproduce the legacy implicit streams bit-for-bit, so configs can
+// migrate off the deprecated ZipfS fallback without changing a number.
+func TestPopularityModelExplicitMatchesLegacy(t *testing.T) {
+	run := func(cfg RequestConfig) []string {
+		eng := simulation.NewEngine()
+		var got []string
+		if _, err := NewRequestGenerator(eng, cfg, func(f string) { got = append(got, f) }); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.RunUntil(20 * time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	files := []string{"a", "b", "c", "d"}
+	pairs := []struct{ legacy, explicit RequestConfig }{
+		{
+			RequestConfig{Files: files, RatePerMinute: 60, Seed: 5},
+			RequestConfig{Files: files, RatePerMinute: 60, Seed: 5, Popularity: PopularityUniform},
+		},
+		{
+			RequestConfig{Files: files, RatePerMinute: 60, Seed: 5, ZipfS: 1.7},
+			RequestConfig{Files: files, RatePerMinute: 60, Seed: 5, ZipfS: 1.7, Popularity: PopularityZipf},
+		},
+	}
+	for i, p := range pairs {
+		a, b := run(p.legacy), run(p.explicit)
+		if len(a) != len(b) {
+			t.Fatalf("pair %d: lengths differ: %d vs %d", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("pair %d diverged at %d: %s vs %s", i, j, a[j], b[j])
+			}
+		}
+	}
+}

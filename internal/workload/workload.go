@@ -2,7 +2,9 @@
 // drives through the system: the paper's file-size and stream-count
 // sweeps, Poisson request generators with Zipf-skewed file popularity
 // (the standard model for data-grid access patterns), and compute-job
-// generators that perturb host load while transfers run.
+// generators that perturb host load while transfers run. The shared
+// arrival core (Arrivals) is also the clock source for internal/traffic's
+// per-region client populations.
 package workload
 
 import (
@@ -25,13 +27,36 @@ var PaperStreamCounts = []int{0, 1, 2, 4, 8, 16}
 // MB is the paper's megabyte (decimal, as network people count).
 const MB = 1_000_000
 
+// PopularityModel names how a request stream picks which file each
+// arrival asks for.
+type PopularityModel int
+
+const (
+	// PopularityDefault preserves the legacy implicit selection: ZipfS > 0
+	// means Zipf popularity, ZipfS == 0 falls back to uniform.
+	//
+	// Deprecated: name the model explicitly with PopularityUniform or
+	// PopularityZipf; the implicit fallback exists only so historical
+	// configs keep their exact behavior.
+	PopularityDefault PopularityModel = iota
+	// PopularityUniform picks files uniformly at random.
+	PopularityUniform
+	// PopularityZipf picks files by Zipf rank-skew; RequestConfig.ZipfS
+	// carries the exponent and must be > 1.
+	PopularityZipf
+)
+
 // RequestConfig parameterizes a Poisson stream of data-access requests.
 type RequestConfig struct {
 	// Files are the logical file names requested.
 	Files []string
 	// RatePerMinute is the mean arrival rate.
 	RatePerMinute float64
-	// ZipfS is the Zipf skew (>1); 0 selects uniform popularity.
+	// Popularity selects the file-popularity model. The zero value keeps
+	// the legacy ZipfS-driven selection for existing configs.
+	Popularity PopularityModel
+	// ZipfS is the Zipf skew (>1). Under PopularityDefault, 0 selects
+	// uniform popularity.
 	ZipfS float64
 	// Seed drives arrival times and file choice.
 	Seed int64
@@ -39,13 +64,11 @@ type RequestConfig struct {
 
 // RequestGenerator emits (virtual-time, logical-file) request events.
 type RequestGenerator struct {
-	engine   *simulation.Engine
 	cfg      RequestConfig
 	rng      *rand.Rand
 	zipf     *rand.Zipf
+	arrivals *Arrivals
 	emit     func(name string)
-	stopped  bool
-	requests int
 }
 
 // NewRequestGenerator schedules Poisson arrivals on the engine; emit is
@@ -63,39 +86,44 @@ func NewRequestGenerator(engine *simulation.Engine, cfg RequestConfig, emit func
 	if cfg.RatePerMinute <= 0 {
 		return nil, fmt.Errorf("workload: rate must be positive, got %v", cfg.RatePerMinute)
 	}
-	if cfg.ZipfS < 0 || (cfg.ZipfS > 0 && cfg.ZipfS <= 1) {
-		return nil, fmt.Errorf("workload: Zipf s must be > 1 (or 0 for uniform), got %v", cfg.ZipfS)
+	zipf := false
+	switch cfg.Popularity {
+	case PopularityDefault:
+		if cfg.ZipfS < 0 || (cfg.ZipfS > 0 && cfg.ZipfS <= 1) {
+			return nil, fmt.Errorf("workload: Zipf s must be > 1 (or 0 for uniform), got %v", cfg.ZipfS)
+		}
+		zipf = cfg.ZipfS > 0
+	case PopularityUniform:
+		if cfg.ZipfS != 0 {
+			return nil, fmt.Errorf("workload: uniform popularity does not take a Zipf skew, got s=%v", cfg.ZipfS)
+		}
+	case PopularityZipf:
+		if cfg.ZipfS <= 1 {
+			return nil, fmt.Errorf("workload: Zipf popularity needs s > 1, got %v", cfg.ZipfS)
+		}
+		zipf = true
+	default:
+		return nil, fmt.Errorf("workload: unknown popularity model %d", cfg.Popularity)
 	}
 	g := &RequestGenerator{
-		engine: engine,
-		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		emit:   emit,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		emit: emit,
 	}
-	if cfg.ZipfS > 0 {
+	if zipf {
 		g.zipf = rand.NewZipf(g.rng, cfg.ZipfS, 1, uint64(len(cfg.Files)-1))
 		if g.zipf == nil {
 			return nil, fmt.Errorf("workload: bad Zipf parameters s=%v n=%d", cfg.ZipfS, len(cfg.Files))
 		}
 	}
-	g.scheduleNext()
-	return g, nil
-}
-
-func (g *RequestGenerator) scheduleNext() {
-	mean := time.Minute.Seconds() / g.cfg.RatePerMinute
-	delay := time.Duration(g.rng.ExpFloat64() * mean * float64(time.Second))
-	_, err := g.engine.After(delay, func(time.Duration) {
-		if g.stopped {
-			return
-		}
-		g.requests++
+	arr, err := NewArrivals(engine, g.rng, ConstantRate(cfg.RatePerMinute), func(time.Duration) {
 		g.emit(g.pick())
-		g.scheduleNext()
 	})
 	if err != nil {
-		g.stopped = true
+		return nil, err
 	}
+	g.arrivals = arr
+	return g, nil
 }
 
 func (g *RequestGenerator) pick() string {
@@ -106,10 +134,10 @@ func (g *RequestGenerator) pick() string {
 }
 
 // Requests returns how many requests have been emitted.
-func (g *RequestGenerator) Requests() int { return g.requests }
+func (g *RequestGenerator) Requests() int { return g.arrivals.Count() }
 
 // Stop halts the generator.
-func (g *RequestGenerator) Stop() { g.stopped = true }
+func (g *RequestGenerator) Stop() { g.arrivals.Stop() }
 
 // JobConfig parameterizes a Poisson stream of compute jobs attached to
 // hosts (the "large-scale data intensive applications" sharing the grid).
@@ -128,11 +156,11 @@ type JobConfig struct {
 
 // JobGenerator attaches and releases jobs on testbed hosts.
 type JobGenerator struct {
-	tb      *cluster.Testbed
-	cfg     JobConfig
-	rng     *rand.Rand
-	stopped bool
-	placed  int
+	tb       *cluster.Testbed
+	cfg      JobConfig
+	rng      *rand.Rand
+	arrivals *Arrivals
+	placed   int
 }
 
 // NewJobGenerator starts a job arrival process on the testbed.
@@ -158,23 +186,14 @@ func NewJobGenerator(tb *cluster.Testbed, cfg JobConfig) (*JobGenerator, error) 
 		return nil, fmt.Errorf("workload: job load (%v,%v) out of [0,1]", cfg.CPU, cfg.IO)
 	}
 	g := &JobGenerator{tb: tb, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
-	g.scheduleNext()
-	return g, nil
-}
-
-func (g *JobGenerator) scheduleNext() {
-	mean := time.Minute.Seconds() / g.cfg.RatePerMinute
-	delay := time.Duration(g.rng.ExpFloat64() * mean * float64(time.Second))
-	_, err := g.tb.Engine().After(delay, func(time.Duration) {
-		if g.stopped {
-			return
-		}
+	arr, err := NewArrivals(tb.Engine(), g.rng, ConstantRate(cfg.RatePerMinute), func(time.Duration) {
 		g.place()
-		g.scheduleNext()
 	})
 	if err != nil {
-		g.stopped = true
+		return nil, err
 	}
+	g.arrivals = arr
+	return g, nil
 }
 
 func (g *JobGenerator) place() {
@@ -198,4 +217,4 @@ func (g *JobGenerator) place() {
 func (g *JobGenerator) Placed() int { return g.placed }
 
 // Stop halts new job arrivals (running jobs still complete).
-func (g *JobGenerator) Stop() { g.stopped = true }
+func (g *JobGenerator) Stop() { g.arrivals.Stop() }
